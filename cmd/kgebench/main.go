@@ -1,0 +1,124 @@
+// Command kgebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	kgebench -list                 # show available experiments
+//	kgebench -exp table1          # regenerate one artifact
+//	kgebench -exp all             # regenerate everything
+//	kgebench -exp fig9 -quick     # reduced datasets/epochs for a fast pass
+//
+// Output is aligned text: tables mirror the paper's table columns, figures
+// are printed as one column per curve.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"kgedist/internal/experiments"
+	"kgedist/internal/metrics"
+	"kgedist/internal/svgplot"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		quick   = flag.Bool("quick", false, "shrink datasets and epoch budgets")
+		seed    = flag.Uint64("seed", 1, "random seed for datasets and training")
+		svgDir  = flag.String("svg", "", "also render every figure panel as SVG into this directory")
+		csvDir  = flag.String("csv", "", "also write every table as CSV into this directory")
+		repeats = flag.Int("repeats", 1, "average every run over this many seeds (the paper used 5)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-9s %s\n            paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Repeats: *repeats}
+	var targets []experiments.Experiment
+	if *exp == "all" {
+		targets = experiments.All()
+	} else {
+		e, err := experiments.Get(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		targets = []experiments.Experiment{e}
+	}
+	for _, e := range targets {
+		start := time.Now()
+		report, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		report.Render(os.Stdout)
+		if *svgDir != "" {
+			if err := writeSVGs(report, *svgDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if *csvDir != "" {
+			if err := writeCSVs(report, *csvDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("\n(%s regenerated in %.1fs wall time)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+func writeSVGs(r *metrics.Report, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, fig := range r.Figures {
+		path := filepath.Join(dir, fmt.Sprintf("%s-panel%d.svg", r.ID, i+1))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := svgplot.Render(fig, f); err != nil {
+			f.Close()
+			return fmt.Errorf("rendering %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("(svg written to %s)\n", path)
+	}
+	return nil
+}
+
+func writeCSVs(r *metrics.Report, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, tb := range r.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s-table%d.csv", r.ID, i+1))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		tb.RenderCSV(f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("(csv written to %s)\n", path)
+	}
+	return nil
+}

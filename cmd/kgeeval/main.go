@@ -1,0 +1,73 @@
+// Command kgeeval evaluates a saved embedding checkpoint against a dataset:
+// filtered MRR, Hits@{1,3,10} and triple classification accuracy.
+//
+// Example:
+//
+//	kgetrain -dataset fb15k-mini -save model.kge
+//	kgegen -out ./data/mini ... ; kgeeval -data ./data/mini -model model.kge
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kgedist/internal/eval"
+	"kgedist/internal/kg"
+	"kgedist/internal/model"
+	"kgedist/internal/xrand"
+)
+
+func main() {
+	var (
+		dataDir = flag.String("data", "", "OpenKE-layout dataset directory")
+		preset  = flag.String("dataset", "", "synthetic preset instead of -data: fb15k-mini, fb250k-mini")
+		ckpt    = flag.String("model", "", "checkpoint file written by kgetrain -save (required)")
+		sample  = flag.Int("sample", 0, "subsample the test split for ranking (0 = all)")
+		seed    = flag.Uint64("seed", 1, "random seed (dataset generation and corruption)")
+	)
+	flag.Parse()
+	if *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "kgeeval: -model is required")
+		os.Exit(1)
+	}
+	var d *kg.Dataset
+	var err error
+	switch {
+	case *dataDir != "":
+		d, err = kg.LoadDir(*dataDir)
+	case *preset == "fb15k-mini":
+		d = kg.Generate(kg.FB15KMini(*seed))
+	case *preset == "fb250k-mini":
+		d = kg.Generate(kg.FB250KMini(*seed))
+	default:
+		err = fmt.Errorf("kgeeval: pass -data <dir> or -dataset <preset>")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m, p, err := model.LoadCheckpoint(*ckpt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if p.Entity.Rows != d.NumEntities || p.Relation.Rows != d.NumRelations {
+		fmt.Fprintf(os.Stderr, "kgeeval: checkpoint shape (%d entities, %d relations) does not match dataset (%d, %d)\n",
+			p.Entity.Rows, p.Relation.Rows, d.NumEntities, d.NumRelations)
+		os.Exit(1)
+	}
+	filter := kg.NewFilterIndex(d)
+	rng := xrand.New(*seed)
+	lp := eval.LinkPrediction(m, p, d, filter, *sample, rng)
+	tc := eval.TripleClassification(m, p, d, filter, rng)
+	auc := eval.AUC(m, p, d, filter, rng)
+	fmt.Printf("model %s (dim %d) on %s\n", m.Name(), m.Dim(), d.Name)
+	fmt.Printf("test triples ranked   %d\n", lp.Triples)
+	fmt.Printf("raw MRR               %.4f\n", lp.MRR)
+	fmt.Printf("filtered MRR          %.4f\n", lp.FilteredMRR)
+	fmt.Printf("Hits@1 / @3 / @10     %.3f / %.3f / %.3f\n", lp.Hits1, lp.Hits3, lp.Hits10)
+	fmt.Printf("filtered mean rank    %.1f\n", lp.MR)
+	fmt.Printf("TCA                   %.1f%%\n", tc.Accuracy)
+	fmt.Printf("ROC-AUC               %.3f\n", auc)
+}

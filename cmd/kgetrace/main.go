@@ -1,0 +1,111 @@
+// Command kgetrace analyzes a JSONL training trace written by
+// kgetrain -trace: it prints the run summary and per-epoch statistics, and
+// optionally renders the convergence and epoch-time curves as SVG.
+//
+// Example:
+//
+//	kgetrain -dataset fb15k-mini -nodes 4 -trace run.jsonl
+//	kgetrace -in run.jsonl -svg ./plots
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kgedist/internal/metrics"
+	"kgedist/internal/svgplot"
+	"kgedist/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "trace file (required)")
+		svgDir = flag.String("svg", "", "render convergence and epoch-time curves into this directory")
+		last   = flag.Int("tail", 0, "only print the last N epochs (0 = all)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "kgetrace: -in is required")
+		os.Exit(1)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("run: %s on %s, %d nodes (seed %d)\n",
+		run.Meta.Strategy, run.Meta.Dataset, run.Meta.Nodes, run.Meta.Seed)
+	if s := run.Summary; s != nil {
+		fmt.Printf("summary: %d epochs, %.3f virtual h total, TCA %.1f%%, MRR %.3f, %.1f MB moved\n",
+			s.Epochs, s.TotalHours, s.TCA, s.MRR, float64(s.CommBytes)/1e6)
+		if s.SwitchedAtEpoch > 0 {
+			fmt.Printf("dynamic switch at epoch %d\n", s.SwitchedAtEpoch)
+		}
+	}
+
+	tb := &metrics.Table{
+		Title:   "per-epoch",
+		Headers: []string{"epoch", "seconds", "comm-s", "MB", "val%", "mode", "lr"},
+	}
+	epochs := run.Epochs
+	if *last > 0 && len(epochs) > *last {
+		epochs = epochs[len(epochs)-*last:]
+	}
+	for _, e := range epochs {
+		tb.AddRow(e.Epoch, e.Seconds, e.CommSeconds, float64(e.CommBytes)/1e6,
+			e.ValAccuracy, e.Mode, e.LR)
+	}
+	fmt.Println()
+	tb.Render(os.Stdout)
+
+	if *svgDir != "" {
+		if err := renderCurves(run, *svgDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func renderCurves(run *trace.Run, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	conv := metrics.Series{Name: "validation accuracy"}
+	et := metrics.Series{Name: "epoch seconds"}
+	for _, e := range run.Epochs {
+		x := float64(e.Epoch)
+		conv.X = append(conv.X, x)
+		conv.Y = append(conv.Y, e.ValAccuracy)
+		et.X = append(et.X, x)
+		et.Y = append(et.Y, e.Seconds)
+	}
+	figs := []*metrics.Figure{
+		{Title: "convergence", XLabel: "epoch", YLabel: "val %", Series: []metrics.Series{conv}},
+		{Title: "epoch time", XLabel: "epoch", YLabel: "virtual seconds", Series: []metrics.Series{et}},
+	}
+	for _, fig := range figs {
+		path := filepath.Join(dir, fig.Title+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := svgplot.Render(fig, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("(svg written to %s)\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Command kgetrain trains a knowledge-graph embedding model with any
+// combination of the paper's five strategies on a simulated cluster.
+//
+// Examples:
+//
+//	kgetrain -dataset fb15k-mini -nodes 8 -comm allreduce
+//	kgetrain -dataset fb250k-mini -nodes 16 -comm dynamic -rs -quant 1bit-max -rp -ss -negs 5
+//	kgetrain -data ./mydataset -nodes 4    # OpenKE-layout directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kgedist/internal/core"
+	"kgedist/internal/grad"
+	"kgedist/internal/kg"
+	"kgedist/internal/model"
+	"kgedist/internal/trace"
+)
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "fb15k-mini", "synthetic preset: fb15k-mini, fb250k-mini, fb15k-full, fb250k-full")
+		dataDir   = flag.String("data", "", "load an OpenKE-layout dataset directory instead of a preset")
+		namedDir  = flag.String("nameddata", "", "load a Freebase-text-layout directory (train.txt/valid.txt/test.txt of name triples, as FB15K is distributed)")
+		nodes     = flag.Int("nodes", 1, "simulated cluster size")
+		modelName = flag.String("model", "complex", "model: complex, distmult, transe, rotate, transh, simple")
+		lossName  = flag.String("loss", "logistic", "objective: logistic, margin")
+		margin    = flag.Float64("margin", 1.0, "ranking margin for -loss margin")
+		dim       = flag.Int("dim", 32, "embedding dimension")
+		optName   = flag.String("opt", "adam", "optimizer: adam, adagrad, sgd")
+		batch     = flag.Int("batch", 2000, "per-worker batch size")
+		lr        = flag.Float64("lr", 0.01, "base learning rate (scaled by min(4, nodes))")
+		epochs    = flag.Int("epochs", 80, "maximum epochs")
+		comm      = flag.String("comm", "allreduce", "gradient exchange: allreduce, allgather, dynamic")
+		probe     = flag.Int("probe", 10, "dynamic probe period k")
+		rs        = flag.Bool("rs", false, "random selection of gradient vectors")
+		quant     = flag.String("quant", "none", "quantization: none, 1bit-max, 1bit-avg, 2bit")
+		ef        = flag.Bool("ef", false, "error-feedback residuals for quantization")
+		rp        = flag.Bool("rp", false, "relation partition")
+		ss        = flag.Bool("ss", false, "negative sample selection (train hardest of n)")
+		negs      = flag.Int("negs", 1, "negative samples n per positive")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		save      = flag.String("save", "", "write the trained model to this checkpoint file")
+		traceOut  = flag.String("trace", "", "write a JSONL run trace to this file")
+	)
+	flag.Parse()
+
+	d, err := loadDataset(*dataset, *dataDir, *namedDir, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.ModelName = *modelName
+	cfg.Dim = *dim
+	cfg.OptimizerName = *optName
+	cfg.LossName = *lossName
+	cfg.Margin = *margin
+	cfg.BatchSize = *batch
+	cfg.BaseLR = *lr
+	cfg.MaxEpochs = *epochs
+	cfg.ProbeEvery = *probe
+	cfg.ErrorFeedback = *ef
+	cfg.RelationPartition = *rp
+	cfg.NegSelect = *ss
+	cfg.NegSamples = *negs
+	cfg.Seed = *seed
+	switch *comm {
+	case "allreduce":
+		cfg.Comm = core.CommAllReduce
+	case "allgather":
+		cfg.Comm = core.CommAllGather
+	case "dynamic":
+		cfg.Comm = core.CommDynamic
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -comm %q\n", *comm)
+		os.Exit(1)
+	}
+	if *rs {
+		cfg.Select = grad.SelectBernoulli
+	}
+	switch *quant {
+	case "none":
+	case "1bit-max":
+		cfg.Quant = grad.OneBitMax
+	case "1bit-avg":
+		cfg.Quant = grad.OneBitAvg
+	case "2bit":
+		cfg.Quant = grad.TwoBitTernary
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -quant %q\n", *quant)
+		os.Exit(1)
+	}
+
+	fmt.Printf("dataset %s: %d entities, %d relations, %d/%d/%d train/valid/test\n",
+		d.Name, d.NumEntities, d.NumRelations, len(d.Train), len(d.Valid), len(d.Test))
+	fmt.Printf("training %s (%s) on %d node(s), strategy %s\n",
+		cfg.ModelName, cfg.OptimizerName, *nodes, cfg.StrategyLabel())
+
+	res, err := core.Train(cfg, d, *nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nconverged after %d epochs\n", res.Epochs)
+	fmt.Printf("total training time   %.3f virtual hours (%.1f s/epoch avg)\n",
+		res.TotalHours, res.AvgEpochSeconds())
+	fmt.Printf("communication         %.3f virtual hours, %.1f MB moved (%.1f MB relation)\n",
+		res.CommHours, float64(res.CommBytes)/1e6, float64(res.RelationCommBytes)/1e6)
+	if res.SwitchedAtEpoch > 0 {
+		fmt.Printf("dynamic switch        all-gather from epoch %d\n", res.SwitchedAtEpoch)
+	}
+	fmt.Printf("test TCA              %.1f%%\n", res.TCA)
+	fmt.Printf("test filtered MRR     %.3f (Hits@10 %.3f)\n", res.MRR, res.Hits10)
+	if *save != "" {
+		m := model.New(cfg.ModelName, cfg.Dim)
+		if err := model.SaveCheckpoint(*save, m, res.FinalParams); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("checkpoint saved to   %s\n", *save)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		meta := trace.Meta{Dataset: d.Name, Strategy: res.Strategy, Nodes: *nodes, Seed: *seed}
+		if err := trace.WriteRun(f, meta, res); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to      %s\n", *traceOut)
+	}
+}
+
+func loadDataset(preset, dir, namedDir string, seed uint64) (*kg.Dataset, error) {
+	if namedDir != "" {
+		d, _, err := kg.LoadNamedDir(namedDir)
+		return d, err
+	}
+	if dir != "" {
+		return kg.LoadDir(dir)
+	}
+	switch preset {
+	case "fb15k-mini":
+		return kg.Generate(kg.FB15KMini(seed)), nil
+	case "fb250k-mini":
+		return kg.Generate(kg.FB250KMini(seed)), nil
+	case "fb15k-full":
+		return kg.Generate(kg.FB15KFull(seed)), nil
+	case "fb250k-full":
+		return kg.Generate(kg.FB250KFull(seed)), nil
+	}
+	return nil, fmt.Errorf("unknown dataset preset %q", preset)
+}

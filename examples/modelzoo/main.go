@@ -1,0 +1,57 @@
+// Model zoo: train every implemented KGE model on the same knowledge graph
+// with the same distributed configuration and compare accuracy — the
+// paper's future-work direction ("explore our methods with other KGE
+// models") made concrete. All five strategies except negative-sample
+// selection are model-agnostic; this example runs with RS + 1-bit + RP on
+// two simulated nodes for each model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kgedist/internal/core"
+	"kgedist/internal/grad"
+	"kgedist/internal/kg"
+)
+
+func main() {
+	d := kg.Generate(kg.GenConfig{
+		Name:      "zoo-demo",
+		Entities:  1200,
+		Relations: 100,
+		Triples:   12000,
+		Seed:      31,
+	})
+	fmt.Printf("dataset: %d entities, %d relations, %d train triples\n\n",
+		d.NumEntities, d.NumRelations, len(d.Train))
+	fmt.Printf("%-10s %8s %8s %8s %10s\n", "model", "epochs", "TCA", "MRR", "comm MB")
+
+	for _, name := range []string{"complex", "distmult", "transe", "rotate", "transh", "simple"} {
+		cfg := core.DefaultConfig()
+		cfg.ModelName = name
+		cfg.Dim = 16
+		cfg.BatchSize = 1000
+		cfg.BaseLR = 0.02
+		cfg.MaxEpochs = 25
+		cfg.StopPatience = 25
+		cfg.TestSample = 80
+		cfg.Comm = core.CommAllGather
+		cfg.Select = grad.SelectBernoulli
+		cfg.Quant = grad.OneBitMax
+		cfg.RelationPartition = true
+		cfg.NegSamples = 2
+		cfg.Seed = 31
+		if name == "transe" || name == "rotate" || name == "transh" {
+			// Distance-based models favor the margin objective.
+			cfg.LossName = "margin"
+			cfg.Margin = 2
+		}
+		res, err := core.Train(cfg, d, 2)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-10s %8d %7.1f%% %8.3f %10.1f\n",
+			name, res.Epochs, res.TCA, res.MRR, float64(res.CommBytes)/1e6)
+	}
+}

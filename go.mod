@@ -1,0 +1,3 @@
+module kgedist
+
+go 1.24

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"kgedist/internal/grad"
+	"kgedist/internal/mpi"
+	"kgedist/internal/xrand"
+)
+
+// Tags used for per-matrix communication accounting. RelationCommBytes in
+// Result comes straight from these counters, making the §4.4 claim (zero
+// relation communication under RP) directly measurable.
+const (
+	tagEntity   = "entity"
+	tagRelation = "relation"
+	tagProbe    = "probe"
+)
+
+// exchanger performs one rank's gradient exchanges, owning the scratch
+// buffers, quantization RNG and error-feedback residuals.
+type exchanger struct {
+	cfg     *Config
+	comm    *mpi.Comm
+	width   int
+	numEnt  int
+	numRel  int
+	entBuf  []float32 // dense all-reduce scratch, numEnt*width
+	relBuf  []float32 // dense all-reduce scratch, numRel*width
+	qRng    *xrand.RNG
+	entRes  *grad.Residual
+	relRes  *grad.Residual
+	scratch []float32
+}
+
+func newExchanger(cfg *Config, comm *mpi.Comm, width, numEnt, numRel int, rng *xrand.RNG) *exchanger {
+	x := &exchanger{
+		cfg:    cfg,
+		comm:   comm,
+		width:  width,
+		numEnt: numEnt,
+		numRel: numRel,
+		qRng:   rng,
+	}
+	if cfg.ErrorFeedback {
+		x.entRes = grad.NewResidual(width)
+		x.relRes = grad.NewResidual(width)
+	}
+	return x
+}
+
+// scaleRows divides every row by the world size, matching Horovod's
+// gradient averaging.
+func scaleRows(g *grad.SparseGrad, p int) {
+	if p <= 1 {
+		return
+	}
+	inv := 1 / float32(p)
+	g.ForEach(func(_ int32, row []float32) {
+		for i := range row {
+			row[i] *= inv
+		}
+	})
+}
+
+// allReduce densifies the sparse gradient, ring-all-reduces it, and returns
+// the averaged aggregate. Full precision by construction: summing quantized
+// payloads element-wise is not defined, which is why the paper's quantized
+// exchanges ride the all-gather path.
+func (x *exchanger) allReduce(g *grad.SparseGrad, rows int, buf *[]float32, tag string) (*grad.SparseGrad, float64) {
+	if *buf == nil {
+		*buf = make([]float32, rows*x.width)
+	}
+	g.ScatterDense(*buf)
+	cost := x.comm.AllReduceSum(*buf, tag)
+	agg := grad.NewSparseGrad(x.width)
+	agg.AccumulateDense(*buf)
+	scaleRows(agg, x.comm.Size())
+	return agg, cost
+}
+
+// allGather exchanges only non-zero rows. With quantization enabled the
+// rows are encoded to the configured scheme (1 or 2 bits per value plus one
+// scale per row) before hitting the wire.
+func (x *exchanger) allGather(g *grad.SparseGrad, res *grad.Residual, tag string) (*grad.SparseGrad, float64) {
+	agg := grad.NewSparseGrad(x.width)
+	var cost float64
+	if x.cfg.ValueSparsify > 0 {
+		vs := grad.SparsifyValues(g, x.cfg.ValueSparsify)
+		payloads, c := x.comm.AllGatherBytes(vs.Marshal(), tag)
+		cost = c
+		for _, p := range payloads {
+			dec, err := grad.UnmarshalValueSparse(p)
+			if err != nil {
+				panic(fmt.Sprintf("core: corrupt value-sparse payload: %v", err))
+			}
+			dec.AddInto(agg)
+		}
+		scaleRows(agg, x.comm.Size())
+		return agg, cost
+	}
+	if x.cfg.Quant == grad.NoQuant {
+		idx, flat := g.Flatten()
+		allIdx, allVals, c := x.comm.AllGatherRows(idx, flat, tag)
+		cost = c
+		for src := range allIdx {
+			agg.AddFlat(allIdx[src], allVals[src])
+		}
+	} else {
+		if res != nil {
+			res.AddInto(g)
+		}
+		enc := grad.Quantize(g, x.cfg.Quant, x.qRng)
+		if res != nil {
+			res.Update(g, enc)
+		}
+		payloads, c := x.comm.AllGatherBytes(enc.Marshal(), tag)
+		cost = c
+		for _, p := range payloads {
+			dec, err := grad.Unmarshal(p)
+			if err != nil {
+				panic(fmt.Sprintf("core: corrupt quantized payload: %v", err))
+			}
+			grad.Dequantize(dec, agg)
+		}
+	}
+	scaleRows(agg, x.comm.Size())
+	return agg, cost
+}
+
+// exchange aggregates the entity and relation gradients under the given
+// mode ("allreduce" or "allgather"). Under relation partition the relation
+// gradient is returned as-is: rank-local, full precision, zero cost.
+func (x *exchanger) exchange(entG, relG *grad.SparseGrad, mode string) (entAgg, relAgg *grad.SparseGrad, cost float64) {
+	switch mode {
+	case "allreduce":
+		entAgg, cost = x.allReduce(entG, x.numEnt, &x.entBuf, tagEntity)
+	case "allgather":
+		entAgg, cost = x.allGather(entG, x.entRes, tagEntity)
+	default:
+		panic("core: unknown exchange mode " + mode)
+	}
+	if x.cfg.RelationPartition {
+		relAgg = relG // rank-private, never communicated (§4.4)
+		return entAgg, relAgg, cost
+	}
+	var relCost float64
+	switch mode {
+	case "allreduce":
+		relAgg, relCost = x.allReduce(relG, x.numRel, &x.relBuf, tagRelation)
+	case "allgather":
+		relAgg, relCost = x.allGather(relG, x.relRes, tagRelation)
+	}
+	return entAgg, relAgg, cost + relCost
+}
+
+// probeAllGather performs a throwaway all-gather of the same payloads to
+// measure its cost for the dynamic strategy's §4.1 probe. The results are
+// discarded; error-feedback residuals are left untouched.
+func (x *exchanger) probeAllGather(entG, relG *grad.SparseGrad) float64 {
+	probe := func(g *grad.SparseGrad) float64 {
+		if x.cfg.Quant == grad.NoQuant {
+			idx, flat := g.Flatten()
+			_, _, c := x.comm.AllGatherRows(idx, flat, tagProbe)
+			return c
+		}
+		enc := grad.Quantize(g, x.cfg.Quant, x.qRng)
+		_, c := x.comm.AllGatherBytes(enc.Marshal(), tagProbe)
+		return c
+	}
+	cost := probe(entG)
+	if !x.cfg.RelationPartition {
+		cost += probe(relG)
+	}
+	return cost
+}

@@ -1,0 +1,83 @@
+package core
+
+import "kgedist/internal/model"
+
+// EpochStats records one epoch's observables — the raw series behind the
+// paper's figures.
+type EpochStats struct {
+	// Epoch is 1-based.
+	Epoch int
+	// Seconds is the epoch's virtual duration (compute + communication).
+	Seconds float64
+	// CommSeconds is the virtual time inside collectives this epoch.
+	CommSeconds float64
+	// CommBytes is the payload volume moved this epoch.
+	CommBytes int64
+	// ValAccuracy is the validation pairwise-ranking accuracy in percent
+	// (the convergence metric driving the LR schedule and early stop).
+	ValAccuracy float64
+	// ValTCA is the validation triple-classification accuracy in percent
+	// (recorded when TrackEpochStats; used by the TCA-vs-epoch figures).
+	ValTCA float64
+	// NonZeroGradRows is the average per-batch count of non-zero entity
+	// gradient rows before selection (Figure 2's quantity).
+	NonZeroGradRows float64
+	// Sparsity is the fraction of gradient rows dropped by selection.
+	Sparsity float64
+	// Mode is the exchange used this epoch ("allreduce" or "allgather").
+	Mode string
+	// LR is the learning rate in effect.
+	LR float64
+}
+
+// Result summarizes a training run; fields mirror the paper's table columns.
+type Result struct {
+	// Strategy is the paper-style label, e.g. "DRS+1-bit+RP+SS".
+	Strategy string
+	// Nodes is the rank count P.
+	Nodes int
+	// Epochs is N, the epochs run until convergence (or the cap).
+	Epochs int
+	// TotalHours is TT, the virtual training time in hours.
+	TotalHours float64
+	// TCA is the final test triple-classification accuracy (percent).
+	TCA float64
+	// MRR is the final filtered mean reciprocal rank.
+	MRR float64
+	// Hits1, Hits3 and Hits10 are the final filtered Hits@K.
+	Hits1  float64
+	Hits3  float64
+	Hits10 float64
+	// MR is the final filtered mean rank.
+	MR float64
+	// CommBytes is the total payload volume of the run.
+	CommBytes int64
+	// CommHours is the virtual time spent communicating.
+	CommHours float64
+	// RelationCommBytes is the share of CommBytes carrying relation
+	// gradients (zero under relation partition — the §4.4 claim).
+	RelationCommBytes int64
+	// SwitchedAtEpoch is the epoch the dynamic strategy switched to
+	// all-gather, or 0 if it never switched / was not dynamic.
+	SwitchedAtEpoch int
+	// PerEpoch holds the per-epoch series when TrackEpochStats was set
+	// (always includes at least Seconds/ValAccuracy/Mode).
+	PerEpoch []EpochStats
+	// FinalParams is the merged trained model (entity rows from the synced
+	// replicas, relation rows from their owners under relation partition),
+	// ready for evaluation or checkpointing. Excluded from JSON traces:
+	// checkpoints carry the weights.
+	FinalParams *model.Params `json:"-"`
+}
+
+// AvgEpochSeconds returns the mean virtual epoch time.
+func (r *Result) AvgEpochSeconds() float64 {
+	if len(r.PerEpoch) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range r.PerEpoch {
+		s += e.Seconds
+	}
+	return s / float64(len(r.PerEpoch))
+}

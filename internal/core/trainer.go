@@ -1,0 +1,534 @@
+package core
+
+import (
+	"fmt"
+
+	"kgedist/internal/eval"
+	"kgedist/internal/grad"
+	"kgedist/internal/kg"
+	"kgedist/internal/model"
+	"kgedist/internal/mpi"
+	"kgedist/internal/opt"
+	"kgedist/internal/simnet"
+	"kgedist/internal/tensor"
+	"kgedist/internal/xrand"
+)
+
+// zeroRowEps: gradient rows whose 2-norm falls below this are treated as
+// zero and dropped before communication — the sparse-update behaviour whose
+// growth over training motivates the dynamic all-reduce/all-gather strategy
+// (Figure 2 of the paper; see also Gupta & Vadhiyar's zero-row elimination).
+const zeroRowEps = 1e-8
+
+// Train runs a full distributed training job over the dataset with the
+// given number of simulated nodes and returns the paper-style result
+// (training time, epochs, TCA, MRR, communication volumes).
+func Train(cfg Config, d *kg.Dataset, nodes int) (*Result, error) {
+	res, _, _, err := trainInternal(cfg, d, nodes)
+	return res, err
+}
+
+// trainInternal is Train plus white-box access to the per-rank replicas and
+// the relation-owner table, used by the replica-consistency tests.
+func trainInternal(cfg Config, d *kg.Dataset, nodes int) (*Result, []*model.Params, []int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if nodes < 1 {
+		return nil, nil, nil, fmt.Errorf("core: nodes must be >= 1, got %d", nodes)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(d.Train) == 0 {
+		return nil, nil, nil, fmt.Errorf("core: empty training split")
+	}
+
+	m := model.New(cfg.ModelName, cfg.Dim)
+	width := m.Width()
+
+	// ---- Data distribution (uniform baseline or relation partition) ----
+	baseRng := xrand.New(cfg.Seed)
+	shuffled := append([]kg.Triple(nil), d.Train...)
+	baseRng.Split(77).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	var shards [][]kg.Triple
+	var relOwner []int
+	if cfg.RelationPartition {
+		if cfg.PartitionAlgo == "lpt" {
+			shards = kg.RelationPartitionLPT(shuffled, d.NumRelations, nodes)
+		} else {
+			shards = kg.RelationPartition(shuffled, d.NumRelations, nodes)
+		}
+		relOwner = make([]int, d.NumRelations)
+		for r := range relOwner {
+			relOwner[r] = -1
+		}
+		for rank, shard := range shards {
+			for _, t := range shard {
+				relOwner[t.R] = rank
+			}
+		}
+	} else {
+		shards = kg.UniformPartition(shuffled, nodes)
+	}
+	maxShard := 0
+	for _, s := range shards {
+		if len(s) > maxShard {
+			maxShard = len(s)
+		}
+	}
+	batchesPerEpoch := (maxShard + cfg.BatchSize - 1) / cfg.BatchSize
+
+	// Validation shards: under RP a rank can only score relations it owns
+	// (other replicas' rows are stale by design), so split by owner.
+	valShards := make([][]kg.Triple, nodes)
+	if relOwner != nil {
+		for _, t := range d.Valid {
+			owner := relOwner[t.R]
+			if owner < 0 {
+				owner = 0
+			}
+			valShards[owner] = append(valShards[owner], t)
+		}
+	} else {
+		valShards = kg.UniformPartition(d.Valid, nodes)
+	}
+	perRankValCap := 0
+	if cfg.ValSample > 0 {
+		perRankValCap = cfg.ValSample/nodes + 1
+	}
+
+	// ---- Cluster, world, replicated parameters ----
+	cluster := simnet.NewCluster(nodes, simnet.XC40Params())
+	if cfg.StragglerSlowdown > 1 {
+		cluster.SetComputeSpeed(0, 1/cfg.StragglerSlowdown)
+	}
+	world := mpi.NewWorld(cluster)
+	var proto *model.Params
+	if cfg.WarmStart != nil {
+		if cfg.WarmStart.Entity.Rows != d.NumEntities ||
+			cfg.WarmStart.Relation.Rows != d.NumRelations ||
+			cfg.WarmStart.Entity.Cols != width {
+			return nil, nil, nil, fmt.Errorf("core: WarmStart shape (%dx%d entities, %d relations) does not match dataset/model (%dx%d, %d)",
+				cfg.WarmStart.Entity.Rows, cfg.WarmStart.Entity.Cols, cfg.WarmStart.Relation.Rows,
+				d.NumEntities, width, d.NumRelations)
+		}
+		proto = cfg.WarmStart.Clone()
+	} else {
+		proto = model.NewParams(m, d.NumEntities, d.NumRelations)
+		proto.Init(m, xrand.New(cfg.Seed).Split(0))
+	}
+	perRank := make([]*model.Params, nodes)
+	for r := range perRank {
+		perRank[r] = proto.Clone()
+	}
+
+	res := &Result{Strategy: cfg.StrategyLabel(), Nodes: nodes}
+	run := &trainRun{
+		cfg:             &cfg,
+		d:               d,
+		m:               m,
+		width:           width,
+		shards:          shards,
+		valShards:       valShards,
+		perRankValCap:   perRankValCap,
+		relOwner:        relOwner,
+		batchesPerEpoch: batchesPerEpoch,
+		cluster:         cluster,
+		perRank:         perRank,
+		res:             res,
+	}
+	world.Run(run.worker)
+
+	// ---- Final evaluation on the merged model ----
+	merged := mergeParams(m, perRank, relOwner)
+	filter := kg.NewFilterIndex(d)
+	evalRng := xrand.New(cfg.Seed + 999)
+	lp := eval.LinkPrediction(m, merged, d, filter, cfg.TestSample, evalRng)
+	tc := eval.TripleClassification(m, merged, d, filter, evalRng)
+	res.MRR = lp.FilteredMRR
+	res.Hits1 = lp.Hits1
+	res.Hits3 = lp.Hits3
+	res.Hits10 = lp.Hits10
+	res.MR = lp.MR
+	res.TCA = tc.Accuracy
+	res.FinalParams = merged
+	st := cluster.Stats()
+	res.CommBytes = st.BytesMoved
+	res.CommHours = st.CommSeconds / 3600
+	res.RelationCommBytes = cluster.BytesByTag()[tagRelation]
+	res.TotalHours = cluster.MaxTime() / 3600
+	return res, perRank, relOwner, nil
+}
+
+// trainRun carries the state shared (read-only, or rank-0-written between
+// barriers) across rank goroutines.
+type trainRun struct {
+	cfg             *Config
+	d               *kg.Dataset
+	m               model.Model
+	width           int
+	shards          [][]kg.Triple
+	valShards       [][]kg.Triple
+	perRankValCap   int
+	relOwner        []int
+	batchesPerEpoch int
+	cluster         *simnet.Cluster
+	perRank         []*model.Params
+	res             *Result
+}
+
+// worker is the per-rank training loop.
+func (t *trainRun) worker(c *mpi.Comm) {
+	cfg := t.cfg
+	rank := c.Rank()
+	nodes := c.Size()
+	params := t.perRank[rank]
+	shard := t.shards[rank]
+
+	entOpt := opt.NewByName(cfg.OptimizerName, t.d.NumEntities, t.width)
+	relOpt := opt.NewByName(cfg.OptimizerName, t.d.NumRelations, t.width)
+	plateau := opt.NewPlateau(
+		opt.ScaledLR(cfg.BaseLR, nodes, cfg.LRScaleCap),
+		cfg.LRFactor, cfg.MinLR, cfg.Tolerance)
+
+	rng := xrand.New(cfg.Seed).Split(uint64(rank + 1))
+	var sampler model.Corrupter
+	if cfg.NegSampling == "degree" {
+		sampler = model.NewDegreeSampler(t.d, rng.Split(2))
+	} else {
+		sampler = model.NewNegSampler(t.d.NumEntities, rng.Split(2))
+	}
+	selRng := rng.Split(3)
+	x := newExchanger(cfg, c, t.width, t.d.NumEntities, t.d.NumRelations, rng.Split(4))
+
+	entG := grad.NewSparseGrad(t.width)
+	relG := grad.NewSparseGrad(t.width)
+	negBuf := make([]kg.Triple, 0, cfg.NegSamples)
+	order := make([]int, len(shard))
+	for i := range order {
+		order[i] = i
+	}
+
+	mode := "allreduce"
+	if cfg.Comm == CommAllGather {
+		mode = "allgather"
+	}
+	switched := 0
+	best := -1.0
+	sinceBest := 0
+	var prevStats simnet.Stats
+	var prevTime float64
+
+	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
+		// Epoch-start timestamp (rank 0 reads between barriers so no rank
+		// is mid-charge).
+		c.Barrier()
+		if rank == 0 {
+			prevTime = t.cluster.MaxTime()
+			prevStats = t.cluster.Stats()
+		}
+		c.Barrier()
+
+		epochRng := rng.Split(uint64(100 + epoch))
+		epochRng.ShuffleInts(order)
+
+		var nnzSum float64
+		var selBefore, selDropped int
+		probed := false
+		lr := float32(plateau.LR())
+
+		for b := 0; b < t.batchesPerEpoch; b++ {
+			entG.Clear()
+			relG.Clear()
+			var flops float64
+			if len(shard) > 0 {
+				// Small shards (relation partition can be uneven) are not
+				// oversampled: a batch never exceeds the shard size.
+				nIter := cfg.BatchSize
+				if len(shard) < nIter {
+					nIter = len(shard)
+				}
+				for i := 0; i < nIter; i++ {
+					pos := shard[order[(b*cfg.BatchSize+i)%len(shard)]]
+					flops += t.trainExample(params, pos, sampler, entG, relG, negBuf)
+				}
+			}
+			// Drop numerically-zero rows (saturated triples contribute
+			// vanishing gradients as training converges — Figure 2).
+			flops += dropZeroRows(entG)
+			flops += dropZeroRows(relG)
+			nnzSum += float64(entG.Len())
+
+			// Random selection of gradient vectors (§4.2) applies to the
+			// communicated matrices; relation gradients under RP stay
+			// local and full precision (§4.4).
+			if cfg.Select != grad.SelectAll {
+				st := grad.Select(entG, cfg.Select, selRng)
+				selBefore += st.Before
+				selDropped += st.Dropped
+				flops += float64(st.Before*t.width) * 2
+				if !cfg.RelationPartition {
+					st = grad.Select(relG, cfg.Select, selRng)
+					selBefore += st.Before
+					selDropped += st.Dropped
+					flops += float64(st.Before*t.width) * 2
+				}
+			}
+			t.cluster.AddCompute(rank, flops)
+
+			if cfg.SyncEvery > 1 {
+				// Local-SGD mode: apply the rank-local gradients without
+				// exchange, then periodically average the replicas.
+				applyFlops := t.applyGrads(entOpt, params.Entity, entG, lr)
+				applyFlops += t.applyGrads(relOpt, params.Relation, relG, lr)
+				t.cluster.AddCompute(rank, applyFlops)
+				if (b+1)%cfg.SyncEvery == 0 || b == t.batchesPerEpoch-1 {
+					c.AllReduceSum(params.Entity.Data, tagEntity)
+					tensor.Scale(1/float32(nodes), params.Entity.Data)
+					if !cfg.RelationPartition {
+						c.AllReduceSum(params.Relation.Data, tagRelation)
+						tensor.Scale(1/float32(nodes), params.Relation.Data)
+					}
+				}
+				continue
+			}
+
+			entAgg, relAgg, cost := x.exchange(entG, relG, mode)
+
+			// Dynamic strategy probe (§4.1): on every ProbeEvery-th epoch,
+			// while still in all-reduce, time one all-gather of the same
+			// payload and switch permanently if it is cheaper.
+			if cfg.Comm == CommDynamic && mode == "allreduce" && !probed && epoch%cfg.ProbeEvery == 0 {
+				probed = true
+				if gCost := x.probeAllGather(entG, relG); gCost < cost {
+					mode = "allgather"
+					if switched == 0 {
+						switched = epoch
+					}
+				}
+			}
+
+			// Apply the aggregated gradients with decoupled L2 decay.
+			applyFlops := t.applyGrads(entOpt, params.Entity, entAgg, lr)
+			applyFlops += t.applyGrads(relOpt, params.Relation, relAgg, lr)
+			t.cluster.AddCompute(rank, applyFlops)
+		}
+
+		// Validation: pairwise ranking accuracy over the rank's validation
+		// shard, reduced globally so all ranks share the decision.
+		valRng := xrand.New(cfg.Seed).Split(uint64(5000 + epoch)).Split(uint64(rank))
+		correct, total := t.localValAccuracy(params, rank, valRng)
+		gc := c.AllReduceScalar(float64(correct), mpi.OpSum)
+		gt := c.AllReduceScalar(float64(total), mpi.OpSum)
+		valAcc := 50.0
+		if gt > 0 {
+			valAcc = 100 * gc / gt
+		}
+
+		// Epoch-end timestamp and per-epoch record.
+		c.Barrier()
+		if rank == 0 {
+			now := t.cluster.MaxTime()
+			st := t.cluster.Stats()
+			es := EpochStats{
+				Epoch:       epoch,
+				Seconds:     now - prevTime,
+				CommSeconds: st.CommSeconds - prevStats.CommSeconds,
+				CommBytes:   st.BytesMoved - prevStats.BytesMoved,
+				ValAccuracy: valAcc,
+				Mode:        mode,
+				LR:          plateau.LR(),
+			}
+			if t.batchesPerEpoch > 0 {
+				es.NonZeroGradRows = nnzSum / float64(t.batchesPerEpoch)
+			}
+			if selBefore > 0 {
+				es.Sparsity = float64(selDropped) / float64(selBefore)
+			}
+			t.res.PerEpoch = append(t.res.PerEpoch, es)
+			t.res.Epochs = epoch
+			t.res.SwitchedAtEpoch = switched
+		}
+		c.Barrier()
+
+		if cfg.TrackEpochStats {
+			// Rank 0 computes the real validation TCA on the merged model
+			// while the others hold at the barrier (evaluation cost is
+			// excluded from the virtual clock; see EXPERIMENTS.md).
+			if rank == 0 {
+				merged := mergeParams(t.m, t.perRank, t.relOwner)
+				t.res.PerEpoch[len(t.res.PerEpoch)-1].ValTCA =
+					validationTCA(t.m, merged, t.d, cfg.ValSample, cfg.Seed+uint64(epoch))
+			}
+			c.Barrier()
+		}
+
+		plateau.Observe(valAcc)
+		if valAcc > best+1e-12 {
+			best = valAcc
+			sinceBest = 0
+		} else {
+			sinceBest++
+		}
+		if sinceBest >= cfg.StopPatience {
+			break
+		}
+		// Virtual-time budget: clocks are identical after the barrier, so
+		// every rank reaches the same verdict.
+		if cfg.MaxVirtualHours > 0 && t.cluster.MaxTime() > cfg.MaxVirtualHours*3600 {
+			break
+		}
+	}
+}
+
+// trainExample processes one positive triple and its negatives under the
+// configured objective and sampling scheme, returning the flops spent.
+func (t *trainRun) trainExample(p *model.Params, pos kg.Triple, sampler model.Corrupter, entG, relG *grad.SparseGrad, negBuf []kg.Triple) float64 {
+	cfg := t.cfg
+	var flops float64
+	var negs []kg.Triple
+	if cfg.NegSelect {
+		neg, extra := model.SelectHardest(t.m, p, sampler, pos, cfg.NegSamples, negBuf)
+		flops += float64(extra) * t.m.ScoreFlops()
+		negs = append(negBuf[:0], neg)
+	} else {
+		negs = sampler.CorruptN(pos, cfg.NegSamples, negBuf)
+	}
+	if cfg.LossName == "margin" {
+		// Pairwise margin ranking: L = max(0, gamma - s(pos) + s(neg)).
+		sPos := t.m.Score(p, pos)
+		flops += t.m.ScoreFlops()
+		for _, neg := range negs {
+			sNeg := t.m.Score(p, neg)
+			flops += t.m.ScoreFlops()
+			if float32(cfg.Margin)-sPos+sNeg > 0 {
+				t.m.AccumulateScoreGrad(p, pos, -1, entG.Row(pos.H), relG.Row(pos.R), entG.Row(pos.T))
+				t.m.AccumulateScoreGrad(p, neg, 1, entG.Row(neg.H), relG.Row(neg.R), entG.Row(neg.T))
+				flops += 2 * t.m.GradFlops()
+			}
+		}
+		return flops
+	}
+	flops += t.accumulateTriple(p, pos, 1, entG, relG)
+	for _, neg := range negs {
+		flops += t.accumulateTriple(p, neg, -1, entG, relG)
+	}
+	return flops
+}
+
+// accumulateTriple adds the loss gradient of one labeled triple into the
+// sparse gradients and returns the flops spent.
+func (t *trainRun) accumulateTriple(p *model.Params, tr kg.Triple, y float32, entG, relG *grad.SparseGrad) float64 {
+	score := t.m.Score(p, tr)
+	coef := model.LogisticLossGrad(score, y)
+	t.m.AccumulateScoreGrad(p, tr, coef, entG.Row(tr.H), relG.Row(tr.R), entG.Row(tr.T))
+	return t.m.ScoreFlops() + t.m.GradFlops()
+}
+
+// dropZeroRows removes rows with negligible norm, returning the flops spent
+// scanning.
+func dropZeroRows(g *grad.SparseGrad) float64 {
+	var drop []int32
+	g.ForEach(func(id int32, row []float32) {
+		if tensor.Nrm2(row) <= zeroRowEps {
+			drop = append(drop, id)
+		}
+	})
+	for _, id := range drop {
+		g.Drop(id)
+	}
+	return float64(g.Len()+len(drop)) * float64(g.Width()) * 2
+}
+
+// applyGrads feeds aggregated rows to the optimizer with decoupled L2 decay
+// and returns the flops spent.
+func (t *trainRun) applyGrads(o opt.Optimizer, mat *tensor.Matrix, agg *grad.SparseGrad, lr float32) float64 {
+	if agg.Len() == 0 {
+		return 0
+	}
+	o.BeginStep()
+	decay := 1 - 2*float32(t.cfg.L2)*lr
+	clip := float32(t.cfg.ClipNorm)
+	agg.ForEach(func(id int32, row []float32) {
+		if clip > 0 {
+			if n := tensor.Nrm2(row); n > clip {
+				tensor.Scale(clip/n, row)
+			}
+		}
+		pr := mat.Row(int(id))
+		o.ApplyRow(id, pr, row, lr)
+		if t.cfg.L2 > 0 {
+			tensor.Scale(decay, pr)
+		}
+	})
+	return float64(agg.Len()*t.width) * 12
+}
+
+// localValAccuracy scores the rank's validation shard: a positive counts as
+// correct when it outscores a fresh corruption.
+func (t *trainRun) localValAccuracy(p *model.Params, rank int, rng *xrand.RNG) (correct, total int) {
+	shard := t.valShards[rank]
+	n := len(shard)
+	if t.perRankValCap > 0 && n > t.perRankValCap {
+		n = t.perRankValCap
+	}
+	sampler := model.NewNegSampler(t.d.NumEntities, rng)
+	for i := 0; i < n; i++ {
+		tr := shard[i]
+		neg := sampler.Corrupt(tr)
+		if t.m.Score(p, tr) > t.m.Score(p, neg) {
+			correct++
+		}
+		total++
+	}
+	return correct, total
+}
+
+// mergeParams builds a single evaluation model from the replicas: entities
+// are identical everywhere; relation rows under RP are taken from their
+// owning rank (unowned relations keep their shared initialization).
+func mergeParams(m model.Model, perRank []*model.Params, relOwner []int) *model.Params {
+	merged := perRank[0].Clone()
+	if relOwner == nil {
+		return merged
+	}
+	for rel, owner := range relOwner {
+		if owner > 0 {
+			copy(merged.Relation.Row(rel), perRank[owner].Relation.Row(rel))
+		}
+	}
+	return merged
+}
+
+// validationTCA computes triple-classification accuracy on the validation
+// split (thresholds fit on one half, accuracy measured on the other),
+// subsampled to at most sample triples.
+func validationTCA(m model.Model, p *model.Params, d *kg.Dataset, sample int, seed uint64) float64 {
+	rng := xrand.New(seed)
+	valid := d.Valid
+	if sample > 0 && len(valid) > sample {
+		perm := rng.Perm(len(valid))
+		sub := make([]kg.Triple, sample)
+		for i := range sub {
+			sub[i] = valid[perm[i]]
+		}
+		valid = sub
+	}
+	if len(valid) < 4 {
+		return 0
+	}
+	half := len(valid) / 2
+	tmp := &kg.Dataset{
+		Name:         d.Name,
+		NumEntities:  d.NumEntities,
+		NumRelations: d.NumRelations,
+		Train:        d.Train,
+		Valid:        valid[:half],
+		Test:         valid[half:],
+	}
+	f := kg.NewFilterIndex(d)
+	return eval.TripleClassification(m, p, tmp, f, rng).Accuracy
+}

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"kgedist/internal/kg"
+	"kgedist/internal/model"
+	"kgedist/internal/xrand"
+)
+
+func TestCategorizeRelations(t *testing.T) {
+	// Relation 0: one head, one tail per pair (1-1).
+	// Relation 1: one head fanning to many tails (1-N).
+	// Relation 2: many heads converging on one tail (N-1).
+	// Relation 3: many-to-many.
+	// Relation 4: never used (unknown).
+	d := &kg.Dataset{
+		NumEntities:  20,
+		NumRelations: 5,
+		Train: []kg.Triple{
+			{H: 0, R: 0, T: 1}, {H: 2, R: 0, T: 3},
+			{H: 4, R: 1, T: 5}, {H: 4, R: 1, T: 6}, {H: 4, R: 1, T: 7},
+			{H: 8, R: 2, T: 9}, {H: 10, R: 2, T: 9}, {H: 11, R: 2, T: 9},
+			{H: 12, R: 3, T: 13}, {H: 12, R: 3, T: 14},
+			{H: 15, R: 3, T: 13}, {H: 15, R: 3, T: 14},
+		},
+	}
+	got := CategorizeRelations(d)
+	want := []RelationCategory{Cat1To1, Cat1ToN, CatNTo1, CatNToN, CatUnknown}
+	for r, w := range want {
+		if got[r] != w {
+			t.Fatalf("relation %d: got %v, want %v", r, got[r], w)
+		}
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	names := map[RelationCategory]string{
+		Cat1To1: "1-1", Cat1ToN: "1-N", CatNTo1: "N-1", CatNToN: "N-N",
+		CatUnknown: "unknown",
+	}
+	for c, w := range names {
+		if c.String() != w {
+			t.Fatalf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestDetailedLinkPredictionPerfectModel(t *testing.T) {
+	d := &kg.Dataset{
+		NumEntities:  5,
+		NumRelations: 1,
+		Train:        []kg.Triple{{H: 2, R: 0, T: 3}},
+		Test:         []kg.Triple{{H: 0, R: 0, T: 1}},
+	}
+	f := kg.NewFilterIndex(d)
+	m := &fixedModel{scores: map[kg.Triple]float32{{H: 0, R: 0, T: 1}: 9}, def: -1}
+	res := DetailedLinkPrediction(m, nil, d, f, 0, xrand.New(1))
+	if res.Overall.HeadMRR != 1 || res.Overall.TailMRR != 1 {
+		t.Fatalf("perfect model: %+v", res.Overall)
+	}
+	if res.Overall.Triples != 1 {
+		t.Fatalf("triples %d", res.Overall.Triples)
+	}
+	if len(res.ByCategory) != 1 {
+		t.Fatalf("categories: %v", res.ByCategory)
+	}
+}
+
+func TestDetailedLinkPredictionSidesDiffer(t *testing.T) {
+	// A tail corruption outranks the truth but no head corruption does:
+	// tail MRR must be 1/2, head MRR 1.
+	d := &kg.Dataset{
+		NumEntities:  4,
+		NumRelations: 1,
+		Test:         []kg.Triple{{H: 0, R: 0, T: 1}},
+	}
+	f := kg.NewFilterIndex(d)
+	m := &fixedModel{scores: map[kg.Triple]float32{
+		{H: 0, R: 0, T: 1}: 5,
+		{H: 0, R: 0, T: 2}: 7,
+	}, def: -1}
+	res := DetailedLinkPrediction(m, nil, d, f, 0, xrand.New(1))
+	if res.Overall.HeadMRR != 1 {
+		t.Fatalf("head MRR %v", res.Overall.HeadMRR)
+	}
+	if res.Overall.TailMRR != 0.5 {
+		t.Fatalf("tail MRR %v", res.Overall.TailMRR)
+	}
+}
+
+func TestDetailedAgreesWithLinkPrediction(t *testing.T) {
+	// (head+tail)/2 of the detailed result equals the filtered MRR of the
+	// plain evaluator on the same (unsampled) test set.
+	d := kg.Generate(kg.GenConfig{Entities: 150, Relations: 10, Triples: 2500, Seed: 7})
+	f := kg.NewFilterIndex(d)
+	m := model.NewComplEx(4)
+	p := model.NewParams(m, d.NumEntities, d.NumRelations)
+	p.Init(m, xrand.New(9))
+	det := DetailedLinkPrediction(m, p, d, f, 0, xrand.New(1))
+	plain := LinkPrediction(m, p, d, f, 0, xrand.New(1))
+	got := (det.Overall.HeadMRR + det.Overall.TailMRR) / 2
+	if math.Abs(got-plain.FilteredMRR) > 1e-9 {
+		t.Fatalf("detailed %v vs plain filtered %v", got, plain.FilteredMRR)
+	}
+	// Category triple counts sum to the overall count.
+	sum := 0
+	for _, sr := range det.ByCategory {
+		sum += sr.Triples
+	}
+	if sum != det.Overall.Triples {
+		t.Fatalf("category counts %d != overall %d", sum, det.Overall.Triples)
+	}
+}
+
+func TestDetailedSubsample(t *testing.T) {
+	d := kg.Generate(kg.GenConfig{Entities: 100, Relations: 8, Triples: 2000, Seed: 3})
+	f := kg.NewFilterIndex(d)
+	m := model.NewComplEx(4)
+	p := model.NewParams(m, d.NumEntities, d.NumRelations)
+	p.Init(m, xrand.New(2))
+	res := DetailedLinkPrediction(m, p, d, f, 25, xrand.New(4))
+	if res.Overall.Triples != 25 {
+		t.Fatalf("subsample size %d", res.Overall.Triples)
+	}
+}

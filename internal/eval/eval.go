@@ -1,0 +1,272 @@
+// Package eval implements the paper's evaluation protocol (§3.2), following
+// the ComplEx/OpenKE conventions: raw and filtered Mean Reciprocal Rank with
+// Hits@{1,3,10} for link prediction, and Triple Classification Accuracy with
+// per-relation thresholds fit on validation data.
+package eval
+
+import (
+	"sort"
+
+	"kgedist/internal/kg"
+	"kgedist/internal/model"
+	"kgedist/internal/xrand"
+)
+
+// RankResult summarizes a link-prediction evaluation.
+type RankResult struct {
+	// MRR is the raw mean reciprocal rank over head and tail replacement.
+	MRR float64
+	// FilteredMRR skips candidate triples present anywhere in the dataset
+	// (the paper reports filtered MRR).
+	FilteredMRR float64
+	// MR is the filtered mean rank (lower is better).
+	MR float64
+	// Hits@K are filtered.
+	Hits1  float64
+	Hits3  float64
+	Hits10 float64
+	// Triples is the number of test triples evaluated.
+	Triples int
+}
+
+// LinkPrediction ranks each test triple against all head and all tail
+// replacements. maxTriples > 0 subsamples the test split deterministically
+// (evaluation is O(|test| * |entities|), the dominant cost at scale); pass 0
+// to evaluate everything.
+func LinkPrediction(m model.Model, p *model.Params, d *kg.Dataset, f *kg.FilterIndex, maxTriples int, rng *xrand.RNG) RankResult {
+	test := d.Test
+	if maxTriples > 0 && len(test) > maxTriples {
+		perm := rng.Perm(len(test))
+		sub := make([]kg.Triple, maxTriples)
+		for i := 0; i < maxTriples; i++ {
+			sub[i] = test[perm[i]]
+		}
+		test = sub
+	}
+	var res RankResult
+	res.Triples = len(test)
+	if len(test) == 0 {
+		return res
+	}
+	var sumRaw, sumFiltered, sumRank float64
+	var h1, h3, h10 int
+	scores := make([]float32, d.NumEntities)
+	for _, tr := range test {
+		for side := 0; side < 2; side++ {
+			// Score every candidate replacement of one side.
+			cand := tr
+			for e := 0; e < d.NumEntities; e++ {
+				if side == 0 {
+					cand.H = int32(e)
+				} else {
+					cand.T = int32(e)
+				}
+				scores[e] = m.Score(p, cand)
+			}
+			var trueScore float32
+			if side == 0 {
+				trueScore = scores[tr.H]
+			} else {
+				trueScore = scores[tr.T]
+			}
+			rawRank, filtRank := 1, 1
+			for e := 0; e < d.NumEntities; e++ {
+				if scores[e] <= trueScore {
+					continue
+				}
+				rawRank++
+				cand := tr
+				if side == 0 {
+					cand.H = int32(e)
+				} else {
+					cand.T = int32(e)
+				}
+				if !f.Contains(cand) {
+					filtRank++
+				}
+			}
+			sumRaw += 1 / float64(rawRank)
+			sumFiltered += 1 / float64(filtRank)
+			sumRank += float64(filtRank)
+			if filtRank <= 1 {
+				h1++
+			}
+			if filtRank <= 3 {
+				h3++
+			}
+			if filtRank <= 10 {
+				h10++
+			}
+		}
+	}
+	n := float64(2 * len(test))
+	res.MRR = sumRaw / n
+	res.FilteredMRR = sumFiltered / n
+	res.MR = sumRank / n
+	res.Hits1 = float64(h1) / n
+	res.Hits3 = float64(h3) / n
+	res.Hits10 = float64(h10) / n
+	return res
+}
+
+// TCAResult summarizes a triple-classification evaluation.
+type TCAResult struct {
+	// Accuracy is the fraction of test triples (positives and generated
+	// negatives) classified correctly, in percent (as the paper's tables).
+	Accuracy float64
+	// Triples is the number of positive test triples used.
+	Triples int
+}
+
+// corrupt returns a negative for tr that is not a known fact.
+func corrupt(tr kg.Triple, numEntities int, f *kg.FilterIndex, rng *xrand.RNG) kg.Triple {
+	for tries := 0; ; tries++ {
+		neg := tr
+		if rng.Bernoulli(0.5) {
+			neg.H = int32(rng.Intn(numEntities))
+		} else {
+			neg.T = int32(rng.Intn(numEntities))
+		}
+		if neg != tr && (!f.Contains(neg) || tries > 50) {
+			return neg
+		}
+	}
+}
+
+// scored pairs a score with its label for threshold fitting.
+type scored struct {
+	s   float32
+	pos bool
+}
+
+// bestThreshold returns the threshold maximizing accuracy on the sample:
+// classify positive iff score >= threshold.
+func bestThreshold(samples []scored) float32 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].s < samples[j].s })
+	totalPos := 0
+	for _, s := range samples {
+		if s.pos {
+			totalPos++
+		}
+	}
+	// Sweep thresholds from below the minimum upward. Starting threshold
+	// (-inf): everything classified positive -> correct = totalPos.
+	best := totalPos
+	bestThr := samples[0].s - 1
+	correct := totalPos
+	for i := 0; i < len(samples); i++ {
+		// Raise the threshold just above samples[i].
+		if samples[i].pos {
+			correct--
+		} else {
+			correct++
+		}
+		if correct > best && i+1 < len(samples) {
+			best = correct
+			bestThr = (samples[i].s + samples[i+1].s) / 2
+		} else if correct > best {
+			best = correct
+			bestThr = samples[i].s + 1
+		}
+	}
+	return bestThr
+}
+
+// AUC returns the area under the ROC curve for scoring test positives
+// against one generated negative per positive — a threshold-free companion
+// to TCA. Computed exactly via the rank-sum formulation with midrank tie
+// handling.
+func AUC(m model.Model, p *model.Params, d *kg.Dataset, f *kg.FilterIndex, rng *xrand.RNG) float64 {
+	if len(d.Test) == 0 {
+		return 0
+	}
+	type labeled struct {
+		s   float32
+		pos bool
+	}
+	all := make([]labeled, 0, 2*len(d.Test))
+	for _, tr := range d.Test {
+		neg := corrupt(tr, d.NumEntities, f, rng)
+		all = append(all, labeled{m.Score(p, tr), true}, labeled{m.Score(p, neg), false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].s < all[j].s })
+	// Rank sum with midranks for ties.
+	n := len(all)
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].s == all[i].s {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		i = j
+	}
+	var rankSumPos float64
+	nPos := 0
+	for i, l := range all {
+		if l.pos {
+			rankSumPos += ranks[i]
+			nPos++
+		}
+	}
+	nNeg := n - nPos
+	if nPos == 0 || nNeg == 0 {
+		return 0
+	}
+	return (rankSumPos - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}
+
+// TripleClassification fits per-relation score thresholds on the validation
+// split (falling back to a global threshold for relations unseen in
+// validation) and reports accuracy on the test split, with one generated
+// negative per positive — the OpenKE protocol used by the paper.
+func TripleClassification(m model.Model, p *model.Params, d *kg.Dataset, f *kg.FilterIndex, rng *xrand.RNG) TCAResult {
+	if len(d.Test) == 0 {
+		return TCAResult{}
+	}
+	// Collect validation scores per relation.
+	perRel := map[int32][]scored{}
+	var global []scored
+	for _, tr := range d.Valid {
+		neg := corrupt(tr, d.NumEntities, f, rng)
+		sPos := scored{s: m.Score(p, tr), pos: true}
+		sNeg := scored{s: m.Score(p, neg), pos: false}
+		perRel[tr.R] = append(perRel[tr.R], sPos, sNeg)
+		global = append(global, sPos, sNeg)
+	}
+	globalThr := bestThreshold(global)
+	thr := make(map[int32]float32, len(perRel))
+	for r, samples := range perRel {
+		if len(samples) >= 4 {
+			thr[r] = bestThreshold(samples)
+		} else {
+			thr[r] = globalThr
+		}
+	}
+	// Classify test positives and their negatives.
+	correct, total := 0, 0
+	for _, tr := range d.Test {
+		th, ok := thr[tr.R]
+		if !ok {
+			th = globalThr
+		}
+		if m.Score(p, tr) >= th {
+			correct++
+		}
+		neg := corrupt(tr, d.NumEntities, f, rng)
+		if m.Score(p, neg) < th {
+			correct++
+		}
+		total += 2
+	}
+	return TCAResult{
+		Accuracy: 100 * float64(correct) / float64(total),
+		Triples:  len(d.Test),
+	}
+}

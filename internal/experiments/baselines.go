@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kgedist/internal/core"
+	"kgedist/internal/kg"
+	"kgedist/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Baseline result on FB15K (all-reduce vs all-gather)",
+		Paper: "Table 1: TT, N, TCA, MRR for 1-8 nodes per method",
+		Run: func(o Options) (*metrics.Report, error) {
+			return baselineReport("table1", "fb15k", dataset15K(o), baseConfig15K(o), o)
+		},
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Baseline result on FB250K (all-reduce vs all-gather)",
+		Paper: "Table 2: TT, N, TCA, MRR for 1-16 nodes per method",
+		Run: func(o Options) (*metrics.Report, error) {
+			return baselineReport("table2", "fb250k", dataset250K(o), baseConfig250K(o), o)
+		},
+	})
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Baseline total time, epochs and epoch time",
+		Paper: "Figure 1a-d: TT on FB15K/FB250K, N and epoch time on FB250K",
+		Run:   runFig1,
+	})
+}
+
+// baselineRuns trains the two baseline methods over the node sweep,
+// returning results[method][nodes].
+func baselineRuns(d *kg.Dataset, base core.Config, family string, o Options) (map[core.CommStrategy]map[int]*core.Result, []int, error) {
+	nodes := nodeCounts(family, o)
+	out := map[core.CommStrategy]map[int]*core.Result{}
+	for _, comm := range []core.CommStrategy{core.CommAllReduce, core.CommAllGather} {
+		out[comm] = map[int]*core.Result{}
+		for _, p := range nodes {
+			cfg := base
+			cfg.Comm = comm
+			r, err := trainCached(cfg, d, p)
+			if err != nil {
+				return nil, nil, fmt.Errorf("baseline %v on %d nodes: %w", comm, p, err)
+			}
+			out[comm][p] = r
+		}
+	}
+	return out, nodes, nil
+}
+
+func baselineReport(id, family string, d *kg.Dataset, base core.Config, o Options) (*metrics.Report, error) {
+	runs, nodes, err := baselineRuns(d, base, family, o)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Baseline on %s (TT in virtual seconds)", d.Name),
+		Headers: []string{"nodes",
+			"ar-TT(s)", "ar-N", "ar-TCA", "ar-MRR",
+			"ag-TT(s)", "ag-N", "ag-TCA", "ag-MRR"},
+	}
+	for _, p := range nodes {
+		ar := runs[core.CommAllReduce][p]
+		ag := runs[core.CommAllGather][p]
+		t.AddRow(p,
+			ar.TotalHours*3600, ar.Epochs, ar.TCA, ar.MRR,
+			ag.TotalHours*3600, ag.Epochs, ag.TCA, ag.MRR)
+	}
+	return &metrics.Report{
+		ID:     id,
+		Title:  "Baseline all-reduce vs all-gather",
+		Tables: []*metrics.Table{t},
+	}, nil
+}
+
+func runFig1(o Options) (*metrics.Report, error) {
+	r15, nodes15, err := baselineRuns(dataset15K(o), baseConfig15K(o), "fb15k", o)
+	if err != nil {
+		return nil, err
+	}
+	r250, nodes250, err := baselineRuns(dataset250K(o), baseConfig250K(o), "fb250k", o)
+	if err != nil {
+		return nil, err
+	}
+	panel := func(title, ylabel string, runs map[core.CommStrategy]map[int]*core.Result, nodes []int, y func(*core.Result) float64) *metrics.Figure {
+		f := &metrics.Figure{Title: title, XLabel: "nodes", YLabel: ylabel}
+		for _, comm := range []core.CommStrategy{core.CommAllReduce, core.CommAllGather} {
+			s := metrics.Series{Name: comm.String()}
+			for _, p := range nodes {
+				s.X = append(s.X, float64(p))
+				s.Y = append(s.Y, y(runs[comm][p]))
+			}
+			f.Series = append(f.Series, s)
+		}
+		return f
+	}
+	tt := func(r *core.Result) float64 { return r.TotalHours * 3600 }
+	n := func(r *core.Result) float64 { return float64(r.Epochs) }
+	et := func(r *core.Result) float64 { return r.AvgEpochSeconds() }
+	return &metrics.Report{
+		ID:    "fig1",
+		Title: "Baseline scaling behaviour",
+		Figures: []*metrics.Figure{
+			panel("fig1a: total time on FB15K", "virtual seconds", r15, nodes15, tt),
+			panel("fig1b: total time on FB250K", "virtual seconds", r250, nodes250, tt),
+			panel("fig1c: epochs on FB250K", "epochs", r250, nodes250, n),
+			panel("fig1d: epoch time on FB250K", "seconds", r250, nodes250, et),
+		},
+	}, nil
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kgedist/internal/bucket"
+	"kgedist/internal/core"
+	"kgedist/internal/grad"
+	"kgedist/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "bucketvsrp",
+		Title: "PBG-style entity buckets vs the paper's relation partition",
+		Paper: "Section 2: PBG reduces but cannot eliminate entity communication; relation partition eliminates relation communication",
+		Run:   runBucketVsRP,
+	})
+}
+
+func runBucketVsRP(o Options) (*metrics.Report, error) {
+	d := dataset250K(o)
+	base := baseConfig250K(o)
+	workers := 8
+	epochs := 6
+	if o.Quick {
+		workers = 4
+		epochs = 2
+	}
+
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Fixed %d workers, %d epochs on %s", workers, epochs, d.Name),
+		Headers: []string{"partitioning", "entity MB", "relation MB", "TCA", "MRR"},
+	}
+
+	// The paper's relation partition (quantized all-gather for entities).
+	rpCfg := base
+	rpCfg.Comm = core.CommAllGather
+	rpCfg.Select = grad.SelectBernoulli
+	rpCfg.Quant = grad.OneBitMax
+	rpCfg.RelationPartition = true
+	rpCfg.MaxEpochs = epochs
+	rpCfg.StopPatience = epochs + 1
+	rp, err := trainCached(rpCfg, d, workers)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("relation partition (paper)",
+		float64(rp.CommBytes-rp.RelationCommBytes)/1e6,
+		float64(rp.RelationCommBytes)/1e6, rp.TCA, rp.MRR)
+
+	// PBG-style entity buckets.
+	bCfg := bucket.DefaultConfig()
+	bCfg.Dim = base.Dim
+	bCfg.Epochs = epochs
+	bCfg.NegSamples = base.NegSamples
+	bCfg.TestSample = base.TestSample
+	bCfg.Seed = base.Seed
+	br, err := bucket.Train(bCfg, d, workers)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("entity buckets (PBG-style)",
+		float64(br.EntityCommBytes)/1e6,
+		float64(br.RelationCommBytes)/1e6, br.TCA, br.MRR)
+
+	return &metrics.Report{
+		ID:    "bucketvsrp",
+		Title: "Entity-bucket vs relation-partition communication",
+		Notes: []string{
+			"The relation column is exactly zero under relation partition,",
+			"while the bucket scheme still migrates entity embeddings every",
+			"round AND all-reduces relation gradients — the paper's §2 point.",
+		},
+		Tables: []*metrics.Table{t},
+	}, nil
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kgedist/internal/core"
+	"kgedist/internal/grad"
+	"kgedist/internal/kg"
+	"kgedist/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Combined methods on FB15K",
+		Paper: "Figure 8a-c: TT, N, MRR vs nodes for allreduce, allgather, RS, RS+1-bit, RS+1-bit+RP+SS",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Combined methods on FB250K",
+		Paper: "Figure 9a-c: TT, N, MRR vs nodes for allreduce, allgather, DRS, DRS+1-bit, DRS+1-bit+RP+SS",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "headline",
+		Title: "Abstract headline: combined strategies vs baseline at the largest node count",
+		Paper: "11.5h -> 6h on 16 nodes (FB250K) with MRR and TCA improved",
+		Run:   runHeadline,
+	})
+}
+
+// method is one curve of the combined-strategy figures.
+type method struct {
+	name string
+	mut  func(*core.Config)
+}
+
+// fb15kMethods follows the paper: the dynamic strategy is excluded on FB15K
+// because all-reduce always wins on the small dataset; RS and the quantized
+// pipelines ride the sparse all-gather exchange.
+func fb15kMethods() []method {
+	return []method{
+		{"allreduce", func(c *core.Config) { c.Comm = core.CommAllReduce }},
+		{"allgather", func(c *core.Config) { c.Comm = core.CommAllGather }},
+		{"RS", func(c *core.Config) {
+			c.Comm = core.CommAllGather
+			c.Select = grad.SelectBernoulli
+		}},
+		{"RS+1-bit", func(c *core.Config) {
+			c.Comm = core.CommAllGather
+			c.Select = grad.SelectBernoulli
+			c.Quant = grad.OneBitMax
+		}},
+		{"RS+1-bit+RP+SS", func(c *core.Config) {
+			c.Comm = core.CommAllGather
+			c.Select = grad.SelectBernoulli
+			c.Quant = grad.OneBitMax
+			c.RelationPartition = true
+			c.NegSelect = true
+			c.NegSamples = 10
+		}},
+	}
+}
+
+func fb250kMethods() []method {
+	return []method{
+		{"allreduce", func(c *core.Config) { c.Comm = core.CommAllReduce }},
+		{"allgather", func(c *core.Config) { c.Comm = core.CommAllGather }},
+		{"DRS", func(c *core.Config) {
+			c.Comm = core.CommDynamic
+			c.Select = grad.SelectBernoulli
+		}},
+		{"DRS+1-bit", func(c *core.Config) {
+			c.Comm = core.CommDynamic
+			c.Select = grad.SelectBernoulli
+			c.Quant = grad.OneBitMax
+		}},
+		{"DRS+1-bit+RP+SS", func(c *core.Config) {
+			c.Comm = core.CommDynamic
+			c.Select = grad.SelectBernoulli
+			c.Quant = grad.OneBitMax
+			c.RelationPartition = true
+			c.NegSelect = true
+			c.NegSamples = 5
+		}},
+	}
+}
+
+// combinedReport sweeps every method over the node counts and renders the
+// three panels (TT, N, MRR) of Figures 8 and 9.
+func combinedReport(id, family string, d *kg.Dataset, base core.Config, methods []method, o Options) (*metrics.Report, error) {
+	nodes := nodeCounts(family, o)
+	ttFig := &metrics.Figure{Title: id + "a: total training time", XLabel: "nodes", YLabel: "virtual seconds"}
+	nFig := &metrics.Figure{Title: id + "b: epochs to convergence", XLabel: "nodes", YLabel: "epochs"}
+	mrrFig := &metrics.Figure{Title: id + "c: MRR", XLabel: "nodes", YLabel: "MRR"}
+	for _, m := range methods {
+		tt := metrics.Series{Name: m.name}
+		nn := metrics.Series{Name: m.name}
+		mrr := metrics.Series{Name: m.name}
+		for _, p := range nodes {
+			cfg := base
+			m.mut(&cfg)
+			r, err := trainCached(cfg, d, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d nodes: %w", m.name, p, err)
+			}
+			x := float64(p)
+			tt.X = append(tt.X, x)
+			tt.Y = append(tt.Y, r.TotalHours*3600)
+			nn.X = append(nn.X, x)
+			nn.Y = append(nn.Y, float64(r.Epochs))
+			mrr.X = append(mrr.X, x)
+			mrr.Y = append(mrr.Y, r.MRR)
+		}
+		ttFig.Series = append(ttFig.Series, tt)
+		nFig.Series = append(nFig.Series, nn)
+		mrrFig.Series = append(mrrFig.Series, mrr)
+	}
+	return &metrics.Report{
+		ID:      id,
+		Title:   "Combined strategies on " + d.Name,
+		Figures: []*metrics.Figure{ttFig, nFig, mrrFig},
+	}, nil
+}
+
+func runFig8(o Options) (*metrics.Report, error) {
+	return combinedReport("fig8", "fb15k", dataset15K(o), baseConfig15K(o), fb15kMethods(), o)
+}
+
+func runFig9(o Options) (*metrics.Report, error) {
+	return combinedReport("fig9", "fb250k", dataset250K(o), baseConfig250K(o), fb250kMethods(), o)
+}
+
+func runHeadline(o Options) (*metrics.Report, error) {
+	d := dataset250K(o)
+	base := baseConfig250K(o)
+	nodes := nodeCounts("fb250k", o)
+	p := nodes[len(nodes)-1]
+
+	baseline := base
+	baseline.Comm = core.CommAllReduce
+	rBase, err := trainCached(baseline, d, p)
+	if err != nil {
+		return nil, err
+	}
+	combined := base
+	for _, m := range fb250kMethods() {
+		if m.name == "DRS+1-bit+RP+SS" {
+			m.mut(&combined)
+		}
+	}
+	rComb, err := trainCached(combined, d, p)
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Headline comparison at %d nodes on %s", p, d.Name),
+		Headers: []string{"method", "TT (s)", "N", "TCA", "MRR"},
+	}
+	t.AddRow("baseline (allreduce)", rBase.TotalHours*3600, rBase.Epochs, rBase.TCA, rBase.MRR)
+	t.AddRow("DRS+1-bit+RP+SS", rComb.TotalHours*3600, rComb.Epochs, rComb.TCA, rComb.MRR)
+	speedup := 0.0
+	if rComb.TotalHours > 0 {
+		speedup = rBase.TotalHours / rComb.TotalHours
+	}
+	return &metrics.Report{
+		ID:    "headline",
+		Title: "Abstract headline reproduction",
+		Notes: []string{
+			fmt.Sprintf("speedup %.2fx (paper: 11.5h/6h = 1.92x on the full FB250K)", speedup),
+			fmt.Sprintf("MRR delta %+.3f, TCA delta %+.1f", rComb.MRR-rBase.MRR, rComb.TCA-rBase.TCA),
+		},
+		Tables: []*metrics.Table{t},
+	}, nil
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"kgedist/internal/core"
+)
+
+func quickOpts() Options { return Options{Quick: true, Seed: 3} }
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be registered.
+	want := []string{
+		"table1", "table2", "table3", "table4",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"headline", "psbaseline", "categories", "commvolume", "bucketvsrp", "strategies", "scaling",
+	}
+	for _, id := range want {
+		if _, err := Get(id); err != nil {
+			t.Fatalf("experiment %q missing: %v", id, err)
+		}
+	}
+	if len(All()) != len(want) {
+		ids := make([]string, 0)
+		for _, e := range All() {
+			ids = append(ids, e.ID)
+		}
+		t.Fatalf("registry has %d experiments, want %d: %v", len(All()), len(want), ids)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("registry not sorted: %q >= %q", all[i-1].ID, all[i].ID)
+		}
+	}
+	for _, e := range all {
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestTable3Exact(t *testing.T) {
+	rep, err := Get("table3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rep.Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "-1 = disjoint") {
+		t.Fatalf("missing disjointness note:\n%s", out)
+	}
+	// Paper outcome: 2 triples on processor 1, 3 on processor 2.
+	if !strings.Contains(out, "processor 1 holds 2 triples, processor 2 holds 3") {
+		t.Fatalf("split does not match the paper:\n%s", out)
+	}
+}
+
+func TestQuickBaselines(t *testing.T) {
+	e, err := Get("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 1 {
+		t.Fatalf("tables = %d", len(r.Tables))
+	}
+	tb := r.Tables[0]
+	if len(tb.Rows) != 3 { // quick mode: nodes 1,2,4
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if len(tb.Headers) != 9 {
+		t.Fatalf("headers = %v", tb.Headers)
+	}
+}
+
+func TestQuickFig1SharesBaselineRuns(t *testing.T) {
+	// fig1 must reuse table1/table2's cached runs rather than retraining.
+	ResetCaches()
+	o := quickOpts()
+	t1, _ := Get("table1")
+	if _, err := t1.Run(o); err != nil {
+		t.Fatal(err)
+	}
+	before := len(runCache)
+	t2, _ := Get("table2")
+	if _, err := t2.Run(o); err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := Get("fig1")
+	if _, err := f1.Run(o); err != nil {
+		t.Fatal(err)
+	}
+	after := len(runCache)
+	// fig1 adds nothing beyond what table1+table2 trained.
+	wantAfter := before * 2
+	if after != wantAfter {
+		t.Fatalf("fig1 retrained: cache %d -> %d (want %d)", before, after, wantAfter)
+	}
+	f1rep, err := f1.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1rep.Figures) != 4 {
+		t.Fatalf("fig1 panels = %d", len(f1rep.Figures))
+	}
+}
+
+func TestQuickSelectionExperiments(t *testing.T) {
+	for _, id := range []string{"fig2", "fig3"} {
+		e, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run(quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(r.Figures) == 0 {
+			t.Fatalf("%s produced no figures", id)
+		}
+		for _, f := range r.Figures {
+			if len(f.Series) == 0 || len(f.Series[0].X) == 0 {
+				t.Fatalf("%s: empty series in %q", id, f.Title)
+			}
+		}
+	}
+}
+
+func TestQuickQuantizationExperiments(t *testing.T) {
+	for _, id := range []string{"fig4", "fig5"} {
+		e, _ := Get(id)
+		r, err := e.Run(quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(r.Figures) == 0 {
+			t.Fatalf("%s produced no figures", id)
+		}
+	}
+}
+
+func TestQuickFig6RelationBytesEliminated(t *testing.T) {
+	e, _ := Get("fig6")
+	r, err := e.Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 1 {
+		t.Fatalf("fig6 tables = %d", len(r.Tables))
+	}
+	for _, row := range r.Tables[0].Rows {
+		if row[2] != "0" {
+			t.Fatalf("relation bytes with RP not zero: %v", row)
+		}
+		if row[0] != "1" && row[1] == "0" {
+			t.Fatalf("relation bytes without RP unexpectedly zero at %v nodes", row[0])
+		}
+	}
+}
+
+func TestQuickSamplingExperiments(t *testing.T) {
+	for _, id := range []string{"table4", "fig7"} {
+		e, _ := Get(id)
+		r, err := e.Run(quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(r.Tables)+len(r.Figures) == 0 {
+			t.Fatalf("%s produced nothing", id)
+		}
+	}
+}
+
+func TestQuickCombinedAndHeadline(t *testing.T) {
+	for _, id := range []string{"fig8", "fig9", "headline", "psbaseline", "categories", "commvolume", "bucketvsrp", "strategies", "scaling"} {
+		e, _ := Get(id)
+		r, err := e.Run(quickOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var sb strings.Builder
+		r.Render(&sb)
+		if len(sb.String()) < 100 {
+			t.Fatalf("%s report suspiciously short:\n%s", id, sb.String())
+		}
+	}
+}
+
+func TestDatasetPresetsCached(t *testing.T) {
+	o := quickOpts()
+	a := dataset15K(o)
+	b := dataset15K(o)
+	if a != b {
+		t.Fatal("dataset cache miss for identical options")
+	}
+	c := dataset250K(o)
+	if a == c {
+		t.Fatal("distinct presets share a dataset")
+	}
+}
+
+func TestNodeCounts(t *testing.T) {
+	full := Options{}
+	if got := nodeCounts("fb250k", full); len(got) != 5 || got[4] != 16 {
+		t.Fatalf("fb250k nodes = %v", got)
+	}
+	if got := nodeCounts("fb15k", full); len(got) != 4 || got[3] != 8 {
+		t.Fatalf("fb15k nodes = %v", got)
+	}
+	if got := nodeCounts("fb15k", Options{Quick: true}); len(got) != 3 {
+		t.Fatalf("quick nodes = %v", got)
+	}
+}
+
+func TestRepeatsAveraging(t *testing.T) {
+	// With Repeats=2, the run must execute two seeds and average; the
+	// averaged TT lies between the two individual runs'.
+	ResetCaches()
+	SetRepeats(1)
+	o := quickOpts()
+	e, _ := Get("table1")
+	single, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetCaches()
+	o.Repeats = 2
+	avg, err := e.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetRepeats(1)
+	if len(avg.Tables[0].Rows) != len(single.Tables[0].Rows) {
+		t.Fatal("repeat averaging changed table shape")
+	}
+	// The runs are real: values exist and are finite strings.
+	for _, row := range avg.Tables[0].Rows {
+		if row[1] == "" {
+			t.Fatal("empty averaged cell")
+		}
+	}
+}
+
+func TestAverageResultsMath(t *testing.T) {
+	mk := func(tt float64, epochs int, tca float64) *core.Result {
+		return &core.Result{
+			TotalHours: tt, Epochs: epochs, TCA: tca,
+			PerEpoch: []core.EpochStats{{Epoch: 1, Seconds: tt, ValAccuracy: tca}},
+		}
+	}
+	avg := averageResults([]*core.Result{mk(1, 10, 80), mk(3, 20, 90)})
+	if avg.TotalHours != 2 || avg.Epochs != 15 || avg.TCA != 85 {
+		t.Fatalf("averaged %+v", avg)
+	}
+	if len(avg.PerEpoch) != 1 || avg.PerEpoch[0].Seconds != 2 || avg.PerEpoch[0].ValAccuracy != 85 {
+		t.Fatalf("per-epoch average %+v", avg.PerEpoch)
+	}
+	one := mk(5, 7, 70)
+	if averageResults([]*core.Result{one}) != one {
+		t.Fatal("single run should pass through")
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kgedist/internal/core"
+	"kgedist/internal/eval"
+	"kgedist/internal/grad"
+	"kgedist/internal/kg"
+	"kgedist/internal/metrics"
+	"kgedist/internal/model"
+	"kgedist/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "categories",
+		Title: "Link prediction by relation category (1-1, 1-N, N-1, N-N)",
+		Paper: "Standard KGE analysis grid (Bordes et al.) applied to the trained ComplEx model",
+		Run:   runCategories,
+	})
+	register(Experiment{
+		ID:    "commvolume",
+		Title: "Communication volume per strategy",
+		Paper: "The byte-level mechanism behind Figures 8-9: what each strategy removes from the wire",
+		Run:   runCommVolume,
+	})
+}
+
+func runCategories(o Options) (*metrics.Report, error) {
+	d := dataset15K(o)
+	cfg := baseConfig15K(o)
+	cfg.Comm = core.CommAllGather
+	cfg.Select = grad.SelectBernoulli
+	cfg.Quant = grad.OneBitMax
+	cfg.RelationPartition = true
+	cfg.NegSelect = true
+	cfg.NegSamples = 10
+	r, err := trainCached(cfg, d, 2)
+	if err != nil {
+		return nil, err
+	}
+	m := model.New(cfg.ModelName, cfg.Dim)
+	filter := kg.NewFilterIndex(d)
+	det := eval.DetailedLinkPrediction(m, r.FinalParams, d, filter, cfg.TestSample, xrand.New(cfg.Seed+5))
+	t := &metrics.Table{
+		Title:   "Filtered MRR by relation category (RS+1-bit+RP+SS model)",
+		Headers: []string{"category", "triples", "head-MRR", "tail-MRR"},
+	}
+	for _, cat := range []eval.RelationCategory{eval.Cat1To1, eval.Cat1ToN, eval.CatNTo1, eval.CatNToN} {
+		sr, ok := det.ByCategory[cat]
+		if !ok {
+			continue
+		}
+		t.AddRow(cat.String(), sr.Triples, sr.HeadMRR, sr.TailMRR)
+	}
+	t.AddRow("overall", det.Overall.Triples, det.Overall.HeadMRR, det.Overall.TailMRR)
+	return &metrics.Report{
+		ID:     "categories",
+		Title:  "Relation-category breakdown",
+		Tables: []*metrics.Table{t},
+	}, nil
+}
+
+func runCommVolume(o Options) (*metrics.Report, error) {
+	d := dataset250K(o)
+	base := baseConfig250K(o)
+	// 12 epochs so the dynamic strategy's epoch-10 probe fires within the
+	// measured window.
+	epochs := 12
+	if o.Quick {
+		epochs = 2
+	}
+	base.MaxEpochs = epochs
+	base.StopPatience = epochs + 1
+	nodes := 8
+	if o.Quick {
+		nodes = 4
+	}
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("Bytes moved in %d epochs on %d nodes (%s)", epochs, nodes, d.Name),
+		Headers: []string{"strategy", "total MB", "entity MB", "relation MB", "comm (s)"},
+	}
+	for _, m := range fb250kMethods() {
+		cfg := base
+		m.mut(&cfg)
+		r, err := trainCached(cfg, d, nodes)
+		if err != nil {
+			return nil, err
+		}
+		entity := r.CommBytes - r.RelationCommBytes
+		t.AddRow(m.name,
+			float64(r.CommBytes)/1e6,
+			float64(entity)/1e6,
+			float64(r.RelationCommBytes)/1e6,
+			r.CommHours*3600)
+	}
+	return &metrics.Report{
+		ID:    "commvolume",
+		Title: "Communication volume per strategy",
+		Notes: []string{
+			"RS thins the row set, 1-bit shrinks each row ~20-30x on the wire,",
+			"RP zeroes the relation column entirely.",
+		},
+		Tables: []*metrics.Table{t},
+	}, nil
+}

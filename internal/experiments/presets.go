@@ -1,0 +1,281 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic stand-in datasets (see DESIGN.md §4
+// for the experiment index and EXPERIMENTS.md for measured-vs-paper notes).
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"kgedist/internal/core"
+	"kgedist/internal/kg"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Quick shrinks datasets and epoch budgets for benchmarks and CI; the
+	// curves keep their shape but absolute values move.
+	Quick bool
+	// Seed drives dataset generation and training.
+	Seed uint64
+	// Repeats > 1 averages every training run over that many seeds — the
+	// paper's §3.3 methodology ("all our results were obtained as average
+	// over five runs"). 0 or 1 = single run.
+	Repeats int
+}
+
+func (o Options) repeats() int {
+	if o.Repeats < 1 {
+		return 1
+	}
+	return o.Repeats
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// dataset15K returns the FB15K stand-in: smaller and denser, used by the
+// paper for accuracy studies.
+func dataset15K(o Options) *kg.Dataset {
+	cfg := kg.GenConfig{
+		Name: "fb15k-mini", Entities: 2000, Relations: 250, Triples: 20000,
+		Communities: 25, Seed: o.seed(),
+	}
+	if o.Quick {
+		cfg.Name = "fb15k-quick"
+		cfg.Entities, cfg.Relations, cfg.Triples = 500, 60, 4000
+		cfg.Communities = 10
+	}
+	return genCached(cfg)
+}
+
+// dataset250K returns the FB250K stand-in: larger and sparser, used by the
+// paper for scalability studies.
+func dataset250K(o Options) *kg.Dataset {
+	cfg := kg.GenConfig{
+		Name: "fb250k-mini", Entities: 6000, Relations: 800, Triples: 60000,
+		Communities: 40, Seed: o.seed(),
+	}
+	if o.Quick {
+		cfg.Name = "fb250k-quick"
+		cfg.Entities, cfg.Relations, cfg.Triples = 1200, 160, 9000
+		cfg.Communities = 16
+	}
+	return genCached(cfg)
+}
+
+// baseConfig15K mirrors the paper's FB15K setup at mini scale: 2 negatives
+// per positive (stands in for the paper's 10; the mini graph saturates with
+// fewer), batch 1000 for ~20 steps/epoch at one node.
+func baseConfig15K(o Options) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Dim = 16
+	cfg.BaseLR = 0.02
+	cfg.BatchSize = 1000
+	cfg.MaxEpochs = 60
+	cfg.StopPatience = 12
+	cfg.Tolerance = 8
+	cfg.NegSamples = 2
+	cfg.ValSample = 800
+	cfg.TestSample = 150
+	cfg.Seed = o.seed()
+	if o.Quick {
+		cfg.BatchSize = 500
+		cfg.MaxEpochs = 8
+		cfg.StopPatience = 8
+		cfg.TestSample = 40
+		cfg.ValSample = 200
+	}
+	return cfg
+}
+
+// baseConfig250K mirrors the paper's FB250K setup at mini scale: 1 negative
+// per positive (as in the paper), batch 2000.
+func baseConfig250K(o Options) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Dim = 16
+	cfg.BaseLR = 0.02
+	cfg.BatchSize = 2000
+	cfg.MaxEpochs = 50
+	cfg.StopPatience = 12
+	cfg.Tolerance = 8
+	cfg.NegSamples = 1
+	cfg.ValSample = 800
+	cfg.TestSample = 120
+	cfg.Seed = o.seed()
+	if o.Quick {
+		cfg.BatchSize = 800
+		cfg.MaxEpochs = 8
+		cfg.StopPatience = 8
+		cfg.TestSample = 40
+		cfg.ValSample = 200
+	}
+	return cfg
+}
+
+// ---- Caches ---------------------------------------------------------------
+//
+// Training is deterministic, so identical (config, dataset, nodes) triples
+// yield identical results; experiments that share runs (table1/fig1/fig8,
+// table2/fig9, table4/fig7) hit the cache instead of retraining.
+
+var (
+	cacheMu  sync.Mutex
+	genCache = map[string]*kg.Dataset{}
+	runCache = map[string]*core.Result{}
+)
+
+func genCached(cfg kg.GenConfig) *kg.Dataset {
+	key := fmt.Sprintf("%+v", cfg)
+	cacheMu.Lock()
+	d, ok := genCache[key]
+	cacheMu.Unlock()
+	if ok {
+		return d
+	}
+	d = kg.Generate(cfg)
+	cacheMu.Lock()
+	genCache[key] = d
+	cacheMu.Unlock()
+	return d
+}
+
+// repeatsFor is consulted by trainCached; experiments set it from Options
+// at entry (single-threaded experiment execution makes this safe, and the
+// value is part of the cache key so mixed settings cannot collide).
+var repeatsFor = 1
+
+// SetRepeats configures run averaging for subsequent experiment
+// invocations (the paper's five-run averaging, §3.3).
+func SetRepeats(n int) {
+	if n < 1 {
+		n = 1
+	}
+	cacheMu.Lock()
+	repeatsFor = n
+	cacheMu.Unlock()
+}
+
+// trainCached trains (or reuses) a run for the configuration, averaging
+// over the configured number of seeds.
+func trainCached(cfg core.Config, d *kg.Dataset, nodes int) (*core.Result, error) {
+	cacheMu.Lock()
+	reps := repeatsFor
+	cacheMu.Unlock()
+	key := fmt.Sprintf("%s|%d|%d|%+v", d.Name, nodes, reps, cfg)
+	cacheMu.Lock()
+	r, ok := runCache[key]
+	cacheMu.Unlock()
+	if ok {
+		return r, nil
+	}
+	var runs []*core.Result
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*1000003
+		one, err := core.Train(c, d, nodes)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, one)
+	}
+	r = averageResults(runs)
+	cacheMu.Lock()
+	runCache[key] = r
+	cacheMu.Unlock()
+	return r, nil
+}
+
+// averageResults averages the numeric fields of repeated runs; per-epoch
+// series are averaged element-wise up to the shortest run, and the first
+// run supplies the trained parameters and strategy metadata.
+func averageResults(runs []*core.Result) *core.Result {
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	out := *runs[0]
+	n := float64(len(runs))
+	var tt, comm, tca, mrr, h1, h3, h10, mr float64
+	var epochs float64
+	var bytes, relBytes int64
+	minEpochs := len(runs[0].PerEpoch)
+	for _, r := range runs {
+		if len(r.PerEpoch) < minEpochs {
+			minEpochs = len(r.PerEpoch)
+		}
+	}
+	for _, r := range runs {
+		tt += r.TotalHours
+		comm += r.CommHours
+		tca += r.TCA
+		mrr += r.MRR
+		h1 += r.Hits1
+		h3 += r.Hits3
+		h10 += r.Hits10
+		mr += r.MR
+		epochs += float64(r.Epochs)
+		bytes += r.CommBytes
+		relBytes += r.RelationCommBytes
+	}
+	out.TotalHours = tt / n
+	out.CommHours = comm / n
+	out.TCA = tca / n
+	out.MRR = mrr / n
+	out.Hits1 = h1 / n
+	out.Hits3 = h3 / n
+	out.Hits10 = h10 / n
+	out.MR = mr / n
+	out.Epochs = int(epochs/n + 0.5)
+	out.CommBytes = bytes / int64(n)
+	out.RelationCommBytes = relBytes / int64(n)
+	avg := make([]core.EpochStats, minEpochs)
+	for e := 0; e < minEpochs; e++ {
+		avg[e] = runs[0].PerEpoch[e]
+		var secs, commS, val, tcaE, nnz, sp float64
+		var cb int64
+		for _, r := range runs {
+			es := r.PerEpoch[e]
+			secs += es.Seconds
+			commS += es.CommSeconds
+			val += es.ValAccuracy
+			tcaE += es.ValTCA
+			nnz += es.NonZeroGradRows
+			sp += es.Sparsity
+			cb += es.CommBytes
+		}
+		avg[e].Seconds = secs / n
+		avg[e].CommSeconds = commS / n
+		avg[e].ValAccuracy = val / n
+		avg[e].ValTCA = tcaE / n
+		avg[e].NonZeroGradRows = nnz / n
+		avg[e].Sparsity = sp / n
+		avg[e].CommBytes = cb / int64(n)
+	}
+	out.PerEpoch = avg
+	return &out
+}
+
+// ResetCaches clears the dataset and run caches (tests use this to control
+// memory and isolation).
+func ResetCaches() {
+	cacheMu.Lock()
+	genCache = map[string]*kg.Dataset{}
+	runCache = map[string]*core.Result{}
+	cacheMu.Unlock()
+}
+
+// nodeCounts returns the paper's rank sweep for each dataset family,
+// trimmed in quick mode.
+func nodeCounts(family string, o Options) []int {
+	if o.Quick {
+		return []int{1, 2, 4}
+	}
+	if family == "fb250k" {
+		return []int{1, 2, 4, 8, 16}
+	}
+	return []int{1, 2, 4, 8}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"kgedist/internal/core"
+	"kgedist/internal/grad"
+	"kgedist/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "2-bit quantization with and without random selection",
+		Paper: "Figure 4: convergence of 2-bit quantization +- random selection on FB15K",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "1-bit vs 2-bit quantization",
+		Paper: "Figure 5a-b: total training time and MRR vs nodes for both schemes (with RS)",
+		Run:   runFig5,
+	})
+}
+
+func runFig4(o Options) (*metrics.Report, error) {
+	d := dataset15K(o)
+	variants := []struct {
+		name string
+		sel  grad.SelectMode
+	}{
+		{"2-bit", grad.SelectAll},
+		{"2-bit + RS", grad.SelectBernoulli},
+	}
+	fig := &metrics.Figure{Title: "fig4: validation TCA per epoch", XLabel: "epoch", YLabel: "TCA %"}
+	for _, v := range variants {
+		cfg := baseConfig15K(o)
+		cfg.Comm = core.CommAllGather
+		cfg.Quant = grad.TwoBitTernary
+		cfg.Select = v.sel
+		cfg.TrackEpochStats = true
+		r, err := trainCached(cfg, d, 2)
+		if err != nil {
+			return nil, err
+		}
+		s := metrics.Series{Name: v.name}
+		for _, e := range r.PerEpoch {
+			s.X = append(s.X, float64(e.Epoch))
+			s.Y = append(s.Y, e.ValTCA)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return &metrics.Report{
+		ID:      "fig4",
+		Title:   "2-bit quantization with random selection",
+		Notes:   []string{"Random selection should not degrade the 2-bit convergence curve."},
+		Figures: []*metrics.Figure{fig},
+	}, nil
+}
+
+func runFig5(o Options) (*metrics.Report, error) {
+	d := dataset15K(o)
+	nodes := nodeCounts("fb15k", o)
+	schemes := []struct {
+		name string
+		q    grad.Scheme
+	}{
+		{"1-bit quantization", grad.OneBitMax},
+		{"2-bit quantization", grad.TwoBitTernary},
+	}
+	ttFig := &metrics.Figure{Title: "fig5a: total training time (with RS)", XLabel: "nodes", YLabel: "virtual seconds"}
+	mrrFig := &metrics.Figure{Title: "fig5b: MRR (with RS)", XLabel: "nodes", YLabel: "MRR"}
+	for _, sc := range schemes {
+		tt := metrics.Series{Name: sc.name}
+		mrr := metrics.Series{Name: sc.name}
+		for _, p := range nodes {
+			cfg := baseConfig15K(o)
+			cfg.Comm = core.CommAllGather
+			cfg.Select = grad.SelectBernoulli
+			cfg.Quant = sc.q
+			r, err := trainCached(cfg, d, p)
+			if err != nil {
+				return nil, err
+			}
+			tt.X = append(tt.X, float64(p))
+			tt.Y = append(tt.Y, r.TotalHours*3600)
+			mrr.X = append(mrr.X, float64(p))
+			mrr.Y = append(mrr.Y, r.MRR)
+		}
+		ttFig.Series = append(ttFig.Series, tt)
+		mrrFig.Series = append(mrrFig.Series, mrr)
+	}
+	return &metrics.Report{
+		ID:      "fig5",
+		Title:   "1-bit vs 2-bit gradient quantization",
+		Figures: []*metrics.Figure{ttFig, mrrFig},
+	}, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"kgedist/internal/metrics"
+)
+
+// Experiment regenerates one paper artifact (a table or figure).
+type Experiment struct {
+	// ID is the harness name, e.g. "table1" or "fig8".
+	ID string
+	// Title summarizes the artifact.
+	Title string
+	// Paper describes what the original artifact shows.
+	Paper string
+	// Run executes the experiment and returns the rendered report.
+	Run func(o Options) (*metrics.Report, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	// Apply run-averaging (Options.Repeats, the paper's §3.3 five-run
+	// averaging) before every experiment body.
+	inner := e.Run
+	e.Run = func(o Options) (*metrics.Report, error) {
+		SetRepeats(o.repeats())
+		return inner(o)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Get looks an experiment up by ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (run 'kgebench -list')", id)
+	}
+	return e, nil
+}

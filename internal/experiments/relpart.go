@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kgedist/internal/core"
+	"kgedist/internal/grad"
+	"kgedist/internal/kg"
+	"kgedist/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table3",
+		Title: "Relation-partition worked example",
+		Paper: "Table 3: five triples over three relations split across two processors",
+		Run:   runTable3,
+	})
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Relation partition on/off",
+		Paper: "Figure 6a-b: TCA convergence on FB15K and epoch time on FB250K with and without RP",
+		Run:   runFig6,
+	})
+}
+
+func runTable3(o Options) (*metrics.Report, error) {
+	// The exact triples of the paper's Table 3.
+	triples := []kg.Triple{
+		{H: 1, R: 1, T: 2},
+		{H: 2, R: 1, T: 10},
+		{H: 3, R: 2, T: 5},
+		{H: 6, R: 3, T: 9},
+		{H: 7, R: 3, T: 8},
+	}
+	parts := kg.RelationPartition(triples, 4, 2)
+	in := &metrics.Table{Title: "Input triples (paper Table 3)", Headers: []string{"S.N.", "head", "relation", "tail"}}
+	for i, t := range triples {
+		in.AddRow(i+1, t.H, t.R, t.T)
+	}
+	out := &metrics.Table{Title: "Relation partition across 2 processors", Headers: []string{"processor", "head", "relation", "tail"}}
+	for rank, part := range parts {
+		for _, t := range part {
+			out.AddRow(rank+1, t.H, t.R, t.T)
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("relation overlap check: %d (-1 = disjoint)", kg.PartitionRelationsDisjoint(parts)),
+		fmt.Sprintf("load: processor 1 holds %d triples, processor 2 holds %d", len(parts[0]), len(parts[1])),
+	}
+	return &metrics.Report{
+		ID:     "table3",
+		Title:  "Relation partition example",
+		Notes:  notes,
+		Tables: []*metrics.Table{in, out},
+	}, nil
+}
+
+func runFig6(o Options) (*metrics.Report, error) {
+	// Panel a: TCA convergence on FB15K with RS+1-bit, +- relation
+	// partition, 2 nodes.
+	convFig := &metrics.Figure{Title: "fig6a: validation TCA per epoch (FB15K, RS+1-bit)", XLabel: "epoch", YLabel: "TCA %"}
+	for _, rp := range []bool{false, true} {
+		cfg := baseConfig15K(o)
+		cfg.Comm = core.CommAllGather
+		cfg.Select = grad.SelectBernoulli
+		cfg.Quant = grad.OneBitMax
+		cfg.RelationPartition = rp
+		cfg.TrackEpochStats = true
+		r, err := trainCached(cfg, dataset15K(o), 2)
+		if err != nil {
+			return nil, err
+		}
+		name := "without partition"
+		if rp {
+			name = "with partition"
+		}
+		s := metrics.Series{Name: name}
+		for _, e := range r.PerEpoch {
+			s.X = append(s.X, float64(e.Epoch))
+			s.Y = append(s.Y, e.ValTCA)
+		}
+		convFig.Series = append(convFig.Series, s)
+	}
+
+	// Panel b: epoch time vs nodes on FB250K with DRS+1-bit, +- RP.
+	timeFig := &metrics.Figure{Title: "fig6b: epoch time (FB250K, DRS+1-bit)", XLabel: "nodes", YLabel: "seconds"}
+	nodes := nodeCounts("fb250k", o)
+	relBytes := &metrics.Table{
+		Title:   "Relation gradient bytes per run (the communication RP eliminates)",
+		Headers: []string{"nodes", "without RP", "with RP"},
+	}
+	for _, rp := range []bool{false, true} {
+		name := "without partition"
+		if rp {
+			name = "with partition"
+		}
+		s := metrics.Series{Name: name}
+		for _, p := range nodes {
+			cfg := baseConfig250K(o)
+			cfg.Comm = core.CommDynamic
+			cfg.Select = grad.SelectBernoulli
+			cfg.Quant = grad.OneBitMax
+			cfg.RelationPartition = rp
+			r, err := trainCached(cfg, dataset250K(o), p)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(p))
+			s.Y = append(s.Y, r.AvgEpochSeconds())
+		}
+		timeFig.Series = append(timeFig.Series, s)
+	}
+	// Fill the relation-bytes table from the cached runs.
+	for _, p := range nodes {
+		var row [2]int64
+		for i, rp := range []bool{false, true} {
+			cfg := baseConfig250K(o)
+			cfg.Comm = core.CommDynamic
+			cfg.Select = grad.SelectBernoulli
+			cfg.Quant = grad.OneBitMax
+			cfg.RelationPartition = rp
+			r, err := trainCached(cfg, dataset250K(o), p)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = r.RelationCommBytes
+		}
+		relBytes.AddRow(p, fmt.Sprintf("%d", row[0]), fmt.Sprintf("%d", row[1]))
+	}
+	return &metrics.Report{
+		ID:      "fig6",
+		Title:   "Relation partition",
+		Tables:  []*metrics.Table{relBytes},
+		Figures: []*metrics.Figure{convFig, timeFig},
+	}, nil
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kgedist/internal/core"
+	"kgedist/internal/grad"
+	"kgedist/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table4",
+		Title: "Negative sample selection ratios (1-bit quantization, 2 nodes)",
+		Paper: "Table 4: TT, N, MRR, TCA for 1-of-n and n-of-n sampling on FB15K",
+		Run:   runTable4,
+	})
+	register(Experiment{
+		ID:    "fig7",
+		Title: "1-out-of-n vs n-out-of-n sampling",
+		Paper: "Figure 7a-d: convergence, TT, MRR, N vs number of samples on FB15K",
+		Run:   runFig7,
+	})
+}
+
+// ratio describes an "m out of n" sampling scheme: n candidates drawn, and
+// either the hardest one (selectHardest) or all n trained on.
+type ratio struct {
+	n             int
+	selectHardest bool
+}
+
+func (r ratio) label() string {
+	if r.selectHardest {
+		return fmt.Sprintf("1 out of %d", r.n)
+	}
+	return fmt.Sprintf("%d out of %d", r.n, r.n)
+}
+
+// ratioRun trains one sampling configuration on FB15K-mini with 1-bit
+// quantization at 2 nodes (the paper's Table 4 setup).
+func ratioRun(o Options, r ratio) (*core.Result, error) {
+	cfg := baseConfig15K(o)
+	cfg.Comm = core.CommAllGather
+	cfg.Select = grad.SelectBernoulli
+	cfg.Quant = grad.OneBitMax
+	cfg.NegSamples = r.n
+	cfg.NegSelect = r.selectHardest
+	return trainCached(cfg, dataset15K(o), 2)
+}
+
+func table4Ratios(o Options) []ratio {
+	if o.Quick {
+		return []ratio{{1, true}, {5, true}, {5, false}}
+	}
+	return []ratio{
+		{1, true}, {5, true}, {10, true}, {20, true}, {30, true},
+		{5, false}, {10, false},
+	}
+}
+
+func runTable4(o Options) (*metrics.Report, error) {
+	t := &metrics.Table{
+		Title:   "Sample selection with 1-bit gradient quantization on 2 nodes",
+		Headers: []string{"sample ratio", "TT (s)", "N", "MRR", "TCA"},
+	}
+	for _, r := range table4Ratios(o) {
+		res, err := ratioRun(o, r)
+		if err != nil {
+			return nil, fmt.Errorf("ratio %s: %w", r.label(), err)
+		}
+		t.AddRow(r.label(), res.TotalHours*3600, res.Epochs, res.MRR, res.TCA)
+	}
+	return &metrics.Report{
+		ID:     "table4",
+		Title:  "Negative sample selection",
+		Tables: []*metrics.Table{t},
+	}, nil
+}
+
+func runFig7(o Options) (*metrics.Report, error) {
+	oneOf := []int{1, 5, 10, 20, 30}
+	nOf := []int{1, 5, 10}
+	if o.Quick {
+		oneOf = []int{1, 5}
+		nOf = []int{1, 5}
+	}
+
+	// Panel a: convergence for a representative pair.
+	convFig := &metrics.Figure{Title: "fig7a: validation accuracy per epoch", XLabel: "epoch", YLabel: "val %"}
+	convPairs := []ratio{{5, true}, {5, false}}
+	if !o.Quick {
+		convPairs = append(convPairs, ratio{10, false})
+	}
+	for _, r := range convPairs {
+		res, err := ratioRun(o, r)
+		if err != nil {
+			return nil, err
+		}
+		s := metrics.Series{Name: r.label()}
+		for _, e := range res.PerEpoch {
+			s.X = append(s.X, float64(e.Epoch))
+			s.Y = append(s.Y, e.ValAccuracy)
+		}
+		convFig.Series = append(convFig.Series, s)
+	}
+
+	// Panels b-d: TT, MRR, N versus n for both schemes.
+	ttFig := &metrics.Figure{Title: "fig7b: total training time", XLabel: "samples n", YLabel: "virtual seconds"}
+	mrrFig := &metrics.Figure{Title: "fig7c: MRR", XLabel: "samples n", YLabel: "MRR"}
+	nFig := &metrics.Figure{Title: "fig7d: epochs to convergence", XLabel: "samples n", YLabel: "epochs"}
+	for _, scheme := range []struct {
+		name    string
+		ns      []int
+		hardest bool
+	}{
+		{"1 out of n", oneOf, true},
+		{"n out of n", nOf, false},
+	} {
+		tt := metrics.Series{Name: scheme.name}
+		mrr := metrics.Series{Name: scheme.name}
+		nn := metrics.Series{Name: scheme.name}
+		for _, n := range scheme.ns {
+			res, err := ratioRun(o, ratio{n, scheme.hardest})
+			if err != nil {
+				return nil, err
+			}
+			x := float64(n)
+			tt.X = append(tt.X, x)
+			tt.Y = append(tt.Y, res.TotalHours*3600)
+			mrr.X = append(mrr.X, x)
+			mrr.Y = append(mrr.Y, res.MRR)
+			nn.X = append(nn.X, x)
+			nn.Y = append(nn.Y, float64(res.Epochs))
+		}
+		ttFig.Series = append(ttFig.Series, tt)
+		mrrFig.Series = append(mrrFig.Series, mrr)
+		nFig.Series = append(nFig.Series, nn)
+	}
+	return &metrics.Report{
+		ID:      "fig7",
+		Title:   "Negative sampling schemes",
+		Figures: []*metrics.Figure{convFig, ttFig, mrrFig, nFig},
+	}, nil
+}

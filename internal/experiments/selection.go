@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"kgedist/internal/core"
+	"kgedist/internal/grad"
+	"kgedist/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Non-zero gradient rows across training",
+		Paper: "Figure 2: non-zero entity-gradient rows per batch vs epoch",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Random-selection thresholds: accuracy and sparsity",
+		Paper: "Figure 3a-b: TCA and sparsity per epoch for average, averagex0.1 and Bernoulli selection",
+		Run:   runFig3,
+	})
+}
+
+func runFig2(o Options) (*metrics.Report, error) {
+	cfg := baseConfig250K(o)
+	cfg.Comm = core.CommAllGather
+	cfg.TrackEpochStats = true
+	nodes := 4
+	if o.Quick {
+		nodes = 2
+	}
+	r, err := trainCached(cfg, dataset250K(o), nodes)
+	if err != nil {
+		return nil, err
+	}
+	s := metrics.Series{Name: "non-zero rows"}
+	for _, e := range r.PerEpoch {
+		s.X = append(s.X, float64(e.Epoch))
+		s.Y = append(s.Y, e.NonZeroGradRows)
+	}
+	return &metrics.Report{
+		ID:    "fig2",
+		Title: "Non-zero gradient rows vs epoch",
+		Notes: []string{
+			"Rows become exactly zero only once triples saturate (|score| large);",
+			"the count is flat early and declines as training converges.",
+		},
+		Figures: []*metrics.Figure{{
+			Title:  "fig2: non-zero entity gradient rows per batch",
+			XLabel: "epoch", YLabel: "rows",
+			Series: []metrics.Series{s},
+		}},
+	}, nil
+}
+
+func runFig3(o Options) (*metrics.Report, error) {
+	d := dataset15K(o)
+	modes := []struct {
+		name string
+		mode grad.SelectMode
+	}{
+		{"dense", grad.SelectAll},
+		{"average", grad.SelectAvgThreshold},
+		{"averagex0.1", grad.SelectAvgTenthThreshold},
+		{"random-selection", grad.SelectBernoulli},
+	}
+	tcaFig := &metrics.Figure{Title: "fig3a: validation TCA per epoch", XLabel: "epoch", YLabel: "TCA %"}
+	spFig := &metrics.Figure{Title: "fig3b: selection sparsity per epoch", XLabel: "epoch", YLabel: "dropped fraction"}
+	for _, m := range modes {
+		cfg := baseConfig15K(o)
+		cfg.Comm = core.CommAllGather
+		cfg.Select = m.mode
+		cfg.TrackEpochStats = true
+		r, err := trainCached(cfg, d, 2)
+		if err != nil {
+			return nil, err
+		}
+		tca := metrics.Series{Name: m.name}
+		sp := metrics.Series{Name: m.name}
+		for _, e := range r.PerEpoch {
+			tca.X = append(tca.X, float64(e.Epoch))
+			tca.Y = append(tca.Y, e.ValTCA)
+			sp.X = append(sp.X, float64(e.Epoch))
+			sp.Y = append(sp.Y, e.Sparsity)
+		}
+		tcaFig.Series = append(tcaFig.Series, tca)
+		spFig.Series = append(spFig.Series, sp)
+	}
+	return &metrics.Report{
+		ID:      "fig3",
+		Title:   "Random-selection threshold comparison",
+		Figures: []*metrics.Figure{tcaFig, spFig},
+	}, nil
+}

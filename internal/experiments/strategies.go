@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"kgedist/internal/core"
+	"kgedist/internal/grad"
+	"kgedist/internal/metrics"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "strategies",
+		Title: "Cumulative strategy attribution",
+		Paper: "Section 5.3's narrative as one table: what each strategy adds on top of the previous ones",
+		Run:   runStrategies,
+	})
+}
+
+// runStrategies stacks the five strategies one at a time at a fixed node
+// count, attributing the time and accuracy movement to each addition —
+// the quantitative version of the paper's §5.3 summary discussion.
+func runStrategies(o Options) (*metrics.Report, error) {
+	d := dataset250K(o)
+	base := baseConfig250K(o)
+	nodes := 8
+	if o.Quick {
+		nodes = 4
+	}
+
+	steps := []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"baseline (allreduce)", func(c *core.Config) { c.Comm = core.CommAllReduce }},
+		{"+ dynamic selection", func(c *core.Config) { c.Comm = core.CommDynamic }},
+		{"+ random selection", func(c *core.Config) { c.Select = grad.SelectBernoulli }},
+		{"+ 1-bit quantization", func(c *core.Config) { c.Quant = grad.OneBitMax }},
+		{"+ relation partition", func(c *core.Config) { c.RelationPartition = true }},
+		{"+ sample selection", func(c *core.Config) {
+			c.NegSelect = true
+			c.NegSamples = 5
+		}},
+	}
+
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Each strategy stacked on the previous, %d nodes on %s", nodes, d.Name),
+		Headers: []string{"configuration", "TT (s)", "N", "epoch (ms)",
+			"comm MB", "TCA", "MRR"},
+	}
+	cfg := base
+	for _, s := range steps {
+		s.mut(&cfg)
+		r, err := trainCached(cfg, d, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		t.AddRow(s.name, r.TotalHours*3600, r.Epochs,
+			r.AvgEpochSeconds()*1000, float64(r.CommBytes)/1e6, r.TCA, r.MRR)
+	}
+	return &metrics.Report{
+		ID:     "strategies",
+		Title:  "Cumulative strategy attribution",
+		Tables: []*metrics.Table{t},
+	}, nil
+}

@@ -1,0 +1,313 @@
+package grad
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"kgedist/internal/xrand"
+)
+
+// Scheme identifies a gradient quantization scheme (§4.3).
+type Scheme uint8
+
+// The quantization schemes compared in the paper. OneBitMax (sign of the
+// value times the maximum absolute value of the row) is the paper's winner
+// and the one used by the combined strategies.
+const (
+	// NoQuant transmits full-precision float32 values.
+	NoQuant Scheme = iota
+	// OneBitMax: q_i = sign(v_i) * max(|v|).
+	OneBitMax
+	// OneBitAvg: q_i = sign(v_i) * mean(|v|).
+	OneBitAvg
+	// OneBitPosMax: scale from the positive values only: max(v_i > 0).
+	OneBitPosMax
+	// OneBitNegMax: scale from the negative values only: max(|v_i < 0|).
+	OneBitNegMax
+	// OneBitPosAvg: scale = mean of the positive values.
+	OneBitPosAvg
+	// OneBitNegAvg: scale = mean of |negative values|.
+	OneBitNegAvg
+	// TwoBitTernary: TernGrad-style ternary quantization with the paper's
+	// modification of using mean(|v|) instead of max(|v|):
+	// q_i = sign(v_i) * mean(|v|) * B_i, P(B_i=1) = min(1, |v_i|/mean(|v|)).
+	TwoBitTernary
+)
+
+// String returns the scheme's name as used in the paper's plots.
+func (s Scheme) String() string {
+	switch s {
+	case NoQuant:
+		return "none"
+	case OneBitMax:
+		return "1bit-max"
+	case OneBitAvg:
+		return "1bit-avg"
+	case OneBitPosMax:
+		return "1bit-posmax"
+	case OneBitNegMax:
+		return "1bit-negmax"
+	case OneBitPosAvg:
+		return "1bit-posavg"
+	case OneBitNegAvg:
+		return "1bit-negavg"
+	case TwoBitTernary:
+		return "2bit-ternary"
+	}
+	return "unknown"
+}
+
+// BitsPerValue returns the payload bits each gradient value occupies on the
+// wire (excluding the per-row scale).
+func (s Scheme) BitsPerValue() int {
+	switch s {
+	case NoQuant:
+		return 32
+	case TwoBitTernary:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// scale computes the per-row quantization scale for the 1-bit family.
+// Sign-restricted statistics fall back to max(|v|) when the row has no
+// values of the required sign.
+func scale(s Scheme, row []float32) float32 {
+	var posMax, posSum, negMax, negSum float32
+	var posN, negN int
+	var absMax float32
+	var absSum float64
+	for _, v := range row {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > absMax {
+			absMax = a
+		}
+		absSum += float64(a)
+		if v > 0 {
+			posN++
+			posSum += v
+			if v > posMax {
+				posMax = v
+			}
+		} else if v < 0 {
+			negN++
+			negSum += -v
+			if -v > negMax {
+				negMax = -v
+			}
+		}
+	}
+	switch s {
+	case OneBitMax:
+		return absMax
+	case OneBitAvg:
+		if len(row) == 0 {
+			return 0
+		}
+		return float32(absSum / float64(len(row)))
+	case OneBitPosMax:
+		if posN == 0 {
+			return absMax
+		}
+		return posMax
+	case OneBitNegMax:
+		if negN == 0 {
+			return absMax
+		}
+		return negMax
+	case OneBitPosAvg:
+		if posN == 0 {
+			return absMax
+		}
+		return posSum / float32(posN)
+	case OneBitNegAvg:
+		if negN == 0 {
+			return absMax
+		}
+		return negSum / float32(negN)
+	}
+	panic("grad: scale called for non-1-bit scheme " + s.String())
+}
+
+// Encoded is a quantized sparse gradient ready for the wire: row indices,
+// one scale per row, and the packed sign/ternary payload.
+type Encoded struct {
+	Scheme  Scheme
+	Width   int
+	Indices []int32
+	Scales  []float32
+	Bits    []byte
+}
+
+// payloadBytesPerRow returns the packed payload size of one row.
+func payloadBytesPerRow(s Scheme, width int) int {
+	switch s {
+	case NoQuant:
+		return 4 * width
+	case TwoBitTernary:
+		return (2*width + 7) / 8
+	default:
+		return (width + 7) / 8
+	}
+}
+
+// WireBytes returns the total on-wire size of the encoding, including
+// indices and scales.
+func (e *Encoded) WireBytes() int {
+	per := payloadBytesPerRow(e.Scheme, e.Width)
+	scales := 4 * len(e.Scales)
+	if e.Scheme == NoQuant {
+		scales = 0
+	}
+	return 4*len(e.Indices) + scales + per*len(e.Indices)
+}
+
+// Quantize encodes the sparse gradient under the scheme. The rng is used
+// only by TwoBitTernary's stochastic zeroing; it may be nil for the other
+// schemes. The input gradient is not modified.
+func Quantize(g *SparseGrad, s Scheme, rng *xrand.RNG) *Encoded {
+	idx := g.Indices()
+	w := g.Width()
+	e := &Encoded{
+		Scheme:  s,
+		Width:   w,
+		Indices: idx,
+		Scales:  make([]float32, 0, len(idx)),
+		Bits:    make([]byte, 0, len(idx)*payloadBytesPerRow(s, w)),
+	}
+	per := payloadBytesPerRow(s, w)
+	for _, id := range idx {
+		row, _ := g.Get(id)
+		switch s {
+		case NoQuant:
+			e.Scales = append(e.Scales, 0)
+			buf := make([]byte, 4*w)
+			for i, v := range row {
+				binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+			}
+			e.Bits = append(e.Bits, buf...)
+		case TwoBitTernary:
+			mean := scale(OneBitAvg, row)
+			e.Scales = append(e.Scales, mean)
+			buf := make([]byte, per)
+			if mean > 0 {
+				for i, v := range row {
+					var code byte // 0 = zero, 1 = +scale, 2 = -scale
+					a := v
+					if a < 0 {
+						a = -a
+					}
+					if rng.Bernoulli(float64(a) / float64(mean)) {
+						if v > 0 {
+							code = 1
+						} else if v < 0 {
+							code = 2
+						}
+					}
+					buf[i/4] |= code << uint((i%4)*2)
+				}
+			}
+			e.Bits = append(e.Bits, buf...)
+		default: // 1-bit family
+			sc := scale(s, row)
+			e.Scales = append(e.Scales, sc)
+			buf := make([]byte, per)
+			for i, v := range row {
+				if v >= 0 {
+					buf[i/8] |= 1 << uint(i%8)
+				}
+			}
+			e.Bits = append(e.Bits, buf...)
+		}
+	}
+	return e
+}
+
+// Dequantize reconstructs the gradient rows and accumulates them into dst
+// (which must share the encoded width).
+func Dequantize(e *Encoded, dst *SparseGrad) {
+	if dst.Width() != e.Width {
+		panic("grad: Dequantize width mismatch")
+	}
+	per := payloadBytesPerRow(e.Scheme, e.Width)
+	for r, id := range e.Indices {
+		row := dst.Row(id)
+		buf := e.Bits[r*per : (r+1)*per]
+		switch e.Scheme {
+		case NoQuant:
+			for i := 0; i < e.Width; i++ {
+				row[i] += math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+			}
+		case TwoBitTernary:
+			sc := e.Scales[r]
+			for i := 0; i < e.Width; i++ {
+				code := (buf[i/4] >> uint((i%4)*2)) & 3
+				switch code {
+				case 1:
+					row[i] += sc
+				case 2:
+					row[i] -= sc
+				}
+			}
+		default:
+			sc := e.Scales[r]
+			for i := 0; i < e.Width; i++ {
+				if buf[i/8]&(1<<uint(i%8)) != 0 {
+					row[i] += sc
+				} else {
+					row[i] -= sc
+				}
+			}
+		}
+	}
+}
+
+// Marshal serializes the encoding into one byte slice for AllGatherBytes.
+// Layout: scheme(1) width(4) nrows(4) | indices | scales | bits.
+func (e *Encoded) Marshal() []byte {
+	n := len(e.Indices)
+	out := make([]byte, 0, 9+4*n+4*len(e.Scales)+len(e.Bits))
+	out = append(out, byte(e.Scheme))
+	out = binary.LittleEndian.AppendUint32(out, uint32(e.Width))
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	for _, id := range e.Indices {
+		out = binary.LittleEndian.AppendUint32(out, uint32(id))
+	}
+	for _, s := range e.Scales {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(s))
+	}
+	out = append(out, e.Bits...)
+	return out
+}
+
+// Unmarshal parses a buffer produced by Marshal.
+func Unmarshal(buf []byte) (*Encoded, error) {
+	if len(buf) < 9 {
+		return nil, fmt.Errorf("grad: encoded buffer too short: %d bytes", len(buf))
+	}
+	e := &Encoded{Scheme: Scheme(buf[0])}
+	e.Width = int(binary.LittleEndian.Uint32(buf[1:]))
+	n := int(binary.LittleEndian.Uint32(buf[5:]))
+	off := 9
+	need := off + 4*n + 4*n + n*payloadBytesPerRow(e.Scheme, e.Width)
+	if e.Width <= 0 || n < 0 || len(buf) != need {
+		return nil, fmt.Errorf("grad: encoded buffer size %d does not match header (want %d)", len(buf), need)
+	}
+	e.Indices = make([]int32, n)
+	for i := range e.Indices {
+		e.Indices[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	e.Scales = make([]float32, n)
+	for i := range e.Scales {
+		e.Scales[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	e.Bits = append([]byte(nil), buf[off:]...)
+	return e, nil
+}

@@ -1,0 +1,73 @@
+package grad
+
+import "kgedist/internal/tensor"
+
+// Residual implements error-feedback accumulation for compressed gradients
+// (Karimireddy et al. 2019; discussed in the paper's related work, §2): the
+// quantization error of each step is stored and added back into the next
+// step's gradient, which provably fixes the bias of sign-based compression.
+//
+// This is an optional extension: the paper's main pipeline communicates the
+// quantized gradient without feedback. The ablation benches compare both.
+type Residual struct {
+	width int
+	rows  map[int32][]float32
+}
+
+// NewResidual returns an empty residual store for rows of the given width.
+func NewResidual(width int) *Residual {
+	if width <= 0 {
+		panic("grad: non-positive residual width")
+	}
+	return &Residual{width: width, rows: make(map[int32][]float32)}
+}
+
+// Len returns the number of rows currently holding residual error.
+func (r *Residual) Len() int { return len(r.rows) }
+
+// AddInto adds the stored residual into every matching row of g, consuming
+// it. Rows with residual but no gradient this step keep their residual for
+// a later step (they are not communicated now anyway).
+func (r *Residual) AddInto(g *SparseGrad) {
+	if g.Width() != r.width {
+		panic("grad: residual width mismatch")
+	}
+	g.ForEach(func(id int32, row []float32) {
+		if res, ok := r.rows[id]; ok {
+			tensor.Add(res, row)
+			delete(r.rows, id)
+		}
+	})
+}
+
+// Update records the quantization error for the rows of g: for each row
+// present in g, the stored residual becomes g_row - decoded_row, where
+// decoded is the dequantized representation the other ranks will apply.
+func (r *Residual) Update(g *SparseGrad, e *Encoded) {
+	if g.Width() != r.width {
+		panic("grad: residual width mismatch")
+	}
+	decoded := NewSparseGrad(r.width)
+	Dequantize(e, decoded)
+	g.ForEach(func(id int32, row []float32) {
+		dec, ok := decoded.Get(id)
+		if !ok {
+			return
+		}
+		res := make([]float32, r.width)
+		for i := range res {
+			res[i] = row[i] - dec[i]
+		}
+		r.rows[id] = res
+	})
+}
+
+// NormSum returns the sum of 2-norms of the stored residual rows — a
+// diagnostic of accumulated compression error.
+func (r *Residual) NormSum() float64 {
+	var s float64
+	for _, row := range r.rows {
+		s += float64(tensor.Nrm2(row))
+	}
+	return s
+}

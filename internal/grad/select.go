@@ -1,0 +1,138 @@
+package grad
+
+import (
+	"sort"
+
+	"kgedist/internal/xrand"
+)
+
+// SelectMode chooses how the random-selection strategy (§4.2) filters
+// gradient rows before communication.
+type SelectMode int
+
+// Selection modes compared in Figure 3 of the paper.
+const (
+	// SelectAll disables selection (the dense baseline).
+	SelectAll SelectMode = iota
+	// SelectAvgThreshold drops rows whose 2-norm is below the mean norm.
+	SelectAvgThreshold
+	// SelectAvgTenthThreshold drops rows whose 2-norm is below 0.1x the
+	// mean norm (the paper's "averagex0.1").
+	SelectAvgTenthThreshold
+	// SelectBernoulli keeps row i with probability min(1, ||g_i||/C),
+	// C = mean 2-norm — the paper's chosen method ("random selection").
+	SelectBernoulli
+	// SelectTopQuarter keeps the top 25% of rows by 2-norm — the
+	// threshold-sparsification baseline of Aji & Heafield (2017) discussed
+	// in the paper's related work (§2).
+	SelectTopQuarter
+	// SelectUnbiased keeps rows like SelectBernoulli but rescales each
+	// kept row by 1/p so the sparse gradient is an unbiased estimator of
+	// the dense one — the Wangni et al. (2017) variance-controlled scheme
+	// from the related work.
+	SelectUnbiased
+)
+
+// String returns the paper's name for the mode.
+func (m SelectMode) String() string {
+	switch m {
+	case SelectAll:
+		return "none"
+	case SelectAvgThreshold:
+		return "average"
+	case SelectAvgTenthThreshold:
+		return "averagex0.1"
+	case SelectBernoulli:
+		return "random-selection"
+	case SelectTopQuarter:
+		return "top-25%"
+	case SelectUnbiased:
+		return "unbiased-selection"
+	}
+	return "unknown"
+}
+
+// SelectStats reports the effect of one selection pass.
+type SelectStats struct {
+	Before  int // rows before selection
+	Kept    int // rows surviving
+	Dropped int // rows removed
+}
+
+// Sparsity returns the dropped fraction in [0,1].
+func (s SelectStats) Sparsity() float64 {
+	if s.Before == 0 {
+		return 0
+	}
+	return float64(s.Dropped) / float64(s.Before)
+}
+
+// Select filters g in place per the mode and returns statistics. Dropped
+// rows are discarded entirely: they are neither communicated nor applied,
+// exactly as in the paper (no residual is kept unless the caller layers a
+// Residual on top).
+func Select(g *SparseGrad, mode SelectMode, rng *xrand.RNG) SelectStats {
+	st := SelectStats{Before: g.Len()}
+	if mode == SelectAll || g.Len() == 0 {
+		st.Kept = st.Before
+		return st
+	}
+	mean, norms := g.NormStats()
+	if mean == 0 {
+		// All-zero gradient: nothing carries signal; keep everything to
+		// stay faithful to "threshold relative to average".
+		st.Kept = st.Before
+		return st
+	}
+	var thresh float32
+	if mode == SelectTopQuarter {
+		thresh = quantileNorm(norms, 0.75)
+	}
+	for _, id := range g.Indices() {
+		n := norms[id]
+		keep := false
+		scale := float32(1)
+		switch mode {
+		case SelectAvgThreshold:
+			keep = n >= mean
+		case SelectAvgTenthThreshold:
+			keep = n >= 0.1*mean
+		case SelectBernoulli:
+			keep = rng.Bernoulli(float64(n) / float64(mean))
+		case SelectTopQuarter:
+			keep = n >= thresh
+		case SelectUnbiased:
+			p := float64(n) / float64(mean)
+			keep = rng.Bernoulli(p)
+			if keep && p < 1 {
+				scale = float32(1 / p)
+			}
+		default:
+			panic("grad: unknown select mode")
+		}
+		if keep {
+			st.Kept++
+			if scale != 1 {
+				row, _ := g.Get(id)
+				for i := range row {
+					row[i] *= scale
+				}
+			}
+		} else {
+			g.Drop(id)
+			st.Dropped++
+		}
+	}
+	return st
+}
+
+// quantileNorm returns the q-quantile of the norm values.
+func quantileNorm(norms map[int32]float32, q float64) float32 {
+	vals := make([]float64, 0, len(norms))
+	for _, n := range norms {
+		vals = append(vals, float64(n))
+	}
+	sort.Float64s(vals)
+	idx := int(q * float64(len(vals)-1))
+	return float32(vals[idx])
+}

@@ -1,0 +1,199 @@
+package grad
+
+import (
+	"math"
+	"testing"
+
+	"kgedist/internal/xrand"
+)
+
+// mkGrad builds a gradient with rows of controlled norms: row i has norm
+// norms[i] (id = i).
+func mkGrad(width int, norms []float32) *SparseGrad {
+	g := NewSparseGrad(width)
+	for i, n := range norms {
+		row := g.Row(int32(i))
+		row[0] = n // norm equals |n|
+	}
+	return g
+}
+
+func TestSelectAllKeepsEverything(t *testing.T) {
+	g := mkGrad(4, []float32{1, 2, 3})
+	st := Select(g, SelectAll, nil)
+	if st.Kept != 3 || st.Dropped != 0 || g.Len() != 3 {
+		t.Fatalf("stats %+v len %d", st, g.Len())
+	}
+	if st.Sparsity() != 0 {
+		t.Fatalf("sparsity %v", st.Sparsity())
+	}
+}
+
+func TestSelectAvgThreshold(t *testing.T) {
+	// Norms 1,2,3,6 -> mean 3; rows with norm >= 3 survive (ids 2,3).
+	g := mkGrad(4, []float32{1, 2, 3, 6})
+	st := Select(g, SelectAvgThreshold, nil)
+	if st.Kept != 2 || st.Dropped != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, ok := g.Get(0); ok {
+		t.Fatal("row 0 should be dropped")
+	}
+	if _, ok := g.Get(3); !ok {
+		t.Fatal("row 3 should survive")
+	}
+}
+
+func TestSelectAvgTenthThreshold(t *testing.T) {
+	// Mean 3; 0.1x mean = 0.3; only the 0.1-norm row drops.
+	g := mkGrad(4, []float32{0.1, 2.9, 3, 6})
+	st := Select(g, SelectAvgTenthThreshold, nil)
+	if st.Dropped != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, ok := g.Get(0); ok {
+		t.Fatal("row 0 should be dropped")
+	}
+}
+
+func TestSelectBernoulliKeepsLargeRowsAlways(t *testing.T) {
+	// Rows with norm >= mean have keep probability 1.
+	rng := xrand.New(1)
+	for trial := 0; trial < 50; trial++ {
+		g := mkGrad(4, []float32{1, 2, 3, 6})
+		Select(g, SelectBernoulli, rng)
+		if _, ok := g.Get(3); !ok {
+			t.Fatal("row with norm 2x mean was dropped")
+		}
+	}
+}
+
+func TestSelectBernoulliEmpiricalRate(t *testing.T) {
+	// A row with norm = mean/2 must survive about half the time.
+	rng := xrand.New(2)
+	kept := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		// Norms 1 and 3: mean 2; row 0 keep prob 0.5, row 1 prob 1.
+		g := mkGrad(2, []float32{1, 3})
+		Select(g, SelectBernoulli, rng)
+		if _, ok := g.Get(0); ok {
+			kept++
+		}
+	}
+	rate := float64(kept) / trials
+	if math.Abs(rate-0.5) > 0.05 {
+		t.Fatalf("empirical keep rate %v, want ~0.5", rate)
+	}
+}
+
+func TestSelectZeroGradientKeepsAll(t *testing.T) {
+	g := mkGrad(4, []float32{0, 0})
+	st := Select(g, SelectBernoulli, xrand.New(1))
+	if st.Dropped != 0 {
+		t.Fatalf("zero gradient rows dropped: %+v", st)
+	}
+}
+
+func TestSelectEmptyGradient(t *testing.T) {
+	g := NewSparseGrad(4)
+	st := Select(g, SelectBernoulli, xrand.New(1))
+	if st.Before != 0 || st.Kept != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSelectModeString(t *testing.T) {
+	cases := map[SelectMode]string{
+		SelectAll:               "none",
+		SelectAvgThreshold:      "average",
+		SelectAvgTenthThreshold: "averagex0.1",
+		SelectBernoulli:         "random-selection",
+		SelectMode(99):          "unknown",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q", m, m.String())
+		}
+	}
+}
+
+func TestSelectSparsityOrdering(t *testing.T) {
+	// Figure 3b of the paper: averaging threshold is the most aggressive,
+	// averagex0.1 the least, Bernoulli in between, on a heavy-tailed norm
+	// distribution.
+	rng := xrand.New(7)
+	norms := make([]float32, 500)
+	for i := range norms {
+		norms[i] = float32(math.Exp(rng.NormFloat64())) // lognormal tail
+	}
+	run := func(mode SelectMode) float64 {
+		g := mkGrad(4, norms)
+		return Select(g, mode, xrand.New(9)).Sparsity()
+	}
+	avg := run(SelectAvgThreshold)
+	tenth := run(SelectAvgTenthThreshold)
+	bern := run(SelectBernoulli)
+	if !(avg > bern && bern > tenth) {
+		t.Fatalf("sparsity ordering violated: avg %v bern %v tenth %v", avg, bern, tenth)
+	}
+	if bern < 0.1 {
+		t.Fatalf("Bernoulli selection produced almost no sparsity: %v", bern)
+	}
+}
+
+func TestSelectTopQuarter(t *testing.T) {
+	// 8 rows with norms 1..8: the top quarter (norms 7, 8) survives; the
+	// quantile boundary row itself is kept.
+	norms := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	g := mkGrad(4, norms)
+	st := Select(g, SelectTopQuarter, nil)
+	if st.Kept < 2 || st.Kept > 3 {
+		t.Fatalf("top-quarter kept %d of 8", st.Kept)
+	}
+	if _, ok := g.Get(7); !ok {
+		t.Fatal("largest row dropped")
+	}
+	if _, ok := g.Get(0); ok {
+		t.Fatal("smallest row kept")
+	}
+}
+
+func TestSelectUnbiasedExpectation(t *testing.T) {
+	// E[selected row] must equal the original row: keep prob p = n/C and
+	// kept rows scaled 1/p. Row 0 has norm 1, row 1 norm 3 => C = 2,
+	// p0 = 0.5 with scale 2.
+	rng := xrand.New(31)
+	const trials = 20000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		g := mkGrad(2, []float32{1, 3})
+		Select(g, SelectUnbiased, rng)
+		if row, ok := g.Get(0); ok {
+			sum += float64(row[0])
+		}
+	}
+	mean := sum / trials
+	if math.Abs(mean-1.0) > 0.05 {
+		t.Fatalf("unbiased selection E[row0] = %v, want 1.0", mean)
+	}
+}
+
+func TestSelectUnbiasedLargeRowsUnscaled(t *testing.T) {
+	// Rows with norm >= C have p = 1 and must keep their exact values.
+	g := mkGrad(2, []float32{1, 3})
+	Select(g, SelectUnbiased, xrand.New(7))
+	row, ok := g.Get(1)
+	if !ok {
+		t.Fatal("above-mean row dropped")
+	}
+	if row[0] != 3 {
+		t.Fatalf("above-mean row rescaled: %v", row[0])
+	}
+}
+
+func TestNewModeStrings(t *testing.T) {
+	if SelectTopQuarter.String() != "top-25%" || SelectUnbiased.String() != "unbiased-selection" {
+		t.Fatal("new mode strings wrong")
+	}
+}

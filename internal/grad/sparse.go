@@ -1,0 +1,142 @@
+// Package grad implements the paper's gradient pipeline: sparse per-row
+// gradient accumulation, random selection of gradient vectors (§4.2), 1-bit
+// and 2-bit gradient quantization with wire encoding (§4.3), and the
+// error-feedback residual extension discussed in the related work (§2).
+package grad
+
+import (
+	"sort"
+
+	"kgedist/internal/tensor"
+)
+
+// SparseGrad accumulates gradient rows of a single embedding matrix, keyed
+// by row id. Only rows touched by the current batch are materialized — the
+// object that the all-gather path communicates and the all-reduce path
+// scatters into a dense buffer.
+type SparseGrad struct {
+	width int
+	rows  map[int32][]float32
+}
+
+// NewSparseGrad returns an empty accumulator for rows of the given width.
+func NewSparseGrad(width int) *SparseGrad {
+	if width <= 0 {
+		panic("grad: non-positive width")
+	}
+	return &SparseGrad{width: width, rows: make(map[int32][]float32)}
+}
+
+// Width returns the row width.
+func (g *SparseGrad) Width() int { return g.width }
+
+// Len returns the number of materialized rows.
+func (g *SparseGrad) Len() int { return len(g.rows) }
+
+// Row returns the gradient row for id, materializing a zero row on first
+// touch.
+func (g *SparseGrad) Row(id int32) []float32 {
+	r, ok := g.rows[id]
+	if !ok {
+		r = make([]float32, g.width)
+		g.rows[id] = r
+	}
+	return r
+}
+
+// Get returns the row for id without materializing it.
+func (g *SparseGrad) Get(id int32) ([]float32, bool) {
+	r, ok := g.rows[id]
+	return r, ok
+}
+
+// Drop removes a row (used by the selection strategies).
+func (g *SparseGrad) Drop(id int32) { delete(g.rows, id) }
+
+// Clear removes all rows, retaining the map for reuse.
+func (g *SparseGrad) Clear() {
+	for k := range g.rows {
+		delete(g.rows, k)
+	}
+}
+
+// Indices returns the materialized row ids in ascending order.
+func (g *SparseGrad) Indices() []int32 {
+	idx := make([]int32, 0, len(g.rows))
+	for id := range g.rows {
+		idx = append(idx, id)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	return idx
+}
+
+// ForEach calls f for every materialized row in ascending id order.
+func (g *SparseGrad) ForEach(f func(id int32, row []float32)) {
+	for _, id := range g.Indices() {
+		f(id, g.rows[id])
+	}
+}
+
+// Flatten returns sorted indices and the concatenated row values in the
+// same order — the payload of the sparse all-gather exchange.
+func (g *SparseGrad) Flatten() ([]int32, []float32) {
+	idx := g.Indices()
+	flat := make([]float32, len(idx)*g.width)
+	for i, id := range idx {
+		copy(flat[i*g.width:(i+1)*g.width], g.rows[id])
+	}
+	return idx, flat
+}
+
+// AddFlat accumulates flattened rows (as produced by Flatten) into g.
+func (g *SparseGrad) AddFlat(idx []int32, flat []float32) {
+	if len(flat) != len(idx)*g.width {
+		panic("grad: AddFlat size mismatch")
+	}
+	for i, id := range idx {
+		tensor.Add(flat[i*g.width:(i+1)*g.width], g.Row(id))
+	}
+}
+
+// ScatterDense writes the rows into a dense matrix-shaped buffer of
+// rows*width floats (zeroing it first) — the payload of the dense
+// all-reduce exchange.
+func (g *SparseGrad) ScatterDense(buf []float32) {
+	tensor.Zero(buf)
+	for id, row := range g.rows {
+		off := int(id) * g.width
+		copy(buf[off:off+g.width], row)
+	}
+}
+
+// AccumulateDense adds a dense matrix-shaped buffer's non-zero rows into g.
+func (g *SparseGrad) AccumulateDense(buf []float32) {
+	for off := 0; off+g.width <= len(buf); off += g.width {
+		row := buf[off : off+g.width]
+		if !tensor.IsZero(row) {
+			tensor.Add(row, g.Row(int32(off/g.width)))
+		}
+	}
+}
+
+// NormStats summarizes the 2-norms of the rows: the mean norm is the
+// threshold constant C of the paper's random-selection strategy.
+func (g *SparseGrad) NormStats() (mean float32, norms map[int32]float32) {
+	norms = make(map[int32]float32, len(g.rows))
+	if len(g.rows) == 0 {
+		return 0, norms
+	}
+	var sum float64
+	for id, row := range g.rows {
+		n := tensor.Nrm2(row)
+		norms[id] = n
+		sum += float64(n)
+	}
+	return float32(sum / float64(len(g.rows))), norms
+}
+
+// PayloadBytes returns the wire size of the uncompressed sparse exchange:
+// 4 bytes per index plus 4 bytes per value.
+func (g *SparseGrad) PayloadBytes() int {
+	return 4*len(g.rows) + 4*len(g.rows)*g.width
+}

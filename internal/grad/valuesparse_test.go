@@ -1,0 +1,156 @@
+package grad
+
+import (
+	"math"
+	"testing"
+
+	"kgedist/internal/xrand"
+)
+
+func TestSparsifyValuesKeepsLargest(t *testing.T) {
+	g := NewSparseGrad(4)
+	copy(g.Row(0), []float32{10, -1, 0.5, 0})
+	copy(g.Row(1), []float32{-20, 2, 0, 0})
+	vs := SparsifyValues(g, 0.5) // 5 non-zero values -> keep ceil(2.5)=3
+	if len(vs.Vals) != 3 {
+		t.Fatalf("kept %d values", len(vs.Vals))
+	}
+	// The three largest magnitudes are -20, 10, 2.
+	mags := map[float32]bool{}
+	for _, v := range vs.Vals {
+		mags[v] = true
+	}
+	for _, want := range []float32{-20, 10, 2} {
+		if !mags[want] {
+			t.Fatalf("missing value %v in %v", want, vs.Vals)
+		}
+	}
+}
+
+func TestSparsifyValuesFullFraction(t *testing.T) {
+	g := NewSparseGrad(3)
+	copy(g.Row(2), []float32{1, 2, 3})
+	vs := SparsifyValues(g, 1)
+	if len(vs.Vals) != 3 {
+		t.Fatalf("kept %d of 3", len(vs.Vals))
+	}
+	dst := NewSparseGrad(3)
+	vs.AddInto(dst)
+	row, _ := dst.Get(2)
+	for i, want := range []float32{1, 2, 3} {
+		if row[i] != want {
+			t.Fatalf("reconstruction wrong: %v", row)
+		}
+	}
+}
+
+func TestSparsifyValuesPanicsOnBadFraction(t *testing.T) {
+	g := NewSparseGrad(2)
+	for _, f := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("fraction %v accepted", f)
+				}
+			}()
+			SparsifyValues(g, f)
+		}()
+	}
+}
+
+func TestValueSparseWireOverhead(t *testing.T) {
+	// The paper's point: per-value indices triple the wire cost per
+	// surviving value versus a dense float, so a 25% keep rate saves
+	// LESS than 25% of bytes (12 bytes/value vs 4).
+	rng := xrand.New(4)
+	g := randGrad(rng, 50, 64)
+	dense := Quantize(g, NoQuant, nil).WireBytes()
+	vs := SparsifyValues(g, 0.25)
+	if got := vs.WireBytes(); got != 12*len(vs.Vals) {
+		t.Fatalf("WireBytes = %d", got)
+	}
+	ratio := float64(vs.WireBytes()) / float64(dense)
+	if ratio < 0.5 || ratio > 0.95 {
+		t.Fatalf("25%% value-sparsity moved %.0f%% of dense bytes — expected 50-95%% "+
+			"(index overhead)", 100*ratio)
+	}
+	// Whereas the paper's 1-bit row quantization at the same gradient is
+	// dramatically cheaper.
+	oneBit := Quantize(g, OneBitMax, nil).WireBytes()
+	if oneBit*5 > vs.WireBytes() {
+		t.Fatalf("1-bit (%d B) not clearly below value-sparse (%d B)", oneBit, vs.WireBytes())
+	}
+}
+
+func TestValueSparseMarshalRoundTrip(t *testing.T) {
+	rng := xrand.New(5)
+	g := randGrad(rng, 7, 9)
+	vs := SparsifyValues(g, 0.5)
+	got, err := UnmarshalValueSparse(vs.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != vs.Width || len(got.Vals) != len(vs.Vals) {
+		t.Fatalf("header mismatch")
+	}
+	for i := range vs.Vals {
+		if got.Rows[i] != vs.Rows[i] || got.Cols[i] != vs.Cols[i] || got.Vals[i] != vs.Vals[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestUnmarshalValueSparseErrors(t *testing.T) {
+	if _, err := UnmarshalValueSparse(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := UnmarshalValueSparse([]byte("XXXXXXXXXX")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	g := NewSparseGrad(2)
+	g.Row(0)[0] = 1
+	buf := SparsifyValues(g, 1).Marshal()
+	if _, err := UnmarshalValueSparse(buf[:len(buf)-2]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestSparsifyValuesDeterministic(t *testing.T) {
+	rng := xrand.New(6)
+	g := randGrad(rng, 10, 8)
+	a := SparsifyValues(g, 0.3)
+	b := SparsifyValues(g, 0.3)
+	if len(a.Vals) != len(b.Vals) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a.Vals {
+		if a.Rows[i] != b.Rows[i] || a.Cols[i] != b.Cols[i] {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}
+
+func TestSparsifyValuesApproximation(t *testing.T) {
+	// Keeping 60% of values must retain most of the gradient energy.
+	rng := xrand.New(7)
+	g := randGrad(rng, 20, 16)
+	vs := SparsifyValues(g, 0.6)
+	dst := NewSparseGrad(16)
+	vs.AddInto(dst)
+	var refSq, errSq float64
+	g.ForEach(func(id int32, row []float32) {
+		d, _ := dst.Get(id)
+		for i, v := range row {
+			refSq += float64(v) * float64(v)
+			var dv float32
+			if d != nil {
+				dv = d[i]
+			}
+			e := float64(v - dv)
+			errSq += e * e
+		}
+	})
+	if math.Sqrt(errSq/refSq) > 0.5 {
+		t.Fatalf("60%% keep lost too much energy: rel err %v", math.Sqrt(errSq/refSq))
+	}
+}

@@ -1,0 +1,158 @@
+// Package hogwild implements lock-free shared-memory parallel KGE training
+// — the approach of the paper's related work (§2: Zhang et al. and Niu et
+// al. "train the KGE using shared memory parallelism by employing lock-free
+// updates in a multi-threaded environment"). It serves as the intra-node
+// baseline: threads share one parameter store and apply sparse SGD updates
+// without synchronization (Hogwild!, Recht et al. 2011), racing benignly on
+// the rare row collisions.
+//
+// Unlike internal/core this trainer runs on real threads with real shared
+// memory (no virtual cluster): it demonstrates what a single 24-core node of
+// the paper's testbed does between collectives, and its wall-clock scaling
+// is measured directly in the benchmarks.
+package hogwild
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"kgedist/internal/eval"
+	"kgedist/internal/kg"
+	"kgedist/internal/model"
+	"kgedist/internal/xrand"
+)
+
+// Config assembles a Hogwild run. SGD only: lock-free Adam requires shared
+// moment state and loses its guarantees; the original Hogwild analysis (and
+// the cited KGE systems) use plain SGD.
+type Config struct {
+	// ModelName and Dim select the KGE model.
+	ModelName string
+	Dim       int
+	// LR is the constant SGD step size.
+	LR float64
+	// Epochs is the number of full passes over the training split.
+	Epochs int
+	// NegSamples per positive triple.
+	NegSamples int
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+	// TestSample subsamples the final ranking evaluation.
+	TestSample int
+	Seed       uint64
+}
+
+// DefaultConfig returns a small-footprint configuration.
+func DefaultConfig() Config {
+	return Config{
+		ModelName:  "complex",
+		Dim:        16,
+		LR:         0.05,
+		Epochs:     20,
+		NegSamples: 2,
+		TestSample: 150,
+		Seed:       1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Dim <= 0 || c.LR <= 0 || c.Epochs <= 0 || c.NegSamples < 1 {
+		return fmt.Errorf("hogwild: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	Threads int
+	Epochs  int
+	TCA     float64
+	MRR     float64
+}
+
+// Train runs lock-free parallel SGD over the dataset and evaluates the
+// final embeddings. The returned parameters are shared state mutated by all
+// threads; per the Hogwild contract the result is not bit-deterministic
+// across runs when Threads > 1.
+func Train(cfg Config, d *kg.Dataset) (*Result, *model.Params, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(d.Train) == 0 {
+		return nil, nil, fmt.Errorf("hogwild: empty training split")
+	}
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+
+	m := model.New(cfg.ModelName, cfg.Dim)
+	params := model.NewParams(m, d.NumEntities, d.NumRelations)
+	params.Init(m, xrand.New(cfg.Seed).Split(0))
+	lr := float32(cfg.LR)
+	w := m.Width()
+
+	// Static shard per thread; each thread re-shuffles its shard per epoch.
+	shards := kg.UniformPartition(d.Train, threads)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var wg sync.WaitGroup
+		for tID := 0; tID < threads; tID++ {
+			wg.Add(1)
+			go func(tID int) {
+				defer wg.Done()
+				rng := xrand.New(cfg.Seed).Split(uint64(1 + epoch*threads + tID))
+				sampler := model.NewNegSampler(d.NumEntities, rng.Split(1))
+				shard := shards[tID]
+				order := rng.Perm(len(shard))
+				gh := make([]float32, w)
+				gr := make([]float32, w)
+				gt := make([]float32, w)
+				for _, i := range order {
+					pos := shard[i]
+					step(m, params, pos, 1, lr, gh, gr, gt)
+					for k := 0; k < cfg.NegSamples; k++ {
+						step(m, params, sampler.Corrupt(pos), -1, lr, gh, gr, gt)
+					}
+				}
+			}(tID)
+		}
+		wg.Wait()
+	}
+
+	filter := kg.NewFilterIndex(d)
+	evalRng := xrand.New(cfg.Seed + 99)
+	lp := eval.LinkPrediction(m, params, d, filter, cfg.TestSample, evalRng)
+	tc := eval.TripleClassification(m, params, d, filter, evalRng)
+	return &Result{
+		Threads: threads,
+		Epochs:  cfg.Epochs,
+		TCA:     tc.Accuracy,
+		MRR:     lp.FilteredMRR,
+	}, params, nil
+}
+
+// step applies one lock-free SGD update for a labeled triple. The gradient
+// scratch buffers are thread-local; the parameter rows are read and written
+// without locks — Hogwild's benign races.
+func step(m model.Model, p *model.Params, tr kg.Triple, y float32, lr float32, gh, gr, gt []float32) {
+	for i := range gh {
+		gh[i], gr[i], gt[i] = 0, 0, 0
+	}
+	score := m.Score(p, tr)
+	coef := model.LogisticLossGrad(score, y)
+	m.AccumulateScoreGrad(p, tr, coef, gh, gr, gt)
+	h := p.Entity.Row(int(tr.H))
+	r := p.Relation.Row(int(tr.R))
+	t := p.Entity.Row(int(tr.T))
+	for i := range gh {
+		h[i] -= lr * gh[i]
+		r[i] -= lr * gr[i]
+		t[i] -= lr * gt[i]
+	}
+}

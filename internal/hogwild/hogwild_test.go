@@ -1,0 +1,109 @@
+package hogwild
+
+import (
+	"testing"
+
+	"kgedist/internal/kg"
+)
+
+func hwDataset() *kg.Dataset {
+	return kg.Generate(kg.GenConfig{
+		Name: "hw-test", Entities: 300, Relations: 30, Triples: 5000,
+		Communities: 6, Seed: 42,
+	})
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.LR = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero LR accepted")
+	}
+}
+
+func TestRejectsEmptyDataset(t *testing.T) {
+	if _, _, err := Train(DefaultConfig(), &kg.Dataset{NumEntities: 5, NumRelations: 1}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestSingleThreadLearns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Threads = 1
+	cfg.Epochs = 30
+	cfg.TestSample = 60
+	res, params, err := Train(cfg, hwDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TCA < 70 {
+		t.Fatalf("TCA = %v, expected learning", res.TCA)
+	}
+	if res.MRR < 0.05 {
+		t.Fatalf("MRR = %v", res.MRR)
+	}
+	if params == nil || params.Entity.NonZeroRows() == 0 {
+		t.Fatal("no trained parameters returned")
+	}
+	if res.Threads != 1 || res.Epochs != 30 {
+		t.Fatalf("metadata %+v", res)
+	}
+}
+
+func TestLockFreeParallelStillLearns(t *testing.T) {
+	// The Hogwild claim: benign races on sparse updates do not prevent
+	// convergence. 4 threads racing on shared parameters must reach
+	// accuracy comparable to single-threaded training.
+	cfg := DefaultConfig()
+	cfg.Dim = 8
+	cfg.Threads = 4
+	cfg.Epochs = 30
+	cfg.TestSample = 60
+	res, _, err := Train(cfg, hwDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TCA < 65 {
+		t.Fatalf("4-thread TCA = %v: racing destroyed convergence", res.TCA)
+	}
+	if res.Threads != 4 {
+		t.Fatalf("threads %d", res.Threads)
+	}
+}
+
+func TestDefaultThreadsFromGOMAXPROCS(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Dim = 4
+	cfg.Epochs = 1
+	cfg.TestSample = 10
+	res, _, err := Train(cfg, hwDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads < 1 {
+		t.Fatalf("threads %d", res.Threads)
+	}
+}
+
+func BenchmarkHogwildEpoch(b *testing.B) {
+	d := hwDataset()
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "t1", 2: "t2", 4: "t4"}[threads], func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Dim = 8
+			cfg.Threads = threads
+			cfg.Epochs = 1
+			cfg.TestSample = 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Train(cfg, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

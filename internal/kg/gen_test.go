@@ -1,0 +1,173 @@
+package kg
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := GenConfig{Name: "t", Entities: 800, Relations: 50, Triples: 10000, Seed: 7}
+	d := Generate(cfg)
+	if d.Name != "t" || d.NumEntities != 800 || d.NumRelations != 50 {
+		t.Fatalf("metadata wrong: %+v", d)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d.Size() < 9000 {
+		t.Fatalf("too many dropped duplicates: size %d", d.Size())
+	}
+	if len(d.Valid) == 0 || len(d.Test) == 0 {
+		t.Fatal("empty validation or test split")
+	}
+	if len(d.Train) <= len(d.Valid)+len(d.Test) {
+		t.Fatal("train split not dominant")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Entities: 200, Relations: 10, Triples: 1000, Seed: 5})
+	b := Generate(GenConfig{Entities: 200, Relations: 10, Triples: 1000, Seed: 5})
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("non-deterministic sizes")
+	}
+	for i := range a.Train {
+		if a.Train[i] != b.Train[i] {
+			t.Fatalf("non-deterministic triple %d", i)
+		}
+	}
+	c := Generate(GenConfig{Entities: 200, Relations: 10, Triples: 1000, Seed: 6})
+	diff := 0
+	for i := range a.Train {
+		if i < len(c.Train) && a.Train[i] != c.Train[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestGenerateNoDuplicatesNoSelfLoops(t *testing.T) {
+	d := Generate(GenConfig{Entities: 300, Relations: 20, Triples: 5000, Seed: 3})
+	seen := map[Triple]bool{}
+	for _, split := range [][]Triple{d.Train, d.Valid, d.Test} {
+		for _, tr := range split {
+			if tr.H == tr.T {
+				t.Fatalf("self loop %+v", tr)
+			}
+			if seen[tr] {
+				t.Fatalf("duplicate %+v", tr)
+			}
+			seen[tr] = true
+		}
+	}
+}
+
+func TestGenerateZipfSkew(t *testing.T) {
+	d := Generate(GenConfig{Entities: 1000, Relations: 100, Triples: 20000, Seed: 9})
+	h := d.RelationHistogram()
+	// The most frequent relation should dominate the median one decisively.
+	max, nonZero := 0, 0
+	for _, c := range h {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			nonZero++
+		}
+	}
+	if nonZero < 50 {
+		t.Fatalf("only %d relations used", nonZero)
+	}
+	if float64(max) < 5*float64(len(d.Train))/float64(nonZero) {
+		t.Fatalf("relation histogram too flat: max %d over %d relations", max, nonZero)
+	}
+}
+
+func TestGenerateCommunityStructure(t *testing.T) {
+	// With low noise, heads of a given relation should concentrate in one
+	// community (entities congruent mod Communities).
+	cfg := GenConfig{Entities: 600, Relations: 30, Triples: 10000,
+		Communities: 6, NoiseFrac: 0.01, Seed: 11}
+	d := Generate(cfg)
+	byRel := map[int32]map[int]int{}
+	for _, tr := range d.Train {
+		if byRel[tr.R] == nil {
+			byRel[tr.R] = map[int]int{}
+		}
+		byRel[tr.R][int(tr.H)%6]++
+	}
+	checked := 0
+	for _, comms := range byRel {
+		total, max := 0, 0
+		for _, c := range comms {
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		if total < 100 {
+			continue
+		}
+		checked++
+		if float64(max)/float64(total) < 0.9 {
+			t.Fatalf("relation heads not concentrated: %v", comms)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relation had enough triples to check")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(GenConfig{Entities: 1, Relations: 1, Triples: 10})
+}
+
+func TestPresets(t *testing.T) {
+	for _, cfg := range []GenConfig{FB15KMini(1), FB250KMini(1)} {
+		if cfg.Entities == 0 || cfg.Relations == 0 || cfg.Triples == 0 {
+			t.Fatalf("preset %q incomplete", cfg.Name)
+		}
+	}
+	if FB15KFull(1).Entities != 14951 || FB15KFull(1).Relations != 1345 {
+		t.Fatal("FB15KFull dimensions drifted from the paper")
+	}
+	if FB250KFull(1).Entities != 240000 || FB250KFull(1).Relations != 9280 {
+		t.Fatal("FB250KFull dimensions drifted from the paper")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ds")
+	d := Generate(GenConfig{Name: "rt", Entities: 150, Relations: 12, Triples: 900, Seed: 4})
+	if err := SaveDir(d, dir); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if got.NumEntities != d.NumEntities || got.NumRelations != d.NumRelations {
+		t.Fatalf("counts differ: %+v", got)
+	}
+	if len(got.Train) != len(d.Train) || len(got.Valid) != len(d.Valid) || len(got.Test) != len(d.Test) {
+		t.Fatal("split sizes differ")
+	}
+	for i := range d.Train {
+		if got.Train[i] != d.Train[i] {
+			t.Fatalf("train triple %d differs", i)
+		}
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error for missing dir")
+	}
+}

@@ -1,0 +1,124 @@
+package kg
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoadNamedDir reads a dataset in the original Freebase-benchmark text
+// layout: train.txt, valid.txt and test.txt, each holding one
+// "head<TAB>relation<TAB>tail" triple of arbitrary string names per line
+// (the format FB15K is distributed in). Entity and relation ids are
+// assigned in first-appearance order across train, valid, test; the name
+// dictionaries are returned alongside the dataset so predictions can be
+// mapped back.
+func LoadNamedDir(dir string) (*Dataset, *Names, error) {
+	names := &Names{
+		entityID:   map[string]int32{},
+		relationID: map[string]int32{},
+	}
+	load := func(file string) ([]Triple, error) {
+		path := filepath.Join(dir, file)
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("kg: opening %s: %w", path, err)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		var out []Triple
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			fields := strings.Split(text, "\t")
+			if len(fields) == 1 {
+				// No tabs at all: fall back to whitespace separation.
+				fields = strings.Fields(text)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("kg: %s:%d: want 3 fields, got %q", path, line, text)
+			}
+			out = append(out, Triple{
+				H: names.internEntity(fields[0]),
+				R: names.internRelation(fields[1]),
+				T: names.internEntity(fields[2]),
+			})
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("kg: reading %s: %w", path, err)
+		}
+		return out, nil
+	}
+	d := &Dataset{Name: filepath.Base(dir)}
+	var err error
+	if d.Train, err = load("train.txt"); err != nil {
+		return nil, nil, err
+	}
+	if d.Valid, err = load("valid.txt"); err != nil {
+		return nil, nil, err
+	}
+	if d.Test, err = load("test.txt"); err != nil {
+		return nil, nil, err
+	}
+	d.NumEntities = len(names.Entities)
+	d.NumRelations = len(names.Relations)
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if d.NumEntities < 2 || d.NumRelations < 1 {
+		return nil, nil, fmt.Errorf("kg: %s: dataset too small (%d entities, %d relations)",
+			dir, d.NumEntities, d.NumRelations)
+	}
+	return d, names, nil
+}
+
+// Names maps between string names and dense ids for datasets loaded with
+// LoadNamedDir.
+type Names struct {
+	// Entities holds the entity name for each id.
+	Entities []string
+	// Relations holds the relation name for each id.
+	Relations []string
+
+	entityID   map[string]int32
+	relationID map[string]int32
+}
+
+func (n *Names) internEntity(name string) int32 {
+	if id, ok := n.entityID[name]; ok {
+		return id
+	}
+	id := int32(len(n.Entities))
+	n.Entities = append(n.Entities, name)
+	n.entityID[name] = id
+	return id
+}
+
+func (n *Names) internRelation(name string) int32 {
+	if id, ok := n.relationID[name]; ok {
+		return id
+	}
+	id := int32(len(n.Relations))
+	n.Relations = append(n.Relations, name)
+	n.relationID[name] = id
+	return id
+}
+
+// EntityID resolves a name to its id.
+func (n *Names) EntityID(name string) (int32, bool) {
+	id, ok := n.entityID[name]
+	return id, ok
+}
+
+// RelationID resolves a name to its id.
+func (n *Names) RelationID(name string) (int32, bool) {
+	id, ok := n.relationID[name]
+	return id, ok
+}

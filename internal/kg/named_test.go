@@ -1,0 +1,103 @@
+package kg
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeNamed(t *testing.T, dir, file, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, file), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadNamedDir(t *testing.T) {
+	dir := t.TempDir()
+	writeNamed(t, dir, "train.txt",
+		"/m/delhi\t/location/capital_of\t/m/india\n"+
+			"/m/paris\t/location/capital_of\t/m/france\n"+
+			"/m/india\t/location/contains\t/m/delhi\n")
+	writeNamed(t, dir, "valid.txt", "/m/paris\t/location/contains\t/m/france\n")
+	writeNamed(t, dir, "test.txt", "/m/delhi\t/location/contains\t/m/india\n")
+
+	d, names, err := LoadNamedDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEntities != 4 || d.NumRelations != 2 {
+		t.Fatalf("counts: %d entities, %d relations", d.NumEntities, d.NumRelations)
+	}
+	if len(d.Train) != 3 || len(d.Valid) != 1 || len(d.Test) != 1 {
+		t.Fatalf("splits: %d/%d/%d", len(d.Train), len(d.Valid), len(d.Test))
+	}
+	// First-appearance ids: delhi=0, india=1, paris=2, france=3.
+	if id, ok := names.EntityID("/m/delhi"); !ok || id != 0 {
+		t.Fatalf("delhi id %d %v", id, ok)
+	}
+	if id, ok := names.EntityID("/m/france"); !ok || id != 3 {
+		t.Fatalf("france id %d %v", id, ok)
+	}
+	if id, ok := names.RelationID("/location/contains"); !ok || id != 1 {
+		t.Fatalf("contains id %d %v", id, ok)
+	}
+	if names.Entities[2] != "/m/paris" || names.Relations[0] != "/location/capital_of" {
+		t.Fatalf("name tables wrong: %v %v", names.Entities, names.Relations)
+	}
+	// Triple contents.
+	want := Triple{H: 0, R: 0, T: 1}
+	if d.Train[0] != want {
+		t.Fatalf("train[0] = %+v, want %+v", d.Train[0], want)
+	}
+}
+
+func TestLoadNamedDirSpaceSeparatedFallback(t *testing.T) {
+	dir := t.TempDir()
+	writeNamed(t, dir, "train.txt", "a r1 b\nb r1 c\n")
+	writeNamed(t, dir, "valid.txt", "a r1 c\n")
+	writeNamed(t, dir, "test.txt", "c r1 a\n")
+	d, _, err := LoadNamedDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEntities != 3 || len(d.Train) != 2 {
+		t.Fatalf("parsed %d entities, %d train", d.NumEntities, len(d.Train))
+	}
+}
+
+func TestLoadNamedDirErrors(t *testing.T) {
+	if _, _, err := LoadNamedDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	dir := t.TempDir()
+	writeNamed(t, dir, "train.txt", "only two\tfields\n")
+	writeNamed(t, dir, "valid.txt", "")
+	writeNamed(t, dir, "test.txt", "")
+	if _, _, err := LoadNamedDir(dir); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestLoadNamedDirRoundTripThroughSave(t *testing.T) {
+	// Named data can be re-saved in OpenKE id layout and reloaded.
+	dir := t.TempDir()
+	writeNamed(t, dir, "train.txt", "a r b\nb r c\nc s a\n")
+	writeNamed(t, dir, "valid.txt", "a s b\n")
+	writeNamed(t, dir, "test.txt", "b s c\n")
+	d, _, err := LoadNamedDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "ids")
+	if err := SaveDir(d, out); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := LoadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != d.Size() || d2.NumEntities != d.NumEntities {
+		t.Fatalf("round trip changed shape: %+v vs %+v", d2, d)
+	}
+}

@@ -1,0 +1,170 @@
+// Package metrics renders experiment outputs: aligned text tables matching
+// the paper's table layout, and numeric series standing in for its figures.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row of cells (stringified with %v).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = strconv.FormatFloat(v, 'g', 4, 64)
+		case float32:
+			row[i] = strconv.FormatFloat(float64(v), 'g', 4, 64)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// RenderCSV writes the table as CSV.
+func (t *Table) RenderCSV(w io.Writer) {
+	write := func(cells []string) {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			quoted[i] = c
+		}
+		fmt.Fprintln(w, strings.Join(quoted, ","))
+	}
+	write(t.Headers)
+	for _, row := range t.Rows {
+		write(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one named curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a set of curves over a shared x axis meaning, standing in for
+// one panel of a paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render writes the figure as one aligned column block per series.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "## %s  (x = %s, y = %s)\n", f.Title, f.XLabel, f.YLabel)
+	t := Table{Headers: []string{f.XLabel}}
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]int{}
+	for _, s := range f.Series {
+		t.Headers = append(t.Headers, s.Name)
+		for _, x := range s.X {
+			if _, ok := seen[x]; !ok {
+				seen[x] = len(xs)
+				xs = append(xs, x)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []string{trim(x)}
+		for _, s := range f.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = trim(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Render(w)
+}
+
+func trim(v float64) string { return strconv.FormatFloat(v, 'g', 5, 64) }
+
+// Report bundles the artifacts one experiment produces.
+type Report struct {
+	ID      string
+	Title   string
+	Notes   []string
+	Tables  []*Table
+	Figures []*Figure
+}
+
+// Render writes the full report as text.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintln(w)
+		t.Render(w)
+	}
+	for _, f := range r.Figures {
+		fmt.Fprintln(w)
+		f.Render(w)
+	}
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "T", Headers: []string{"a", "long-header"}}
+	tb.AddRow("x", 1.5)
+	tb.AddRow("yyyy", 2)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "## T") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns align: the second column starts at the same offset everywhere.
+	idx := strings.Index(lines[1], "long-header")
+	if idx < 0 {
+		t.Fatalf("header missing: %s", lines[1])
+	}
+	if !strings.HasPrefix(lines[4][idx:], "2") {
+		t.Fatalf("misaligned row: %q", lines[4])
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow(`va"l`, "x,y")
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"va""l"`) || !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("CSV quoting wrong: %s", out)
+	}
+}
+
+func TestAddRowFormats(t *testing.T) {
+	tb := &Table{Headers: []string{"v"}}
+	tb.AddRow(float32(1.25))
+	tb.AddRow(42)
+	tb.AddRow("s")
+	if tb.Rows[0][0] != "1.25" || tb.Rows[1][0] != "42" || tb.Rows[2][0] != "s" {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestFigureRenderUnionX(t *testing.T) {
+	f := &Figure{
+		Title: "F", XLabel: "nodes", YLabel: "tt",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "b", X: []float64{2, 4}, Y: []float64{5, 9}},
+		},
+	}
+	var sb strings.Builder
+	f.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"nodes", "a", "b", "10", "20", "5", "9", "4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// x=1 row must leave series b blank; x=4 leaves a blank (no crash).
+	if !strings.Contains(out, "## F") {
+		t.Fatal("missing figure title")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := &Report{ID: "table1", Title: "Baseline", Notes: []string{"n1"}}
+	tb := &Table{Headers: []string{"x"}}
+	tb.AddRow(1)
+	r.Tables = append(r.Tables, tb)
+	r.Figures = append(r.Figures, &Figure{Title: "f", XLabel: "x", YLabel: "y"})
+	var sb strings.Builder
+	r.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"# table1 — Baseline", "note: n1", "## f"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Property: table render never panics and keeps one line per row for
+// arbitrary cell content (including quotes, commas, unicode).
+func TestQuickTableRenderRobust(t *testing.T) {
+	f := func(cells [][3]string) bool {
+		tb := &Table{Headers: []string{"a", "b", "c"}}
+		for _, row := range cells {
+			tb.AddRow(row[0], row[1], row[2])
+		}
+		var sb strings.Builder
+		tb.Render(&sb)
+		var csv strings.Builder
+		tb.RenderCSV(&csv)
+		// CSV has header + one line per row (rows with embedded newlines
+		// are quoted, so raw '\n' inside cells stays inside quotes).
+		return strings.Count(csv.String(), "\n") >= len(cells)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

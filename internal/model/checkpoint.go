@@ -1,0 +1,135 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Checkpoint file layout (little endian):
+//
+//	magic "KGE1" | nameLen u32 | name | dim u32 | entities u32 |
+//	relations u32 | width u32 | entity data f32s | relation data f32s
+
+const checkpointMagic = "KGE1"
+
+// SaveCheckpoint writes the model name, dimension and parameters to path.
+func SaveCheckpoint(path string, m Model, p *Params) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("model: creating checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	werr := func() error {
+		if _, err := w.WriteString(checkpointMagic); err != nil {
+			return err
+		}
+		name := m.Name()
+		hdr := []uint32{uint32(len(name))}
+		if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(name); err != nil {
+			return err
+		}
+		dims := []uint32{uint32(m.Dim()), uint32(p.Entity.Rows), uint32(p.Relation.Rows), uint32(m.Width())}
+		if err := binary.Write(w, binary.LittleEndian, dims); err != nil {
+			return err
+		}
+		if err := writeF32(w, p.Entity.Data); err != nil {
+			return err
+		}
+		return writeF32(w, p.Relation.Data)
+	}()
+	if werr != nil {
+		f.Close()
+		return fmt.Errorf("model: writing checkpoint: %w", werr)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("model: flushing checkpoint: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadCheckpoint reads a checkpoint and reconstructs the model and its
+// parameters.
+func LoadCheckpoint(path string) (Model, *Params, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("model: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != checkpointMagic {
+		return nil, nil, fmt.Errorf("model: %s is not a KGE checkpoint", path)
+	}
+	var nameLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+		return nil, nil, fmt.Errorf("model: corrupt checkpoint header: %w", err)
+	}
+	if nameLen > 64 {
+		return nil, nil, fmt.Errorf("model: implausible model name length %d", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, nameBuf); err != nil {
+		return nil, nil, fmt.Errorf("model: corrupt checkpoint name: %w", err)
+	}
+	var dims [4]uint32
+	if err := binary.Read(r, binary.LittleEndian, &dims); err != nil {
+		return nil, nil, fmt.Errorf("model: corrupt checkpoint dims: %w", err)
+	}
+	dim, entities, relations, width := int(dims[0]), int(dims[1]), int(dims[2]), int(dims[3])
+	m := New(string(nameBuf), dim)
+	if m.Width() != width {
+		return nil, nil, fmt.Errorf("model: checkpoint width %d does not match %s dim %d", width, m.Name(), dim)
+	}
+	p := NewParams(m, entities, relations)
+	if err := readF32(r, p.Entity.Data); err != nil {
+		return nil, nil, fmt.Errorf("model: reading entity matrix: %w", err)
+	}
+	if err := readF32(r, p.Relation.Data); err != nil {
+		return nil, nil, fmt.Errorf("model: reading relation matrix: %w", err)
+	}
+	return m, p, nil
+}
+
+func writeF32(w io.Writer, data []float32) error {
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(data); off += 4096 {
+		end := off + 4096
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf[:4*len(chunk)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readF32(r io.Reader, data []float32) error {
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(data); off += 4096 {
+		end := off + 4096
+		if end > len(data) {
+			end = len(data)
+		}
+		n := 4 * (end - off)
+		if _, err := io.ReadFull(r, buf[:n]); err != nil {
+			return err
+		}
+		for i := off; i < end; i++ {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*(i-off):]))
+		}
+	}
+	return nil
+}

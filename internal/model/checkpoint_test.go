@@ -1,0 +1,73 @@
+package model
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kgedist/internal/xrand"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, name := range []string{"complex", "distmult"} {
+		m := New(name, 6)
+		p := NewParams(m, 17, 5)
+		p.Init(m, xrand.New(3))
+		path := filepath.Join(t.TempDir(), "ck.kge")
+		if err := SaveCheckpoint(path, m, p); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		m2, p2, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if m2.Name() != name || m2.Dim() != 6 {
+			t.Fatalf("%s: model header %s/%d", name, m2.Name(), m2.Dim())
+		}
+		if p2.Entity.Rows != 17 || p2.Relation.Rows != 5 {
+			t.Fatalf("%s: shapes %d/%d", name, p2.Entity.Rows, p2.Relation.Rows)
+		}
+		for i := range p.Entity.Data {
+			if p.Entity.Data[i] != p2.Entity.Data[i] {
+				t.Fatalf("%s: entity data differs at %d", name, i)
+			}
+		}
+		for i := range p.Relation.Data {
+			if p.Relation.Data[i] != p2.Relation.Data[i] {
+				t.Fatalf("%s: relation data differs at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestLoadCheckpointErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadCheckpoint(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("NOPE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated: valid header, missing data.
+	m := New("complex", 4)
+	p := NewParams(m, 10, 3)
+	full := filepath.Join(dir, "full")
+	if err := SaveCheckpoint(full, m, p); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc")
+	if err := os.WriteFile(trunc, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(trunc); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

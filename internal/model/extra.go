@@ -1,0 +1,266 @@
+package model
+
+import (
+	"math"
+
+	"kgedist/internal/kg"
+	"kgedist/internal/tensor"
+)
+
+// This file implements the additional KGE models the paper's future work
+// points at ("we would like to explore our methods with other KGE models").
+// All five strategies except negative-sample selection are model-agnostic;
+// these models plug into the same trainer.
+
+// ---- RotatE ----------------------------------------------------------------
+
+// RotatE (Sun et al. 2019) embeds entities as complex vectors and relations
+// as rotations on the unit circle. A row stores [Re | Im] for entities; for
+// relations it stores [cos(theta) | sin(theta)] directly (kept normalized in
+// spirit by the score being phase-based; the trainer treats them as free
+// parameters, which is the common unconstrained implementation).
+//
+// Score: -|| h o r - t ||^2 where o is complex element-wise product.
+type RotatE struct{ dim int }
+
+// NewRotatE returns a RotatE model with the given complex dimension.
+func NewRotatE(dim int) *RotatE {
+	if dim <= 0 {
+		panic("model: non-positive dimension")
+	}
+	return &RotatE{dim: dim}
+}
+
+// Name implements Model.
+func (m *RotatE) Name() string { return "rotate" }
+
+// Dim implements Model.
+func (m *RotatE) Dim() int { return m.dim }
+
+// Width implements Model.
+func (m *RotatE) Width() int { return 2 * m.dim }
+
+// Score implements Model.
+func (m *RotatE) Score(p *Params, t kg.Triple) float32 {
+	d := m.dim
+	h := p.Entity.Row(int(t.H))
+	r := p.Relation.Row(int(t.R))
+	tt := p.Entity.Row(int(t.T))
+	hr, hi := h[:d], h[d:]
+	rr, ri := r[:d], r[d:]
+	tr, ti := tt[:d], tt[d:]
+	var s float64
+	for i := 0; i < d; i++ {
+		// (h o r) - t, complex multiplication per coordinate.
+		reDiff := float64(hr[i]*rr[i] - hi[i]*ri[i] - tr[i])
+		imDiff := float64(hr[i]*ri[i] + hi[i]*rr[i] - ti[i])
+		s += reDiff*reDiff + imDiff*imDiff
+	}
+	return float32(-s)
+}
+
+// AccumulateScoreGrad implements Model.
+func (m *RotatE) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, gr, gt []float32) {
+	d := m.dim
+	h := p.Entity.Row(int(t.H))
+	r := p.Relation.Row(int(t.R))
+	tt := p.Entity.Row(int(t.T))
+	hr, hi := h[:d], h[d:]
+	rr, ri := r[:d], r[d:]
+	tr, ti := tt[:d], tt[d:]
+	ghr, ghi := gh[:d], gh[d:]
+	grr, gri := gr[:d], gr[d:]
+	gtr, gti := gt[:d], gt[d:]
+	for i := 0; i < d; i++ {
+		reDiff := hr[i]*rr[i] - hi[i]*ri[i] - tr[i]
+		imDiff := hr[i]*ri[i] + hi[i]*rr[i] - ti[i]
+		// dScore/dx = -2 * (reDiff * dRe/dx + imDiff * dIm/dx).
+		c := -2 * coef
+		ghr[i] += c * (reDiff*rr[i] + imDiff*ri[i])
+		ghi[i] += c * (-reDiff*ri[i] + imDiff*rr[i])
+		grr[i] += c * (reDiff*hr[i] + imDiff*hi[i])
+		gri[i] += c * (-reDiff*hi[i] + imDiff*hr[i])
+		gtr[i] += c * (-reDiff)
+		gti[i] += c * (-imDiff)
+	}
+}
+
+// ScoreFlops implements Model.
+func (m *RotatE) ScoreFlops() float64 { return float64(14 * m.dim) }
+
+// GradFlops implements Model.
+func (m *RotatE) GradFlops() float64 { return float64(30 * m.dim) }
+
+// ---- TransH ----------------------------------------------------------------
+
+// TransH (Wang et al. 2014) translates on a relation-specific hyperplane:
+// entities are projected onto the hyperplane with normal w_r before the
+// TransE-style translation d_r. A relation row stores [w | d] (width 2*dim);
+// the normal is used unnormalized, as in lightweight implementations, with
+// L2 regularization keeping it bounded.
+//
+// Score: -|| (h - (w.h) w) + d - (t - (w.t) w) ||^2.
+type TransH struct{ dim int }
+
+// NewTransH returns a TransH model.
+func NewTransH(dim int) *TransH {
+	if dim <= 0 {
+		panic("model: non-positive dimension")
+	}
+	return &TransH{dim: dim}
+}
+
+// Name implements Model.
+func (m *TransH) Name() string { return "transh" }
+
+// Dim implements Model.
+func (m *TransH) Dim() int { return m.dim }
+
+// Width implements Model.
+func (m *TransH) Width() int { return 2 * m.dim }
+
+// project computes e - (w.e) w into out (len dim).
+func projectH(e, w, out []float32) {
+	dot := tensor.Dot(w, e)
+	for i := range out {
+		out[i] = e[i] - dot*w[i]
+	}
+}
+
+// Score implements Model. Entity rows are width 2*dim for interface
+// uniformity; only the first dim coordinates carry the embedding.
+func (m *TransH) Score(p *Params, t kg.Triple) float32 {
+	d := m.dim
+	h := p.Entity.Row(int(t.H))[:d]
+	rel := p.Relation.Row(int(t.R))
+	w, dvec := rel[:d], rel[d:]
+	tt := p.Entity.Row(int(t.T))[:d]
+	var s float64
+	wh := tensor.Dot(w, h)
+	wt := tensor.Dot(w, tt)
+	for i := 0; i < d; i++ {
+		diff := float64((h[i] - wh*w[i]) + dvec[i] - (tt[i] - wt*w[i]))
+		s += diff * diff
+	}
+	return float32(-s)
+}
+
+// AccumulateScoreGrad implements Model.
+func (m *TransH) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, gr, gt []float32) {
+	d := m.dim
+	h := p.Entity.Row(int(t.H))[:d]
+	rel := p.Relation.Row(int(t.R))
+	w, dvec := rel[:d], rel[d:]
+	tt := p.Entity.Row(int(t.T))[:d]
+	wh := tensor.Dot(w, h)
+	wt := tensor.Dot(w, tt)
+
+	// diff = proj(h) + d - proj(t); score = -||diff||^2.
+	diff := make([]float32, d)
+	for i := 0; i < d; i++ {
+		diff[i] = (h[i] - wh*w[i]) + dvec[i] - (tt[i] - wt*w[i])
+	}
+	diffW := tensor.Dot(diff, w)
+	c := -2 * coef
+	ghv, gtv := gh[:d], gt[:d]
+	grw, grd := gr[:d], gr[d:]
+	for i := 0; i < d; i++ {
+		// d diff/d h_i = e_i - w_i w  => contribution diff_i - (diff.w) w_i.
+		ghv[i] += c * (diff[i] - diffW*w[i])
+		gtv[i] += c * (-(diff[i] - diffW*w[i]))
+		// d diff/d d_i = e_i.
+		grd[i] += c * diff[i]
+		// d diff/d w_i: -(w.h) diff_i - (diff.w) h_i + (w.t) diff_i + (diff.w) t_i.
+		grw[i] += c * (-(wh)*diff[i] - diffW*h[i] + wt*diff[i] + diffW*tt[i])
+	}
+}
+
+// ScoreFlops implements Model.
+func (m *TransH) ScoreFlops() float64 { return float64(10 * m.dim) }
+
+// GradFlops implements Model.
+func (m *TransH) GradFlops() float64 { return float64(24 * m.dim) }
+
+// ---- SimplE ----------------------------------------------------------------
+
+// SimplE (Kazemi & Poole 2018) keeps two embeddings per entity (head role
+// and tail role) and two per relation (forward and inverse), scoring
+//
+//	phi = ( <h_H, r_f, t_T> + <t_H, r_i, h_T> ) / 2.
+//
+// Rows store [head-role | tail-role] for entities and [forward | inverse]
+// for relations.
+type SimplE struct{ dim int }
+
+// NewSimplE returns a SimplE model.
+func NewSimplE(dim int) *SimplE {
+	if dim <= 0 {
+		panic("model: non-positive dimension")
+	}
+	return &SimplE{dim: dim}
+}
+
+// Name implements Model.
+func (m *SimplE) Name() string { return "simple" }
+
+// Dim implements Model.
+func (m *SimplE) Dim() int { return m.dim }
+
+// Width implements Model.
+func (m *SimplE) Width() int { return 2 * m.dim }
+
+// Score implements Model.
+func (m *SimplE) Score(p *Params, t kg.Triple) float32 {
+	d := m.dim
+	h := p.Entity.Row(int(t.H))
+	r := p.Relation.Row(int(t.R))
+	tt := p.Entity.Row(int(t.T))
+	hH, hT := h[:d], h[d:]
+	rf, ri := r[:d], r[d:]
+	tH, tT := tt[:d], tt[d:]
+	return (tensor.Dot3(hH, rf, tT) + tensor.Dot3(tH, ri, hT)) / 2
+}
+
+// AccumulateScoreGrad implements Model.
+func (m *SimplE) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, gr, gt []float32) {
+	d := m.dim
+	h := p.Entity.Row(int(t.H))
+	r := p.Relation.Row(int(t.R))
+	tt := p.Entity.Row(int(t.T))
+	hH, hT := h[:d], h[d:]
+	rf, ri := r[:d], r[d:]
+	tH, tT := tt[:d], tt[d:]
+	ghH, ghT := gh[:d], gh[d:]
+	grf, gri := gr[:d], gr[d:]
+	gtH, gtT := gt[:d], gt[d:]
+	c := coef / 2
+	for i := 0; i < d; i++ {
+		// Forward term <h_H, r_f, t_T>.
+		ghH[i] += c * rf[i] * tT[i]
+		grf[i] += c * hH[i] * tT[i]
+		gtT[i] += c * hH[i] * rf[i]
+		// Inverse term <t_H, r_i, h_T>.
+		gtH[i] += c * ri[i] * hT[i]
+		gri[i] += c * tH[i] * hT[i]
+		ghT[i] += c * tH[i] * ri[i]
+	}
+}
+
+// ScoreFlops implements Model.
+func (m *SimplE) ScoreFlops() float64 { return float64(6 * m.dim) }
+
+// GradFlops implements Model.
+func (m *SimplE) GradFlops() float64 { return float64(18 * m.dim) }
+
+// normalizePhase is a helper kept for RotatE experimentation: it rescales a
+// relation row's (cos, sin) pairs onto the unit circle.
+func normalizePhase(row []float32, dim int) {
+	for i := 0; i < dim; i++ {
+		re, im := float64(row[i]), float64(row[dim+i])
+		n := math.Hypot(re, im)
+		if n > 0 {
+			row[i] = float32(re / n)
+			row[dim+i] = float32(im / n)
+		}
+	}
+}

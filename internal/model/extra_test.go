@@ -1,0 +1,173 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"kgedist/internal/kg"
+	"kgedist/internal/xrand"
+)
+
+func TestExtraModelsByName(t *testing.T) {
+	for _, name := range []string{"rotate", "transh", "simple"} {
+		m := New(name, 6)
+		if m.Name() != name || m.Dim() != 6 {
+			t.Fatalf("New(%q) => %s/%d", name, m.Name(), m.Dim())
+		}
+		if m.Width() != 12 {
+			t.Fatalf("%s width = %d, want 12", name, m.Width())
+		}
+		if m.ScoreFlops() <= 0 || m.GradFlops() <= 0 {
+			t.Fatalf("%s flops not positive", name)
+		}
+	}
+}
+
+func TestExtraModelsPanicOnBadDim(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRotatE(0) },
+		func() { NewTransH(-1) },
+		func() { NewSimplE(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRotatEScoreHandComputed(t *testing.T) {
+	// dim=1: h = 1+2i, r = 0+1i (90-degree rotation), t = -2+1i.
+	// h o r = (1+2i)(0+1i) = -2 + 1i = t exactly -> score 0.
+	m := NewRotatE(1)
+	p := NewParams(m, 2, 1)
+	copy(p.Entity.Row(0), []float32{1, 2})
+	copy(p.Relation.Row(0), []float32{0, 1})
+	copy(p.Entity.Row(1), []float32{-2, 1})
+	if got := m.Score(p, kg.Triple{H: 0, R: 0, T: 1}); got != 0 {
+		t.Fatalf("exact rotation score = %v, want 0", got)
+	}
+	// Perturb the tail: score drops below zero.
+	p.Entity.Row(1)[0] = -1
+	if got := m.Score(p, kg.Triple{H: 0, R: 0, T: 1}); got != -1 {
+		t.Fatalf("perturbed score = %v, want -1", got)
+	}
+}
+
+func TestSimplEScoreHandComputed(t *testing.T) {
+	m := NewSimplE(1)
+	p := NewParams(m, 2, 1)
+	copy(p.Entity.Row(0), []float32{2, 3}) // h: head-role 2, tail-role 3
+	copy(p.Entity.Row(1), []float32{5, 7}) // t: head-role 5, tail-role 7
+	copy(p.Relation.Row(0), []float32{11, 13})
+	// (h_H * r_f * t_T + t_H * r_i * h_T)/2 = (2*11*7 + 5*13*3)/2.
+	want := float32(2*11*7+5*13*3) / 2
+	if got := m.Score(p, kg.Triple{H: 0, R: 0, T: 1}); got != want {
+		t.Fatalf("score = %v, want %v", got, want)
+	}
+}
+
+func TestTransHProjectionInvariance(t *testing.T) {
+	// With w = 0 the hyperplane projection is the identity and TransH
+	// reduces to TransE with translation d.
+	m := NewTransH(3)
+	p := NewParams(m, 2, 1)
+	copy(p.Entity.Row(0)[:3], []float32{1, 2, 3})
+	copy(p.Entity.Row(1)[:3], []float32{2, 2, 2})
+	rel := p.Relation.Row(0)
+	copy(rel[3:], []float32{1, 0, -1}) // d
+	// h + d - t = (0, 0, 0) -> score 0.
+	if got := m.Score(p, kg.Triple{H: 0, R: 0, T: 1}); got != 0 {
+		t.Fatalf("score = %v, want 0", got)
+	}
+}
+
+func TestExtraModelGradientsMatchNumerical(t *testing.T) {
+	for _, name := range []string{"rotate", "transh", "simple"} {
+		m := New(name, 4)
+		p := testParams(m, 5, 3, 77)
+		tr := kg.Triple{H: 1, R: 2, T: 3}
+		w := m.Width()
+		gh := make([]float32, w)
+		gr := make([]float32, w)
+		gt := make([]float32, w)
+		m.AccumulateScoreGrad(p, tr, 1.0, gh, gr, gt)
+		for c := 0; c < w; c++ {
+			if want := numericalGrad(m, p, tr, "entity", 1, c); math.Abs(float64(gh[c])-want) > 3e-2 {
+				t.Fatalf("%s: dScore/dH[%d] = %v, numerical %v", name, c, gh[c], want)
+			}
+			if want := numericalGrad(m, p, tr, "relation", 2, c); math.Abs(float64(gr[c])-want) > 3e-2 {
+				t.Fatalf("%s: dScore/dR[%d] = %v, numerical %v", name, c, gr[c], want)
+			}
+			if want := numericalGrad(m, p, tr, "entity", 3, c); math.Abs(float64(gt[c])-want) > 3e-2 {
+				t.Fatalf("%s: dScore/dT[%d] = %v, numerical %v", name, c, gt[c], want)
+			}
+		}
+	}
+}
+
+func TestExtraModelGradCoefLinearity(t *testing.T) {
+	for _, name := range []string{"rotate", "transh", "simple"} {
+		m := New(name, 3)
+		p := testParams(m, 4, 2, 5)
+		tr := kg.Triple{H: 0, R: 1, T: 2}
+		w := m.Width()
+		g1 := make([]float32, 3*w)
+		g2 := make([]float32, 3*w)
+		m.AccumulateScoreGrad(p, tr, 1, g1[:w], g1[w:2*w], g1[2*w:])
+		m.AccumulateScoreGrad(p, tr, 3, g2[:w], g2[w:2*w], g2[2*w:])
+		for i := range g1 {
+			if math.Abs(float64(g2[i]-3*g1[i])) > 1e-4 {
+				t.Fatalf("%s: coef not linear at %d: %v vs %v", name, i, g2[i], 3*g1[i])
+			}
+		}
+	}
+}
+
+func TestNormalizePhase(t *testing.T) {
+	row := []float32{3, 0, 4, 3} // pairs (3,4), (0,3)
+	normalizePhase(row, 2)
+	if math.Abs(float64(row[0])-0.6) > 1e-6 || math.Abs(float64(row[2])-0.8) > 1e-6 {
+		t.Fatalf("pair 0 not normalized: %v", row)
+	}
+	if row[1] != 0 || math.Abs(float64(row[3])-1) > 1e-6 {
+		t.Fatalf("pair 1 not normalized: %v", row)
+	}
+	zero := []float32{0, 0}
+	normalizePhase(zero, 1) // must not divide by zero
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("zero pair mutated")
+	}
+}
+
+func TestExtraModelsLearnDirectionally(t *testing.T) {
+	// One gradient step on a single positive triple must raise its score.
+	rng := xrand.New(9)
+	for _, name := range []string{"rotate", "transh", "simple"} {
+		m := New(name, 4)
+		p := NewParams(m, 6, 2)
+		p.Init(m, rng.Split(uint64(len(name))))
+		tr := kg.Triple{H: 0, R: 0, T: 1}
+		before := m.Score(p, tr)
+		w := m.Width()
+		gh := make([]float32, w)
+		gr := make([]float32, w)
+		gt := make([]float32, w)
+		coef := LogisticLossGrad(before, 1) // positive label
+		m.AccumulateScoreGrad(p, tr, coef, gh, gr, gt)
+		lr := float32(0.1)
+		for i := 0; i < w; i++ {
+			p.Entity.Row(0)[i] -= lr * gh[i]
+			p.Relation.Row(0)[i] -= lr * gr[i]
+			p.Entity.Row(1)[i] -= lr * gt[i]
+		}
+		after := m.Score(p, tr)
+		if after <= before {
+			t.Fatalf("%s: descent step did not raise positive score: %v -> %v", name, before, after)
+		}
+	}
+}

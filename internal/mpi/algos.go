@@ -1,0 +1,125 @@
+package mpi
+
+// This file carries the alternative collective algorithms used by the
+// DESIGN.md §5 ablations: recursive-doubling all-reduce (latency-optimal for
+// small payloads, vs the bandwidth-optimal ring) and a Bruck-style
+// concatenating all-gather.
+
+// AllReduceSumRD sums buf across ranks with recursive doubling: in round k,
+// rank r exchanges its full buffer with rank r XOR 2^k and both add. It
+// takes ceil(log2 P) rounds but moves the whole buffer each round, so it
+// wins on latency for small payloads and loses on bandwidth for large ones
+// — the opposite trade-off to AllReduceSum's ring.
+//
+// For non-power-of-two worlds the standard pre/post folding is applied:
+// the first P-2^m ranks fold into partners, the power-of-two core runs
+// recursive doubling, and the result is copied back out.
+func (c *Comm) AllReduceSumRD(buf []float32, tag string) float64 {
+	p := c.w.p
+	n := len(buf)
+	cost, moved, msgs := c.w.cluster.RecursiveDoublingAllReduceCost(int64(4 * n))
+	if p > 1 && n > 0 {
+		m := 1
+		for m*2 <= p {
+			m *= 2
+		}
+		rem := p - m // ranks beyond the power-of-two core
+		r := c.rank
+
+		// Pre-fold: ranks [m, p) send their buffer to r-m, which adds.
+		inCore := true
+		if r >= m {
+			out := make([]float32, n)
+			copy(out, buf)
+			c.send(r-m, message{f32: out})
+			inCore = false
+		} else if r < rem {
+			msg := c.recv(r + m)
+			for i, v := range msg.f32 {
+				buf[i] += v
+			}
+		}
+
+		if inCore {
+			for k := 1; k < m; k <<= 1 {
+				partner := r ^ k
+				out := make([]float32, n)
+				copy(out, buf)
+				c.send(partner, message{f32: out})
+				msg := c.recv(partner)
+				for i, v := range msg.f32 {
+					buf[i] += v
+				}
+			}
+		}
+
+		// Post-fold: core ranks send the final result back out.
+		if r < rem {
+			out := make([]float32, n)
+			copy(out, buf)
+			c.send(r+m, message{f32: out})
+		} else if r >= m {
+			msg := c.recv(r - m)
+			copy(buf, msg.f32)
+		}
+	}
+	c.finish(cost, moved, msgs, tag)
+	return cost
+}
+
+// AllGatherBytesBruck gathers one byte payload per rank using Bruck's
+// algorithm: in round k each rank sends everything it has accumulated to
+// rank r-2^k and receives from r+2^k, doubling the accumulated set each
+// round — ceil(log2 P) rounds instead of the ring's P-1, at the price of
+// retransmitting accumulated data. Returns payloads indexed by source rank
+// plus the virtual cost.
+func (c *Comm) AllGatherBytesBruck(payload []byte, tag string) ([][]byte, float64) {
+	p := c.w.p
+	out := make([][]byte, p)
+	out[c.rank] = payload
+	if p > 1 {
+		// have[i] is the payload of source (rank+i) mod p, filling in order.
+		have := make([][]byte, p)
+		have[0] = payload
+		count := 1
+		for k := 1; count < p; k <<= 1 {
+			dst := (c.rank - k + p) % p
+			src := (c.rank + k) % p
+			send := count
+			if count+send > p {
+				send = p - count
+			}
+			// Concatenate blocks [0, send) with a length prefix per block.
+			var flat []byte
+			for i := 0; i < send; i++ {
+				b := have[i]
+				flat = append(flat, byte(len(b)), byte(len(b)>>8), byte(len(b)>>16), byte(len(b)>>24))
+				flat = append(flat, b...)
+			}
+			c.send(dst, message{raw: flat})
+			msg := c.recv(src)
+			// Unpack into have[count...].
+			off := 0
+			for i := 0; i < send; i++ {
+				if off+4 > len(msg.raw) {
+					panic("mpi: Bruck allgather framing error")
+				}
+				l := int(msg.raw[off]) | int(msg.raw[off+1])<<8 | int(msg.raw[off+2])<<16 | int(msg.raw[off+3])<<24
+				off += 4
+				have[count+i] = msg.raw[off : off+l]
+				off += l
+			}
+			count += send
+		}
+		for i := 0; i < p; i++ {
+			out[(c.rank+i)%p] = have[i]
+		}
+	}
+	sizes := make([]int64, p)
+	for i, b := range out {
+		sizes[i] = int64(len(b))
+	}
+	cost, moved, msgs := c.w.cluster.BruckAllGatherCost(sizes)
+	c.finish(cost, moved, msgs, tag)
+	return out, cost
+}

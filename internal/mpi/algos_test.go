@@ -1,0 +1,220 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kgedist/internal/simnet"
+	"kgedist/internal/xrand"
+)
+
+func TestAllReduceSumRDMatchesSequential(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16} {
+		for _, n := range []int{0, 1, 17, 256} {
+			w := newWorld(p)
+			rng := xrand.New(uint64(31*p + n))
+			inputs := make([][]float32, p)
+			want := make([]float32, n)
+			for r := range inputs {
+				inputs[r] = make([]float32, n)
+				for i := range inputs[r] {
+					inputs[r][i] = float32(rng.NormFloat64())
+					want[i] += inputs[r][i]
+				}
+			}
+			results := make([][]float32, p)
+			w.Run(func(c *Comm) {
+				buf := append([]float32(nil), inputs[c.Rank()]...)
+				c.AllReduceSumRD(buf, "rd")
+				results[c.Rank()] = buf
+			})
+			for r := 0; r < p; r++ {
+				for i := 0; i < n; i++ {
+					if math.Abs(float64(results[r][i]-want[i])) > 1e-4 {
+						t.Fatalf("p=%d n=%d rank %d elem %d: got %v want %v",
+							p, n, r, i, results[r][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRDAgreesWithRing(t *testing.T) {
+	p := 6 // non-power-of-two exercises the folding path
+	wRing := newWorld(p)
+	wRD := newWorld(p)
+	n := 100
+	mk := func() [][]float32 {
+		rng := xrand.New(5)
+		inputs := make([][]float32, p)
+		for r := range inputs {
+			inputs[r] = make([]float32, n)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.Float32()
+			}
+		}
+		return inputs
+	}
+	ringIn, rdIn := mk(), mk()
+	ringOut := make([][]float32, p)
+	rdOut := make([][]float32, p)
+	wRing.Run(func(c *Comm) {
+		buf := append([]float32(nil), ringIn[c.Rank()]...)
+		c.AllReduceSum(buf, "x")
+		ringOut[c.Rank()] = buf
+	})
+	wRD.Run(func(c *Comm) {
+		buf := append([]float32(nil), rdIn[c.Rank()]...)
+		c.AllReduceSumRD(buf, "x")
+		rdOut[c.Rank()] = buf
+	})
+	for r := 0; r < p; r++ {
+		for i := 0; i < n; i++ {
+			if math.Abs(float64(ringOut[r][i]-rdOut[r][i])) > 1e-4 {
+				t.Fatalf("ring and RD disagree at rank %d elem %d", r, i)
+			}
+		}
+	}
+}
+
+func TestRDCostTradeOff(t *testing.T) {
+	// Latency-bound regime (tiny payload): RD must be cheaper than ring.
+	par := simnet.Params{Alpha: 1e-3, Beta: 1e-9, FlopRate: 1}
+	c16 := simnet.NewCluster(16, par)
+	small := int64(64)
+	ringCost, _, _ := c16.RingAllReduceCost(small)
+	rdCost, _, _ := c16.RecursiveDoublingAllReduceCost(small)
+	if rdCost >= ringCost {
+		t.Fatalf("small payload: RD %v not cheaper than ring %v", rdCost, ringCost)
+	}
+	// Bandwidth-bound regime (large payload): ring must win.
+	big := int64(64 << 20)
+	ringCost, _, _ = c16.RingAllReduceCost(big)
+	rdCost, _, _ = c16.RecursiveDoublingAllReduceCost(big)
+	if ringCost >= rdCost {
+		t.Fatalf("large payload: ring %v not cheaper than RD %v", ringCost, rdCost)
+	}
+}
+
+func TestAllGatherBytesBruck(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 8, 11} {
+		w := newWorld(p)
+		got := make([][][]byte, p)
+		w.Run(func(c *Comm) {
+			payload := make([]byte, c.Rank()*2+1)
+			for i := range payload {
+				payload[i] = byte(c.Rank() + 1)
+			}
+			bs, _ := c.AllGatherBytesBruck(payload, "bruck")
+			got[c.Rank()] = bs
+		})
+		for r := 0; r < p; r++ {
+			for src := 0; src < p; src++ {
+				if len(got[r][src]) != src*2+1 {
+					t.Fatalf("p=%d rank %d src %d len %d, want %d",
+						p, r, src, len(got[r][src]), src*2+1)
+				}
+				for _, b := range got[r][src] {
+					if b != byte(src+1) {
+						t.Fatalf("p=%d rank %d src %d corrupted", p, r, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBruckCostFewerLatencies(t *testing.T) {
+	par := simnet.Params{Alpha: 1e-3, Beta: 0, FlopRate: 1}
+	c := simnet.NewCluster(16, par)
+	sizes := make([]int64, 16)
+	for i := range sizes {
+		sizes[i] = 1000
+	}
+	ringCost, _, _ := c.AllGatherVCost(sizes)
+	bruckCost, _, _ := c.BruckAllGatherCost(sizes)
+	// 15 ring latencies vs 4 Bruck latencies.
+	if bruckCost >= ringCost {
+		t.Fatalf("Bruck %v not cheaper than ring %v in latency-only regime", bruckCost, ringCost)
+	}
+	if math.Abs(bruckCost-4e-3) > 1e-12 {
+		t.Fatalf("Bruck latency cost %v, want 4ms", bruckCost)
+	}
+}
+
+func TestBruckEmptyPayloads(t *testing.T) {
+	w := newWorld(4)
+	w.Run(func(c *Comm) {
+		bs, _ := c.AllGatherBytesBruck(nil, "bruck")
+		for src, b := range bs {
+			if len(b) != 0 {
+				t.Errorf("src %d: got %d bytes", src, len(b))
+			}
+		}
+	})
+}
+
+func BenchmarkAllReduceRingVsRD(b *testing.B) {
+	for _, algo := range []string{"ring", "rd"} {
+		b.Run(algo, func(b *testing.B) {
+			w := newWorld(8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Run(func(c *Comm) {
+					buf := make([]float32, 4096)
+					if algo == "ring" {
+						c.AllReduceSum(buf, "bench")
+					} else {
+						c.AllReduceSumRD(buf, "bench")
+					}
+				})
+			}
+		})
+	}
+}
+
+// Property: Bruck and ring all-gathers deliver identical payload sets for
+// arbitrary sizes and rank counts.
+func TestQuickBruckMatchesRing(t *testing.T) {
+	f := func(seed uint64, pRaw uint8) bool {
+		p := int(pRaw%7) + 1
+		rng := xrand.New(seed)
+		payloads := make([][]byte, p)
+		for r := range payloads {
+			payloads[r] = make([]byte, rng.Intn(40))
+			for i := range payloads[r] {
+				payloads[r][i] = byte(rng.Intn(256))
+			}
+		}
+		ring := make([][][]byte, p)
+		bruck := make([][][]byte, p)
+		wR := newWorld(p)
+		wR.Run(func(c *Comm) {
+			out, _ := c.AllGatherBytes(payloads[c.Rank()], "x")
+			ring[c.Rank()] = out
+		})
+		wB := newWorld(p)
+		wB.Run(func(c *Comm) {
+			out, _ := c.AllGatherBytesBruck(payloads[c.Rank()], "x")
+			bruck[c.Rank()] = out
+		})
+		for r := 0; r < p; r++ {
+			for src := 0; src < p; src++ {
+				if len(ring[r][src]) != len(bruck[r][src]) {
+					return false
+				}
+				for i := range ring[r][src] {
+					if ring[r][src][i] != bruck[r][src][i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

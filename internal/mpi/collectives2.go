@@ -1,0 +1,117 @@
+package mpi
+
+// Additional collectives rounding out the substrate: reduce-scatter (the
+// first half of the ring all-reduce, exposed standalone), gather and
+// scatter. The trainer itself only needs all-reduce/all-gather; these
+// complete the MPI surface and serve tests and ablations.
+//
+// Gather and Scatter need a cost figure that every rank agrees on (the
+// rendezvous applies the last arriver's numbers), so they first share the
+// total byte volume with a scalar reduction and charge the flat fan-in/out
+// cost computed from it. The root's own in-place part is included in the
+// charged volume — a small, deterministic overcount.
+
+// ReduceScatterSum sums buf across ranks and leaves this rank's fully
+// reduced chunk in place, returning its (lo, hi) bounds and the virtual
+// cost. Chunk boundaries are i*n/P; rank r ends up owning chunk (r+1) mod P,
+// as in the ring algorithm. The rest of buf is left partially reduced,
+// mirroring MPI_Reduce_scatter's contract of only defining the local chunk.
+func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost float64) {
+	p := c.w.p
+	n := len(buf)
+	var moved, msgs int64
+	lo, hi = 0, n
+	if p > 1 && n > 0 {
+		par := c.w.cluster.Params()
+		chunkBytes := float64(4*n) / float64(p)
+		steps := int64(p - 1)
+		cost = float64(steps) * (par.Alpha + chunkBytes*par.Beta)
+		moved = steps * int64(p) * int64(chunkBytes)
+		msgs = steps * int64(p)
+
+		r := c.rank
+		bound := make([]int, p+1)
+		for i := 0; i <= p; i++ {
+			bound[i] = i * n / p
+		}
+		chunk := func(i int) []float32 { return buf[bound[i]:bound[i+1]] }
+		right := (r + 1) % p
+		left := (r - 1 + p) % p
+		for s := 0; s < p-1; s++ {
+			sendIdx := ((r-s)%p + p) % p
+			recvIdx := ((r-s-1)%p + p) % p
+			out := make([]float32, len(chunk(sendIdx)))
+			copy(out, chunk(sendIdx))
+			c.send(right, message{f32: out})
+			m := c.recv(left)
+			dst := chunk(recvIdx)
+			for i, v := range m.f32 {
+				dst[i] += v
+			}
+		}
+		own := (r + 1) % p
+		lo, hi = bound[own], bound[own+1]
+	}
+	c.finish(cost, moved, msgs, tag)
+	return lo, hi, cost
+}
+
+// Gather collects every rank's payload at root, indexed by source rank;
+// non-root ranks return nil. Payload sizes may differ per rank.
+func (c *Comm) Gather(payload []float32, root int, tag string) [][]float32 {
+	p := c.w.p
+	var out [][]float32
+	if p == 1 {
+		out = [][]float32{payload}
+		c.finish(0, 0, 0, tag)
+		return out
+	}
+	total := c.AllReduceScalar(float64(4*len(payload)), OpSum)
+	if c.rank == root {
+		out = make([][]float32, p)
+		out[root] = payload
+		for src := 0; src < p; src++ {
+			if src != root {
+				out[src] = c.recv(src).f32
+			}
+		}
+	} else {
+		c.send(root, message{f32: payload})
+	}
+	par := c.w.cluster.Params()
+	cost := float64(p-1)*par.Alpha + total*par.Beta
+	c.finish(cost, int64(total), int64(p-1), tag)
+	return out
+}
+
+// Scatter distributes root's per-rank payloads; every rank returns its own
+// part. parts is only read at the root and must have one entry per rank.
+func (c *Comm) Scatter(parts [][]float32, root int, tag string) []float32 {
+	p := c.w.p
+	if p == 1 {
+		if len(parts) != 1 {
+			panic("mpi: Scatter needs one part per rank")
+		}
+		c.finish(0, 0, 0, tag)
+		return parts[0]
+	}
+	var own []float32
+	if c.rank == root {
+		if len(parts) != p {
+			panic("mpi: Scatter needs one part per rank")
+		}
+		own = parts[root]
+		for dst := 0; dst < p; dst++ {
+			if dst != root {
+				c.send(dst, message{f32: parts[dst]})
+			}
+		}
+	} else {
+		own = c.recv(root).f32
+	}
+	total := c.AllReduceScalar(float64(4*len(own)), OpSum)
+	par := c.w.cluster.Params()
+	cost := float64(p-1)*par.Alpha + total*par.Beta
+	c.finish(cost, int64(total), int64(p-1), tag)
+	return own
+}

@@ -1,0 +1,153 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"kgedist/internal/xrand"
+)
+
+func TestReduceScatterSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{0, 1, 16, 97} {
+			w := newWorld(p)
+			rng := xrand.New(uint64(13*p + n))
+			inputs := make([][]float32, p)
+			want := make([]float32, n)
+			for r := range inputs {
+				inputs[r] = make([]float32, n)
+				for i := range inputs[r] {
+					inputs[r][i] = float32(rng.NormFloat64())
+					want[i] += inputs[r][i]
+				}
+			}
+			type owned struct {
+				lo, hi int
+				vals   []float32
+			}
+			got := make([]owned, p)
+			w.Run(func(c *Comm) {
+				buf := append([]float32(nil), inputs[c.Rank()]...)
+				lo, hi, _ := c.ReduceScatterSum(buf, "rs")
+				got[c.Rank()] = owned{lo, hi, append([]float32(nil), buf[lo:hi]...)}
+			})
+			// Owned chunks must tile [0, n) and hold the full sums.
+			covered := make([]bool, n)
+			for r := 0; r < p; r++ {
+				o := got[r]
+				for i := o.lo; i < o.hi; i++ {
+					if covered[i] {
+						t.Fatalf("p=%d n=%d: index %d owned twice", p, n, i)
+					}
+					covered[i] = true
+					if math.Abs(float64(o.vals[i-o.lo]-want[i])) > 1e-4 {
+						t.Fatalf("p=%d n=%d rank %d idx %d: got %v want %v",
+							p, n, r, i, o.vals[i-o.lo], want[i])
+					}
+				}
+			}
+			for i, c := range covered {
+				if !c {
+					t.Fatalf("p=%d n=%d: index %d unowned", p, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5} {
+		for root := 0; root < p; root++ {
+			w := newWorld(p)
+			results := make([][][]float32, p)
+			w.Run(func(c *Comm) {
+				payload := make([]float32, c.Rank()+1)
+				for i := range payload {
+					payload[i] = float32(10*c.Rank() + i)
+				}
+				results[c.Rank()] = c.Gather(payload, root, "gather")
+			})
+			for r := 0; r < p; r++ {
+				if r != root && p > 1 {
+					if results[r] != nil {
+						t.Fatalf("non-root rank %d received data", r)
+					}
+					continue
+				}
+				for src := 0; src < p; src++ {
+					part := results[r][src]
+					if len(part) != src+1 {
+						t.Fatalf("root got %d values from %d, want %d", len(part), src, src+1)
+					}
+					for i, v := range part {
+						if v != float32(10*src+i) {
+							t.Fatalf("root payload from %d corrupted", src)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		for root := 0; root < p; root++ {
+			w := newWorld(p)
+			results := make([][]float32, p)
+			w.Run(func(c *Comm) {
+				var parts [][]float32
+				if c.Rank() == root {
+					parts = make([][]float32, p)
+					for dst := range parts {
+						parts[dst] = []float32{float32(100 + dst), float32(dst)}
+					}
+				}
+				results[c.Rank()] = c.Scatter(parts, root, "scatter")
+			})
+			for r := 0; r < p; r++ {
+				if len(results[r]) != 2 || results[r][0] != float32(100+r) || results[r][1] != float32(r) {
+					t.Fatalf("p=%d root=%d rank %d got %v", p, root, r, results[r])
+				}
+			}
+		}
+	}
+}
+
+func TestScatterPanicsOnWrongPartCount(t *testing.T) {
+	// A single-rank world: the panic surfaces without stranding peers at
+	// the collective rendezvous.
+	w := newWorld(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		c.Scatter(make([][]float32, 2), 0, "bad") // wrong: 1 rank
+	})
+}
+
+func TestGatherScatterDeterministicStats(t *testing.T) {
+	// The charged cost must not depend on goroutine scheduling: two
+	// identical runs record identical stats.
+	run := func() (float64, int64) {
+		w := newWorld(5)
+		w.Run(func(c *Comm) {
+			payload := make([]float32, 8)
+			g := c.Gather(payload, 2, "g")
+			var parts [][]float32
+			if c.Rank() == 2 {
+				parts = g
+			}
+			c.Scatter(parts, 2, "s")
+		})
+		st := w.Cluster().Stats()
+		return st.CommSeconds, st.BytesMoved
+	}
+	c1, b1 := run()
+	c2, b2 := run()
+	if c1 != c2 || b1 != b2 {
+		t.Fatalf("nondeterministic stats: (%v,%d) vs (%v,%d)", c1, b1, c2, b2)
+	}
+}

@@ -1,0 +1,396 @@
+// Package mpi implements the message-passing substrate the paper obtains
+// from Horovod/MPI: a fixed world of ranks with synchronous collectives.
+//
+// Each rank is a goroutine; point-to-point links are FIFO Go channels that
+// carry real payloads, and the collectives are the textbook algorithms (ring
+// reduce-scatter + all-gather for AllReduceSum, ring block rotation for the
+// variable-size all-gathers, binomial trees for broadcast and scalar
+// reductions). Timing is charged to the attached simnet.Cluster using the
+// standard cost formula for each algorithm, with the exact byte volume the
+// operation moved. Every collective returns the virtual seconds it cost,
+// which the dynamic selection strategy (paper §4.1) uses to compare
+// all-reduce against all-gather probes.
+//
+// All collectives are globally synchronizing: they end with a rendezvous so
+// per-rank virtual clocks are identical on return, matching the
+// bulk-synchronous training loop of the paper.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"kgedist/internal/simnet"
+)
+
+// message is the unit carried by point-to-point links. Exactly one payload
+// field is populated per message; seq guards against collective skew bugs.
+type message struct {
+	seq uint64
+	f32 []float32
+	i32 []int32
+	raw []byte
+	f64 float64
+}
+
+// phaser is a reusable barrier: all n participants arrive, the last one runs
+// onLast, then everyone is released.
+type phaser struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+}
+
+func newPhaser(n int) *phaser {
+	ph := &phaser{n: n}
+	ph.cond = sync.NewCond(&ph.mu)
+	return ph
+}
+
+func (ph *phaser) await(onLast func()) {
+	ph.mu.Lock()
+	gen := ph.gen
+	ph.arrived++
+	if ph.arrived == ph.n {
+		if onLast != nil {
+			onLast()
+		}
+		ph.arrived = 0
+		ph.gen++
+		ph.cond.Broadcast()
+	} else {
+		for ph.gen == gen {
+			ph.cond.Wait()
+		}
+	}
+	ph.mu.Unlock()
+}
+
+// World is a communicator world of P ranks sharing a simnet cluster.
+type World struct {
+	p       int
+	cluster *simnet.Cluster
+	links   [][]chan message // links[src][dst]
+	ph      *phaser
+	seq     []uint64 // per-rank collective sequence number
+}
+
+// NewWorld builds a world with one rank per cluster node.
+func NewWorld(cluster *simnet.Cluster) *World {
+	p := cluster.P()
+	links := make([][]chan message, p)
+	for s := range links {
+		links[s] = make([]chan message, p)
+		for d := range links[s] {
+			if s != d {
+				links[s][d] = make(chan message, 4*p+8)
+			}
+		}
+	}
+	return &World{
+		p:       p,
+		cluster: cluster,
+		links:   links,
+		ph:      newPhaser(p),
+		seq:     make([]uint64, p),
+	}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.p }
+
+// Cluster returns the attached timing model.
+func (w *World) Cluster() *simnet.Cluster { return w.cluster }
+
+// Comm returns the communicator handle for one rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.p {
+		panic("mpi: rank out of range")
+	}
+	return &Comm{w: w, rank: rank}
+}
+
+// Run spawns one goroutine per rank executing f and waits for all of them.
+// Panics inside rank bodies are re-raised on the caller.
+func (w *World) Run(f func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make([]any, w.p)
+	for r := 0; r < w.p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			f(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// Comm is one rank's handle on the world. All collective methods must be
+// called by every rank in the same order; they block until the operation
+// completes globally.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.p }
+
+// Cluster exposes the timing model (for compute-time charging).
+func (c *Comm) Cluster() *simnet.Cluster { return c.w.cluster }
+
+func (c *Comm) send(dst int, m message) {
+	m.seq = c.w.seq[c.rank]
+	c.w.links[c.rank][dst] <- m
+}
+
+func (c *Comm) recv(src int) message {
+	m := <-c.w.links[src][c.rank]
+	if m.seq != c.w.seq[c.rank] {
+		panic(fmt.Sprintf("mpi: rank %d received message from %d with seq %d during collective %d",
+			c.rank, src, m.seq, c.w.seq[c.rank]))
+	}
+	return m
+}
+
+// finish closes a collective: rendezvous, charge cost once, bump sequence.
+func (c *Comm) finish(cost float64, moved, msgs int64, tag string) {
+	c.w.ph.await(func() {
+		c.w.cluster.Collective(cost, moved, msgs, tag)
+		for r := range c.w.seq {
+			c.w.seq[r]++
+		}
+	})
+}
+
+// Barrier synchronizes all ranks (dissemination-cost charge).
+func (c *Comm) Barrier() {
+	cost, moved, msgs := c.w.cluster.BarrierCost()
+	c.finish(cost, moved, msgs, "barrier")
+}
+
+// Broadcast sends root's buf to every rank's buf via a binomial tree.
+// Returns the virtual cost of the operation.
+func (c *Comm) Broadcast(buf []float32, root int) float64 {
+	p := c.w.p
+	cost, moved, msgs := c.w.cluster.BroadcastCost(int64(4 * len(buf)))
+	if p > 1 {
+		// Rotate ranks so the root is virtual rank 0.
+		vr := (c.rank - root + p) % p
+		// Binomial tree: in round k, ranks with vr < 2^k send to vr + 2^k.
+		received := vr == 0
+		for k := 1; k < 2*p; k <<= 1 {
+			if vr < k && vr+k < p {
+				if !received {
+					panic("mpi: broadcast tree order violated")
+				}
+				dst := (vr + k + root) % p
+				out := make([]float32, len(buf))
+				copy(out, buf)
+				c.send(dst, message{f32: out})
+			} else if vr >= k && vr < 2*k {
+				src := (vr - k + root) % p
+				m := c.recv(src)
+				copy(buf, m.f32)
+				received = true
+			}
+		}
+	}
+	c.finish(cost, moved, msgs, "broadcast")
+	return cost
+}
+
+// AllReduceSum sums buf element-wise across all ranks, leaving the result in
+// every rank's buf. Implemented as ring reduce-scatter followed by ring
+// all-gather — the dense "all-reduce" path of the paper's baseline. All
+// ranks must pass equal-length buffers. Returns the virtual cost.
+func (c *Comm) AllReduceSum(buf []float32, tag string) float64 {
+	p := c.w.p
+	n := len(buf)
+	cost, moved, msgs := c.w.cluster.RingAllReduceCost(int64(4 * n))
+	if p > 1 && n > 0 {
+		r := c.rank
+		// Chunk boundaries: chunk i covers [bound[i], bound[i+1]).
+		bound := make([]int, p+1)
+		for i := 0; i <= p; i++ {
+			bound[i] = i * n / p
+		}
+		chunk := func(i int) []float32 { return buf[bound[i]:bound[i+1]] }
+		right := (r + 1) % p
+		left := (r - 1 + p) % p
+		// Phase 1: reduce-scatter. After step s, each rank has accumulated
+		// s+2 partial contributions in one chunk.
+		for s := 0; s < p-1; s++ {
+			sendIdx := ((r-s)%p + p) % p
+			recvIdx := ((r-s-1)%p + p) % p
+			out := make([]float32, len(chunk(sendIdx)))
+			copy(out, chunk(sendIdx))
+			c.send(right, message{f32: out})
+			m := c.recv(left)
+			dst := chunk(recvIdx)
+			for i, v := range m.f32 {
+				dst[i] += v
+			}
+		}
+		// Phase 2: all-gather the reduced chunks.
+		for s := 0; s < p-1; s++ {
+			sendIdx := ((r+1-s)%p + p) % p
+			recvIdx := ((r-s)%p + p) % p
+			out := make([]float32, len(chunk(sendIdx)))
+			copy(out, chunk(sendIdx))
+			c.send(right, message{f32: out})
+			m := c.recv(left)
+			copy(chunk(recvIdx), m.f32)
+		}
+	}
+	c.finish(cost, moved, msgs, tag)
+	return cost
+}
+
+// block is one rank's contribution to a variable-size all-gather.
+type block struct {
+	i32 []int32
+	f32 []float32
+	raw []byte
+}
+
+func (b block) bytes() int64 {
+	return int64(4*len(b.i32) + 4*len(b.f32) + len(b.raw))
+}
+
+// ringAllGather rotates each rank's block around the ring so every rank ends
+// with all P blocks, indexed by source rank.
+func (c *Comm) ringAllGather(own block) []block {
+	p := c.w.p
+	out := make([]block, p)
+	out[c.rank] = own
+	if p == 1 {
+		return out
+	}
+	right := (c.rank + 1) % p
+	left := (c.rank - 1 + p) % p
+	cur := own
+	curSrc := c.rank
+	for s := 0; s < p-1; s++ {
+		c.send(right, message{i32: cur.i32, f32: cur.f32, raw: cur.raw})
+		m := c.recv(left)
+		curSrc = (curSrc - 1 + p) % p
+		cur = block{i32: m.i32, f32: m.f32, raw: m.raw}
+		out[curSrc] = cur
+	}
+	return out
+}
+
+// AllGatherRows gathers sparse gradient rows: each rank contributes row
+// indices and a flat values buffer (len(idx)*dim values). Every rank
+// receives all contributions, indexed by source rank. This is the paper's
+// "all-gather" (sparse) exchange. Returns the virtual cost.
+func (c *Comm) AllGatherRows(idx []int32, vals []float32, tag string) (allIdx [][]int32, allVals [][]float32, cost float64) {
+	blocks := c.ringAllGather(block{i32: idx, f32: vals})
+	sizes := make([]int64, len(blocks))
+	for i, b := range blocks {
+		sizes[i] = b.bytes()
+	}
+	cost, moved, msgs := c.w.cluster.AllGatherVCost(sizes)
+	c.finish(cost, moved, msgs, tag)
+	allIdx = make([][]int32, len(blocks))
+	allVals = make([][]float32, len(blocks))
+	for i, b := range blocks {
+		allIdx[i] = b.i32
+		allVals[i] = b.f32
+	}
+	return allIdx, allVals, cost
+}
+
+// AllGatherBytes gathers one opaque byte payload per rank (used for
+// bit-packed quantized gradients). Returns per-source payloads and cost.
+func (c *Comm) AllGatherBytes(payload []byte, tag string) ([][]byte, float64) {
+	blocks := c.ringAllGather(block{raw: payload})
+	sizes := make([]int64, len(blocks))
+	for i, b := range blocks {
+		sizes[i] = b.bytes()
+	}
+	cost, moved, msgs := c.w.cluster.AllGatherVCost(sizes)
+	c.finish(cost, moved, msgs, tag)
+	out := make([][]byte, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.raw
+	}
+	return out, cost
+}
+
+// ReduceOp selects the combining function of AllReduceScalar.
+type ReduceOp int
+
+// Supported scalar reductions.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// AllReduceScalar reduces one float64 across ranks (binomial reduce to rank
+// 0, then broadcast). Used for loss sums, validation metrics, and the
+// dynamic-selection probe decisions.
+func (c *Comm) AllReduceScalar(v float64, op ReduceOp) float64 {
+	p := c.w.p
+	result := v
+	if p > 1 {
+		// Binomial reduce to rank 0.
+		vr := c.rank
+		for k := 1; k < p; k <<= 1 {
+			if vr&k != 0 {
+				c.send(vr^k, message{f64: result})
+				break
+			} else if vr|k < p {
+				m := c.recv(vr | k)
+				switch op {
+				case OpSum:
+					result += m.f64
+				case OpMax:
+					if m.f64 > result {
+						result = m.f64
+					}
+				case OpMin:
+					if m.f64 < result {
+						result = m.f64
+					}
+				default:
+					panic("mpi: unknown reduce op")
+				}
+			}
+		}
+		// Binomial broadcast from rank 0.
+		received := c.rank == 0
+		for k := 1; k < 2*p; k <<= 1 {
+			if c.rank < k && c.rank+k < p {
+				if !received {
+					panic("mpi: scalar broadcast order violated")
+				}
+				c.send(c.rank+k, message{f64: result})
+			} else if c.rank >= k && c.rank < 2*k {
+				m := c.recv(c.rank - k)
+				result = m.f64
+				received = true
+			}
+		}
+	}
+	cost, moved, msgs := c.w.cluster.BroadcastCost(8)
+	c.finish(2*cost, 2*moved, 2*msgs, "scalar")
+	return result
+}

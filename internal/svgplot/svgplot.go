@@ -1,0 +1,143 @@
+// Package svgplot renders metrics.Figure line charts as standalone SVG
+// documents using only the standard library — the graphical counterpart of
+// the paper's figures for the kgebench -svg flag.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"kgedist/internal/metrics"
+)
+
+// Chart geometry.
+const (
+	width   = 640
+	height  = 400
+	marginL = 70
+	marginR = 150 // room for the legend
+	marginT = 40
+	marginB = 50
+)
+
+// palette cycles across series.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+// Render writes the figure as an SVG document.
+func Render(f *metrics.Figure, w io.Writer) error {
+	xMin, xMax, yMin, yMax, ok := bounds(f)
+	if !ok {
+		return fmt.Errorf("svgplot: figure %q has no data points", f.Title)
+	}
+	// Pad the y range so flat lines stay visible.
+	if yMax == yMin {
+		yMax++
+		if yMin > 0 {
+			yMin--
+		}
+	}
+	if xMax == xMin {
+		xMax++
+	}
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	sx := func(x float64) float64 { return marginL + (x-xMin)/(xMax-xMin)*plotW }
+	sy := func(y float64) float64 { return float64(height-marginB) - (y-yMin)/(yMax-yMin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginL, escape(f.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	// Ticks and grid: 5 intervals each way.
+	for i := 0; i <= 5; i++ {
+		xv := xMin + (xMax-xMin)*float64(i)/5
+		yv := yMin + (yMax-yMin)*float64(i)/5
+		xp := sx(xv)
+		yp := sy(yv)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ddd"/>`+"\n",
+			xp, marginT, xp, height-marginB)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, yp, width-marginR, yp)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			xp, height-marginB+18, formatTick(xv))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, yp+4, formatTick(yv))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW/2), height-10, escape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginT+int(plotH/2), marginT+int(plotH/2), escape(f.YLabel))
+
+	// Series.
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[i]), sy(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+				color, strings.Join(pts, " "))
+		}
+		for _, p := range pts {
+			xy := strings.Split(p, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// Legend entry.
+		ly := marginT + 16*si
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			width-marginR+8, ly, width-marginR+28, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			width-marginR+32, ly+4, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// bounds returns the data extent across all series.
+func bounds(f *metrics.Figure) (xMin, xMax, yMin, yMax float64, ok bool) {
+	xMin, yMin = math.Inf(1), math.Inf(1)
+	xMax, yMax = math.Inf(-1), math.Inf(-1)
+	for _, s := range f.Series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+			ok = true
+		}
+	}
+	return
+}
+
+func formatTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1000 || (a < 0.01 && a != 0):
+		return fmt.Sprintf("%.2g", v)
+	case a >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

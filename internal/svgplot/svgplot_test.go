@@ -1,0 +1,117 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+
+	"kgedist/internal/metrics"
+)
+
+func sampleFigure() *metrics.Figure {
+	return &metrics.Figure{
+		Title: "tt vs nodes", XLabel: "nodes", YLabel: "seconds",
+		Series: []metrics.Series{
+			{Name: "allreduce", X: []float64{1, 2, 4, 8}, Y: []float64{4, 2.5, 1.5, 1}},
+			{Name: "allgather", X: []float64{1, 2, 4, 8}, Y: []float64{4, 3, 3, 3.2}},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(sampleFigure(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "tt vs nodes", "nodes", "seconds",
+		"allreduce", "allgather", "polyline", "circle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	if strings.Count(out, "<circle") != 8 {
+		t.Fatalf("want 8 data points, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestRenderScalesWithinViewport(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(sampleFigure(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Extremes: x=1 maps to the left edge (marginL), x=8 to the right
+	// (width - marginR); y=4 to the top (marginT), y=1 to the bottom.
+	out := sb.String()
+	if !strings.Contains(out, `cx="70.0"`) {
+		t.Fatalf("leftmost point not at left margin:\n%s", out)
+	}
+	if !strings.Contains(out, `cx="490.0"`) {
+		t.Fatal("rightmost point not at right edge of plot area")
+	}
+	if !strings.Contains(out, `cy="40.0"`) {
+		t.Fatal("max y not at top margin")
+	}
+	if !strings.Contains(out, `cy="350.0"`) {
+		t.Fatal("min y not at bottom of plot area")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	f := &metrics.Figure{
+		Title: "flat", XLabel: "x", YLabel: "y",
+		Series: []metrics.Series{{Name: "s", X: []float64{1, 2}, Y: []float64{5, 5}}},
+	}
+	var sb strings.Builder
+	if err := Render(f, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "polyline") {
+		t.Fatal("flat series not rendered")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	f := &metrics.Figure{
+		Title: "pt", XLabel: "x", YLabel: "y",
+		Series: []metrics.Series{{Name: "s", X: []float64{3}, Y: []float64{7}}},
+	}
+	var sb strings.Builder
+	if err := Render(f, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "polyline") {
+		t.Fatal("single point should not draw a line")
+	}
+	if !strings.Contains(out, "circle") {
+		t.Fatal("single point missing marker")
+	}
+}
+
+func TestRenderEmptyFigureErrors(t *testing.T) {
+	f := &metrics.Figure{Title: "empty"}
+	var sb strings.Builder
+	if err := Render(f, &sb); err == nil {
+		t.Fatal("empty figure accepted")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	f := sampleFigure()
+	f.Title = "a < b & c > d"
+	var sb strings.Builder
+	if err := Render(f, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "a &lt; b &amp; c &gt; d") {
+		t.Fatal("title not escaped")
+	}
+	if strings.Contains(sb.String(), "a < b") {
+		t.Fatal("raw markup leaked")
+	}
+}

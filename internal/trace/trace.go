@@ -1,0 +1,154 @@
+// Package trace records training runs as JSON Lines: one header line with
+// the run metadata, one line per epoch, and one summary line. Traces feed
+// offline analysis (plotting epoch-time or convergence curves) without
+// rerunning experiments, and round-trip losslessly through Read.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"kgedist/internal/core"
+)
+
+// Meta describes a run in the trace header.
+type Meta struct {
+	// Dataset is the dataset name.
+	Dataset string `json:"dataset"`
+	// Strategy is the paper-style strategy label.
+	Strategy string `json:"strategy"`
+	// Nodes is the simulated cluster size.
+	Nodes int `json:"nodes"`
+	// Seed reproduces the run.
+	Seed uint64 `json:"seed"`
+}
+
+// line is the envelope for one JSONL record.
+type line struct {
+	Type    string           `json:"type"` // "meta", "epoch", "summary"
+	Meta    *Meta            `json:"meta,omitempty"`
+	Epoch   *core.EpochStats `json:"epoch,omitempty"`
+	Summary *core.Result     `json:"summary,omitempty"`
+}
+
+// Writer streams a run to an io.Writer. Records must be written in order:
+// one Meta, any number of epochs, one Summary.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (t *Writer) writeLine(l line) error {
+	if t.err != nil {
+		return t.err
+	}
+	b, err := json.Marshal(l)
+	if err == nil {
+		_, err = t.w.Write(append(b, '\n'))
+	}
+	if err != nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// WriteMeta records the run header.
+func (t *Writer) WriteMeta(m Meta) error { return t.writeLine(line{Type: "meta", Meta: &m}) }
+
+// WriteEpoch records one epoch.
+func (t *Writer) WriteEpoch(e core.EpochStats) error {
+	return t.writeLine(line{Type: "epoch", Epoch: &e})
+}
+
+// WriteSummary records the final result (per-epoch series are stripped —
+// the epoch lines carry them).
+func (t *Writer) WriteSummary(r *core.Result) error {
+	slim := *r
+	slim.PerEpoch = nil
+	return t.writeLine(line{Type: "summary", Summary: &slim})
+}
+
+// Flush commits buffered lines.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// WriteRun records a complete result in one call.
+func WriteRun(w io.Writer, meta Meta, r *core.Result) error {
+	tw := NewWriter(w)
+	if err := tw.WriteMeta(meta); err != nil {
+		return err
+	}
+	for _, e := range r.PerEpoch {
+		if err := tw.WriteEpoch(e); err != nil {
+			return err
+		}
+	}
+	if err := tw.WriteSummary(r); err != nil {
+		return err
+	}
+	return tw.Flush()
+}
+
+// Run is a parsed trace.
+type Run struct {
+	Meta    Meta
+	Epochs  []core.EpochStats
+	Summary *core.Result
+}
+
+// Read parses a JSONL trace produced by Writer.
+func Read(r io.Reader) (*Run, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	run := &Run{}
+	sawMeta := false
+	n := 0
+	for sc.Scan() {
+		n++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", n, err)
+		}
+		switch l.Type {
+		case "meta":
+			if l.Meta == nil {
+				return nil, fmt.Errorf("trace: line %d: meta record without payload", n)
+			}
+			run.Meta = *l.Meta
+			sawMeta = true
+		case "epoch":
+			if l.Epoch == nil {
+				return nil, fmt.Errorf("trace: line %d: epoch record without payload", n)
+			}
+			run.Epochs = append(run.Epochs, *l.Epoch)
+		case "summary":
+			if l.Summary == nil {
+				return nil, fmt.Errorf("trace: line %d: summary record without payload", n)
+			}
+			run.Summary = l.Summary
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record type %q", n, l.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("trace: missing meta record")
+	}
+	return run, nil
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kgedist/internal/core"
+	"kgedist/internal/kg"
+)
+
+func sampleResult() *core.Result {
+	return &core.Result{
+		Strategy:   "DRS+1-bit+RP+SS",
+		Nodes:      8,
+		Epochs:     2,
+		TotalHours: 0.5,
+		TCA:        88.4,
+		MRR:        0.21,
+		CommBytes:  12345,
+		PerEpoch: []core.EpochStats{
+			{Epoch: 1, Seconds: 3.5, ValAccuracy: 60, Mode: "allreduce", LR: 0.01},
+			{Epoch: 2, Seconds: 3.1, ValAccuracy: 72, Mode: "allgather", LR: 0.01},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	meta := Meta{Dataset: "fb15k-mini", Strategy: "DRS+1-bit+RP+SS", Nodes: 8, Seed: 7}
+	if err := WriteRun(&sb, meta, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	run, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Meta != meta {
+		t.Fatalf("meta %+v", run.Meta)
+	}
+	if len(run.Epochs) != 2 {
+		t.Fatalf("epochs %d", len(run.Epochs))
+	}
+	if run.Epochs[1].Mode != "allgather" || run.Epochs[1].ValAccuracy != 72 {
+		t.Fatalf("epoch 2 %+v", run.Epochs[1])
+	}
+	if run.Summary == nil || run.Summary.TCA != 88.4 || run.Summary.CommBytes != 12345 {
+		t.Fatalf("summary %+v", run.Summary)
+	}
+	// Per-epoch series live in the epoch lines, not duplicated in summary.
+	if run.Summary.PerEpoch != nil {
+		t.Fatal("summary carries PerEpoch")
+	}
+}
+
+func TestWriterOrdering(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if err := w.WriteMeta(Meta{Dataset: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteEpoch(core.EpochStats{Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	run, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Summary != nil {
+		t.Fatal("phantom summary")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"garbage":      "not-json\n",
+		"unknown type": `{"type":"wat"}` + "\n",
+		"no meta":      `{"type":"epoch","epoch":{"Epoch":1}}` + "\n",
+		"bare meta":    `{"type":"meta"}` + "\n",
+		"bare epoch":   `{"type":"meta","meta":{}}` + "\n" + `{"type":"epoch"}` + "\n",
+		"bare summary": `{"type":"meta","meta":{}}` + "\n" + `{"type":"summary"}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := `{"type":"meta","meta":{"dataset":"d"}}` + "\n\n" +
+		`{"type":"epoch","epoch":{"Epoch":1}}` + "\n"
+	run, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Meta.Dataset != "d" || len(run.Epochs) != 1 {
+		t.Fatalf("parsed %+v", run)
+	}
+}
+
+func TestTraceFromRealTraining(t *testing.T) {
+	// End to end: train briefly, trace, reload, check consistency.
+	d := traceDataset()
+	cfg := core.DefaultConfig()
+	cfg.Dim = 8
+	cfg.BatchSize = 400
+	cfg.MaxEpochs = 3
+	cfg.StopPatience = 3
+	cfg.TestSample = 20
+	cfg.ValSample = 100
+	res, err := core.Train(cfg, d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	meta := Meta{Dataset: d.Name, Strategy: res.Strategy, Nodes: res.Nodes, Seed: cfg.Seed}
+	if err := WriteRun(&sb, meta, res); err != nil {
+		t.Fatal(err)
+	}
+	run, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Epochs) != res.Epochs {
+		t.Fatalf("trace epochs %d != result %d", len(run.Epochs), res.Epochs)
+	}
+	if run.Summary.MRR != res.MRR {
+		t.Fatalf("summary MRR %v != %v", run.Summary.MRR, res.MRR)
+	}
+}
+
+func traceDataset() *kg.Dataset {
+	return kg.Generate(kg.GenConfig{
+		Name: "trace-test", Entities: 200, Relations: 20, Triples: 2500, Seed: 3,
+	})
+}
+
+// Property: arbitrary epoch stats survive the JSONL round trip.
+func TestQuickEpochRoundTrip(t *testing.T) {
+	f := func(epoch uint8, secs, val float64, bytes int64, mode bool) bool {
+		if secs != secs || val != val || secs < 0 { // NaN/negatives excluded
+			return true
+		}
+		m := "allreduce"
+		if mode {
+			m = "allgather"
+		}
+		in := core.EpochStats{
+			Epoch: int(epoch), Seconds: secs, ValAccuracy: val,
+			CommBytes: bytes, Mode: m,
+		}
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		if w.WriteMeta(Meta{Dataset: "d"}) != nil || w.WriteEpoch(in) != nil || w.Flush() != nil {
+			return false
+		}
+		run, err := Read(strings.NewReader(sb.String()))
+		if err != nil || len(run.Epochs) != 1 {
+			return false
+		}
+		got := run.Epochs[0]
+		return got.Epoch == in.Epoch && got.Seconds == in.Seconds &&
+			got.ValAccuracy == in.ValAccuracy && got.CommBytes == in.CommBytes &&
+			got.Mode == in.Mode
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
