@@ -1,0 +1,37 @@
+# Build, vet, lint and test pipeline — the same targets CI runs
+# (.github/workflows/ci.yml), so `make ci` reproduces a CI run locally.
+
+GO ?= go
+
+# Packages with real concurrency (goroutine ranks, lock-free hogwild workers,
+# parameter-server shards, the trainer that drives them) get a dedicated
+# race-detector tier. -short keeps the long end-to-end learning runs out of
+# the ~10-20x race slowdown; unit-level coverage stays on.
+RACE_PKGS = ./internal/hogwild/ ./internal/mpi/ ./internal/simnet/ ./internal/ps/ ./internal/core/ ./internal/tensor/
+
+.PHONY: all build vet lint test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# kgelint is this repo's own analyzer suite (cmd/kgelint, internal/lint):
+# seeded randomness, divergent collectives, float equality, dropped errors,
+# non-atomic shared-row access. Zero findings is the merge bar.
+lint:
+	$(GO) run ./cmd/kgelint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short -count=1 $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+ci: build vet lint test race

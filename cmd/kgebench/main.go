@@ -93,7 +93,7 @@ func writeSVGs(r *metrics.Report, dir string) error {
 			return err
 		}
 		if err := svgplot.Render(fig, f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("rendering %s: %w", path, err)
 		}
 		if err := f.Close(); err != nil {

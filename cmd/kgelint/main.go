@@ -1,0 +1,81 @@
+// Command kgelint runs kgedist's project-specific static analyzers — the
+// multichecker for the suite in internal/lint. CI and `make lint` gate on a
+// zero-finding run over ./....
+//
+// Usage:
+//
+//	kgelint [-only name[,name]] [-list] [packages]
+//
+// Packages default to ./.... Findings print as file:line:col: message
+// (analyzer) and a non-zero exit reports their presence. Suppress an
+// individual finding with a trailing or preceding
+// //kgelint:ignore <analyzer> <rationale> comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kgedist/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var kept []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				kept = append(kept, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "kgelint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = kept
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kgelint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kgelint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kgelint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "kgelint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

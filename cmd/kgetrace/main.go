@@ -36,7 +36,7 @@ func main() {
 		os.Exit(1)
 	}
 	run, err := trace.Read(f)
-	f.Close()
+	_ = f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -99,7 +99,7 @@ func renderCurves(run *trace.Run, dir string) error {
 			return err
 		}
 		if err := svgplot.Render(fig, f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {

@@ -132,7 +132,7 @@ func main() {
 		}
 		meta := trace.Meta{Dataset: d.Name, Strategy: res.Strategy, Nodes: *nodes, Seed: *seed}
 		if err := trace.WriteRun(f, meta, res); err != nil {
-			f.Close()
+			_ = f.Close()
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -45,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //kgelint:ignore droppederr best-effort temp dir cleanup
 	ckpt := filepath.Join(dir, "model.kge")
 	m := model.New(cfg.ModelName, cfg.Dim)
 	if err := model.SaveCheckpoint(ckpt, m, res.FinalParams); err != nil {

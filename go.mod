@@ -1,3 +1,3 @@
 module kgedist
 
-go 1.24
+go 1.24.0

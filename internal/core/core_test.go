@@ -29,6 +29,16 @@ func testConfig() Config {
 	return cfg
 }
 
+// skipIfShort skips the long end-to-end training tests under -short — in
+// particular the race-detector CI tier, where each of these costs seconds.
+// Unit-level coverage of every code path stays on in short mode.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping long training test in -short mode")
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	good := DefaultConfig()
 	if err := good.Validate(); err != nil {
@@ -103,6 +113,7 @@ func TestTrainRejectsBadInputs(t *testing.T) {
 }
 
 func TestTrainSingleNodeLearns(t *testing.T) {
+	skipIfShort(t)
 	d := testDataset()
 	cfg := testConfig()
 	cfg.MaxEpochs = 40
@@ -159,6 +170,7 @@ func TestTrainDeterministic(t *testing.T) {
 }
 
 func TestTrainMultiNodeAllReduceAndAllGather(t *testing.T) {
+	skipIfShort(t)
 	d := testDataset()
 	for _, comm := range []CommStrategy{CommAllReduce, CommAllGather} {
 		cfg := testConfig()
@@ -184,6 +196,7 @@ func TestTrainMultiNodeAllReduceAndAllGather(t *testing.T) {
 }
 
 func TestAllGatherMovesFewerBytesThanAllReduceWhenSparse(t *testing.T) {
+	skipIfShort(t)
 	// With a batch touching few of the many entities, the sparse exchange
 	// must move far fewer bytes than the dense matrix all-reduce.
 	d := kg.Generate(kg.GenConfig{
@@ -280,6 +293,7 @@ func TestRandomSelectionRecordsSparsity(t *testing.T) {
 }
 
 func TestDynamicStrategySwitchesWhenAllGatherWins(t *testing.T) {
+	skipIfShort(t)
 	// Large entity space + tiny batches => dense all-reduce is expensive,
 	// sparse all-gather cheap: the probe must switch early.
 	d := kg.Generate(kg.GenConfig{
@@ -309,6 +323,7 @@ func TestDynamicStrategySwitchesWhenAllGatherWins(t *testing.T) {
 }
 
 func TestCombinedStrategyRuns(t *testing.T) {
+	skipIfShort(t)
 	d := testDataset()
 	cfg := testConfig()
 	cfg.Comm = CommDynamic
@@ -407,6 +422,7 @@ func TestEarlyStopTriggers(t *testing.T) {
 }
 
 func TestMoreNodesLowerEpochTime(t *testing.T) {
+	skipIfShort(t)
 	// Strong scaling of compute: epoch time must drop from 1 to 4 nodes
 	// (communication grows but compute dominates at this size).
 	d := testDataset()
@@ -546,6 +562,7 @@ func TestLPTPartitionTrains(t *testing.T) {
 }
 
 func TestLocalSGDSyncEvery(t *testing.T) {
+	skipIfShort(t)
 	d := testDataset()
 	cfg := testConfig()
 	cfg.MaxEpochs = 15
@@ -582,6 +599,7 @@ func TestLocalSGDSyncEvery(t *testing.T) {
 }
 
 func TestValueSparsifyTrains(t *testing.T) {
+	skipIfShort(t)
 	d := testDataset()
 	cfg := testConfig()
 	cfg.Comm = CommAllGather
@@ -762,6 +780,7 @@ func TestReplicasStayInSync(t *testing.T) {
 }
 
 func TestDynamicStaysOnAllReduceWhenDense(t *testing.T) {
+	skipIfShort(t)
 	// Every rank touches every entity each batch (dense gradients) and the
 	// rows are wide, so the all-gather would replicate the whole matrix
 	// P times while the ring all-reduce moves it ~twice: the probe must

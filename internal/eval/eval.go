@@ -198,7 +198,7 @@ func AUC(m model.Model, p *model.Params, d *kg.Dataset, f *kg.FilterIndex, rng *
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
-		for j < n && all[j].s == all[i].s {
+		for j < n && all[j].s == all[i].s { //kgelint:ignore floateq midrank ties require exact score equality
 			j++
 		}
 		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j

@@ -25,10 +25,12 @@ func (f *fixedModel) Score(_ *model.Params, t kg.Triple) float32 {
 	}
 	return f.def
 }
+func (f *fixedModel) ScoreRows(_, _, _ []float32) float32 { return f.def }
 func (f *fixedModel) AccumulateScoreGrad(*model.Params, kg.Triple, float32, []float32, []float32, []float32) {
 }
-func (f *fixedModel) ScoreFlops() float64 { return 1 }
-func (f *fixedModel) GradFlops() float64  { return 1 }
+func (f *fixedModel) AccumulateScoreGradRows(_, _, _ []float32, _ float32, _, _, _ []float32) {}
+func (f *fixedModel) ScoreFlops() float64                                                     { return 1 }
+func (f *fixedModel) GradFlops() float64                                                      { return 1 }
 
 func TestLinkPredictionPerfectModel(t *testing.T) {
 	// 4 entities; the test triple outscores every corruption -> MRR 1.
@@ -349,7 +351,9 @@ func (s *scoreFuncModel) Width() int   { return 1 }
 func (s *scoreFuncModel) Score(_ *model.Params, t kg.Triple) float32 {
 	return s.f(t)
 }
+func (s *scoreFuncModel) ScoreRows(_, _, _ []float32) float32 { return 0 }
 func (s *scoreFuncModel) AccumulateScoreGrad(*model.Params, kg.Triple, float32, []float32, []float32, []float32) {
 }
-func (s *scoreFuncModel) ScoreFlops() float64 { return 1 }
-func (s *scoreFuncModel) GradFlops() float64  { return 1 }
+func (s *scoreFuncModel) AccumulateScoreGradRows(_, _, _ []float32, _ float32, _, _, _ []float32) {}
+func (s *scoreFuncModel) ScoreFlops() float64                                                     { return 1 }
+func (s *scoreFuncModel) GradFlops() float64                                                      { return 1 }

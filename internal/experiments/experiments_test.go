@@ -9,6 +9,16 @@ import (
 
 func quickOpts() Options { return Options{Quick: true, Seed: 3} }
 
+// skipIfShort skips the long end-to-end training tests under -short — in
+// particular the race-detector CI tier, where each of these costs seconds.
+// Unit-level coverage of every code path stays on in short mode.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping long training test in -short mode")
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the paper's evaluation must be registered.
 	want := []string{
@@ -72,6 +82,7 @@ func TestTable3Exact(t *testing.T) {
 }
 
 func TestQuickBaselines(t *testing.T) {
+	skipIfShort(t)
 	e, err := Get("table1")
 	if err != nil {
 		t.Fatal(err)
@@ -93,6 +104,7 @@ func TestQuickBaselines(t *testing.T) {
 }
 
 func TestQuickFig1SharesBaselineRuns(t *testing.T) {
+	skipIfShort(t)
 	// fig1 must reuse table1/table2's cached runs rather than retraining.
 	ResetCaches()
 	o := quickOpts()
@@ -125,6 +137,7 @@ func TestQuickFig1SharesBaselineRuns(t *testing.T) {
 }
 
 func TestQuickSelectionExperiments(t *testing.T) {
+	skipIfShort(t)
 	for _, id := range []string{"fig2", "fig3"} {
 		e, err := Get(id)
 		if err != nil {
@@ -146,6 +159,7 @@ func TestQuickSelectionExperiments(t *testing.T) {
 }
 
 func TestQuickQuantizationExperiments(t *testing.T) {
+	skipIfShort(t)
 	for _, id := range []string{"fig4", "fig5"} {
 		e, _ := Get(id)
 		r, err := e.Run(quickOpts())
@@ -159,6 +173,7 @@ func TestQuickQuantizationExperiments(t *testing.T) {
 }
 
 func TestQuickFig6RelationBytesEliminated(t *testing.T) {
+	skipIfShort(t)
 	e, _ := Get("fig6")
 	r, err := e.Run(quickOpts())
 	if err != nil {
@@ -178,6 +193,7 @@ func TestQuickFig6RelationBytesEliminated(t *testing.T) {
 }
 
 func TestQuickSamplingExperiments(t *testing.T) {
+	skipIfShort(t)
 	for _, id := range []string{"table4", "fig7"} {
 		e, _ := Get(id)
 		r, err := e.Run(quickOpts())
@@ -191,6 +207,7 @@ func TestQuickSamplingExperiments(t *testing.T) {
 }
 
 func TestQuickCombinedAndHeadline(t *testing.T) {
+	skipIfShort(t)
 	for _, id := range []string{"fig8", "fig9", "headline", "psbaseline", "categories", "commvolume", "bucketvsrp", "strategies", "scaling"} {
 		e, _ := Get(id)
 		r, err := e.Run(quickOpts())
@@ -232,6 +249,7 @@ func TestNodeCounts(t *testing.T) {
 }
 
 func TestRepeatsAveraging(t *testing.T) {
+	skipIfShort(t)
 	// With Repeats=2, the run must execute two seeds and average; the
 	// averaged TT lies between the two individual runs'.
 	ResetCaches()

@@ -112,7 +112,7 @@ func Select(g *SparseGrad, mode SelectMode, rng *xrand.RNG) SelectStats {
 		}
 		if keep {
 			st.Kept++
-			if scale != 1 {
+			if scale != 1 { //kgelint:ignore floateq scale is exactly 1 unless a mode set it
 				row, _ := g.Get(id)
 				for i := range row {
 					row[i] *= scale

@@ -49,7 +49,7 @@ func SparsifyValues(g *SparseGrad, fraction float64) *ValueSparse {
 	}
 	sort.Slice(all, func(i, j int) bool {
 		ai, aj := math.Abs(float64(all[i].val)), math.Abs(float64(all[j].val))
-		if ai != aj {
+		if ai != aj { //kgelint:ignore floateq sort comparator needs the exact ordering
 			return ai > aj
 		}
 		// Deterministic tie-break by position.

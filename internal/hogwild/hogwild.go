@@ -3,8 +3,18 @@
 // al. "train the KGE using shared memory parallelism by employing lock-free
 // updates in a multi-threaded environment"). It serves as the intra-node
 // baseline: threads share one parameter store and apply sparse SGD updates
-// without synchronization (Hogwild!, Recht et al. 2011), racing benignly on
-// the rare row collisions.
+// without locks (Hogwild!, Recht et al. 2011), racing benignly on the rare
+// row collisions.
+//
+// Shared rows are never touched through plain loads and stores: workers
+// snapshot the three rows of a triple with tensor.AtomicRowLoad, compute the
+// gradient on the thread-local copies via Model.ScoreRows /
+// AccumulateScoreGradRows, and apply the update with tensor.AtomicRowAxpy
+// (per-element compare-and-swap). The algorithm is still lock-free Hogwild —
+// snapshots and updates from different threads interleave at word
+// granularity — but every shared access is a sync/atomic operation, so
+// `go test -race ./internal/hogwild` runs clean. The atomicrow analyzer in
+// internal/lint enforces this invariant.
 //
 // Unlike internal/core this trainer runs on real threads with real shared
 // memory (no virtual cluster): it demonstrates what a single 24-core node of
@@ -110,14 +120,12 @@ func Train(cfg Config, d *kg.Dataset) (*Result, *model.Params, error) {
 				sampler := model.NewNegSampler(d.NumEntities, rng.Split(1))
 				shard := shards[tID]
 				order := rng.Perm(len(shard))
-				gh := make([]float32, w)
-				gr := make([]float32, w)
-				gt := make([]float32, w)
+				ws := newWorkspace(w)
 				for _, i := range order {
 					pos := shard[i]
-					step(m, params, pos, 1, lr, gh, gr, gt)
+					step(m, params, pos, 1, lr, ws)
 					for k := 0; k < cfg.NegSamples; k++ {
-						step(m, params, sampler.Corrupt(pos), -1, lr, gh, gr, gt)
+						step(m, params, sampler.Corrupt(pos), -1, lr, ws)
 					}
 				}
 			}(tID)
@@ -137,22 +145,36 @@ func Train(cfg Config, d *kg.Dataset) (*Result, *model.Params, error) {
 	}, params, nil
 }
 
-// step applies one lock-free SGD update for a labeled triple. The gradient
-// scratch buffers are thread-local; the parameter rows are read and written
-// without locks — Hogwild's benign races.
-func step(m model.Model, p *model.Params, tr kg.Triple, y float32, lr float32, gh, gr, gt []float32) {
-	for i := range gh {
-		gh[i], gr[i], gt[i] = 0, 0, 0
+// workspace holds one worker's thread-local row snapshots and gradient
+// scratch, allocated once per worker per epoch.
+type workspace struct {
+	h, r, t    []float32 // row snapshots
+	gh, gr, gt []float32 // gradient accumulators
+}
+
+func newWorkspace(w int) *workspace {
+	return &workspace{
+		h: make([]float32, w), r: make([]float32, w), t: make([]float32, w),
+		gh: make([]float32, w), gr: make([]float32, w), gt: make([]float32, w),
 	}
-	score := m.Score(p, tr)
+}
+
+// step applies one lock-free SGD update for a labeled triple: atomic row
+// snapshots in, gradient on the thread-local copies, CAS-axpy updates out.
+// Another thread may update a row between our snapshot and our axpy; the
+// axpy still lands atomically on the then-current values, which is exactly
+// the stale-gradient tolerance the Hogwild analysis relies on.
+func step(m model.Model, p *model.Params, tr kg.Triple, y float32, lr float32, ws *workspace) {
+	p.Entity.AtomicRowLoad(int(tr.H), ws.h)
+	p.Relation.AtomicRowLoad(int(tr.R), ws.r)
+	p.Entity.AtomicRowLoad(int(tr.T), ws.t)
+	for i := range ws.gh {
+		ws.gh[i], ws.gr[i], ws.gt[i] = 0, 0, 0
+	}
+	score := m.ScoreRows(ws.h, ws.r, ws.t)
 	coef := model.LogisticLossGrad(score, y)
-	m.AccumulateScoreGrad(p, tr, coef, gh, gr, gt)
-	h := p.Entity.Row(int(tr.H))
-	r := p.Relation.Row(int(tr.R))
-	t := p.Entity.Row(int(tr.T))
-	for i := range gh {
-		h[i] -= lr * gh[i]
-		r[i] -= lr * gr[i]
-		t[i] -= lr * gt[i]
-	}
+	m.AccumulateScoreGradRows(ws.h, ws.r, ws.t, coef, ws.gh, ws.gr, ws.gt)
+	p.Entity.AtomicRowAxpy(int(tr.H), -lr, ws.gh)
+	p.Relation.AtomicRowAxpy(int(tr.R), -lr, ws.gr)
+	p.Entity.AtomicRowAxpy(int(tr.T), -lr, ws.gt)
 }

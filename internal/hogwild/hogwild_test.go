@@ -30,17 +30,29 @@ func TestRejectsEmptyDataset(t *testing.T) {
 	}
 }
 
+// learnEpochs returns the epoch budget and matching accuracy floor: the full
+// 30-epoch run asserts strong convergence; -short (notably the race-detector
+// tier, ~10-20x slower per instruction) trains a third as long and accepts a
+// correspondingly looser—but still far-above-chance—floor.
+func learnEpochs() (epochs int, minTCA float64) {
+	if testing.Short() {
+		return 10, 58
+	}
+	return 30, 70
+}
+
 func TestSingleThreadLearns(t *testing.T) {
+	epochs, minTCA := learnEpochs()
 	cfg := DefaultConfig()
 	cfg.Dim = 8
 	cfg.Threads = 1
-	cfg.Epochs = 30
+	cfg.Epochs = epochs
 	cfg.TestSample = 60
 	res, params, err := Train(cfg, hwDataset())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TCA < 70 {
+	if res.TCA < minTCA {
 		t.Fatalf("TCA = %v, expected learning", res.TCA)
 	}
 	if res.MRR < 0.05 {
@@ -49,25 +61,26 @@ func TestSingleThreadLearns(t *testing.T) {
 	if params == nil || params.Entity.NonZeroRows() == 0 {
 		t.Fatal("no trained parameters returned")
 	}
-	if res.Threads != 1 || res.Epochs != 30 {
+	if res.Threads != 1 || res.Epochs != epochs {
 		t.Fatalf("metadata %+v", res)
 	}
 }
 
 func TestLockFreeParallelStillLearns(t *testing.T) {
-	// The Hogwild claim: benign races on sparse updates do not prevent
-	// convergence. 4 threads racing on shared parameters must reach
-	// accuracy comparable to single-threaded training.
+	// The Hogwild claim: lock-free word-atomic updates racing on sparse rows
+	// do not prevent convergence. 4 threads racing on shared parameters must
+	// reach accuracy comparable to single-threaded training.
+	epochs, minTCA := learnEpochs()
 	cfg := DefaultConfig()
 	cfg.Dim = 8
 	cfg.Threads = 4
-	cfg.Epochs = 30
+	cfg.Epochs = epochs
 	cfg.TestSample = 60
 	res, _, err := Train(cfg, hwDataset())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TCA < 65 {
+	if res.TCA < minTCA-5 {
 		t.Fatalf("4-thread TCA = %v: racing destroyed convergence", res.TCA)
 	}
 	if res.Threads != 4 {

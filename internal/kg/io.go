@@ -32,7 +32,7 @@ func SaveDir(d *Dataset, dir string) error {
 			fmt.Fprintf(w, "%d %d %d\n", t.H, t.T, t.R)
 		}
 		if err := w.Flush(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		return f.Close()
@@ -88,7 +88,7 @@ func loadSplit(path string) ([]Triple, error) {
 	if err != nil {
 		return nil, fmt.Errorf("kg: opening split: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //kgelint:ignore droppederr read-only close
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	if !sc.Scan() {
@@ -132,7 +132,7 @@ func loadCount(path string) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("kg: opening count file: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //kgelint:ignore droppederr read-only close
 	sc := bufio.NewScanner(f)
 	if !sc.Scan() {
 		return 0, fmt.Errorf("kg: %s: empty", path)

@@ -26,7 +26,7 @@ func LoadNamedDir(dir string) (*Dataset, *Names, error) {
 		if err != nil {
 			return nil, fmt.Errorf("kg: opening %s: %w", path, err)
 		}
-		defer f.Close()
+		defer f.Close() //kgelint:ignore droppederr read-only close
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 		var out []Triple

@@ -1,0 +1,55 @@
+package lint
+
+// atomicrow enforces the Hogwild memory discipline. internal/hogwild's
+// worker threads share one parameter store and update it lock-free; after
+// the race-clean refactor every shared row access must go through the
+// atomic bit-pattern accessors (Matrix.AtomicRowLoad / AtomicRowAxpy /
+// tensor.Atomic*). A plain Matrix.Row slice view or direct Data indexing in
+// that package reintroduces the unsynchronized loads and stores that make
+// `go test -race` unusable — which is precisely how the pre-refactor code
+// failed. The rule is package-scoped: everywhere else Row is the right
+// (fast, non-atomic) accessor.
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicRow forbids non-atomic parameter-row access inside internal/hogwild.
+var AtomicRow = &Analyzer{
+	Name: "atomicrow",
+	Doc: "in internal/hogwild, forbid plain Matrix.Row views and Data indexing " +
+		"on shared parameters; use the atomic row accessors",
+	Run: runAtomicRow,
+}
+
+func runAtomicRow(pass *Pass) error {
+	if pass.Pkg.Name() != "hogwild" && !strings.Contains(pass.PkgPath, "/hogwild") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(pass, n); fn != nil && fn.Name() == "Row" &&
+					isMethodOn(fn, "internal/tensor", "Matrix") {
+					pass.Reportf(n.Pos(),
+						"plain Matrix.Row view on shared hogwild parameters races with lock-free writers; use AtomicRowLoad/AtomicRowAxpy")
+				}
+			case *ast.SelectorExpr:
+				if n.Sel.Name != "Data" {
+					return true
+				}
+				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Obj() != nil {
+					if v := sel.Obj(); v.Pkg() != nil &&
+						strings.HasSuffix(v.Pkg().Path(), "internal/tensor") {
+						pass.Reportf(n.Pos(),
+							"direct Matrix.Data access on shared hogwild parameters races with lock-free writers; use the atomic row accessors")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

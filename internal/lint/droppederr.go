@@ -1,0 +1,88 @@
+package lint
+
+// droppederr flags call statements that silently discard an error result.
+// The trainer and experiment pipeline run unattended for virtual "cluster
+// hours"; an ignored checkpoint-write or render error surfaces as a corrupt
+// results table long after the cause is gone. Discards must be explicit
+// (`_ = f()`), which both documents intent and survives review.
+//
+// Conventionally infallible writers are exempt: the fmt printers and the
+// Write* methods of strings.Builder / bytes.Buffer, whose errors are
+// documented to be always nil.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags expression and defer statements that discard errors.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc: "flag call statements that discard an error result; use `_ = f()` " +
+		"for intentional discards",
+	Run: runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) error {
+	check := func(call *ast.CallExpr, deferred bool) {
+		if !returnsError(pass, call) || exemptErrDiscard(pass, call) {
+			return
+		}
+		verb := "call"
+		if deferred {
+			verb = "deferred call"
+		}
+		pass.Reportf(call.Pos(), "%s discards its error result; handle it or assign to _ explicitly", verb)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, false)
+				}
+			case *ast.DeferStmt:
+				check(s.Call, true)
+			case *ast.GoStmt:
+				check(s.Call, false)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether the call's result list includes an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+	default:
+		return isErrorType(t)
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func exemptErrDiscard(pass *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(pass, call)
+	if f == nil {
+		return false
+	}
+	if funcPkgPath(f) == "fmt" {
+		return true
+	}
+	return isMethodOn(f, "strings", "Builder") || isMethodOn(f, "bytes", "Buffer")
+}

@@ -1,0 +1,78 @@
+package lint
+
+// floateq flags == and != on floating-point operands. In a codebase whose
+// whole point is trading numerical exactness for speed (quantization,
+// lock-free updates, cost-model comparisons), exact float equality is
+// almost always a latent bug: it encodes an assumption the next strategy
+// change silently invalidates. Comparisons against an exact zero literal
+// are allowed — "is this row still uninitialized/empty" is a legitimate
+// bit-level question — as are approved approximate-comparison helpers
+// (functions whose name contains "approx"). Deliberate bit-exact checks
+// carry a //kgelint:ignore floateq comment with a rationale.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatEq flags exact floating-point equality comparisons.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on float operands outside approved approximate-equality " +
+		"helpers; compare against a tolerance or justify with //kgelint:ignore floateq",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	spans := declaredFuncSpans(pass)
+	inApprovedHelper := func(pos token.Pos) bool {
+		for _, s := range spans {
+			if int(pos) >= s.lo && int(pos) < s.hi &&
+				strings.Contains(strings.ToLower(s.name), "approx") {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(pass, be.X) && !isFloatOperand(pass, be.Y) {
+				return true
+			}
+			if isExactZero(pass, be.X) || isExactZero(pass, be.Y) {
+				return true
+			}
+			if inApprovedHelper(be.Pos()) {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"exact float comparison (%s): use a tolerance, compare math.Float32bits explicitly, or annotate //kgelint:ignore floateq", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatOperand(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isExactZero reports whether e is a compile-time constant equal to zero.
+func isExactZero(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}

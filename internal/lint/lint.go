@@ -1,0 +1,180 @@
+// Package lint implements kgedist's project-specific static analyzers and
+// the minimal go/analysis-style framework they run on.
+//
+// The repo has three hazard zones the Go toolchain cannot police on its own:
+// internal/hogwild races by design (so the race detector needs every shared
+// access to go through atomic accessors), internal/mpi collectives deadlock
+// if any rank diverges, and reproducibility of the paper's experiments
+// depends on every random draw flowing through internal/xrand. The analyzers
+// in this package turn those conventions into build failures; cmd/kgelint is
+// the driver and `make lint` / CI run it over the whole repo.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic) but is built on the standard library only: the container this
+// repo builds in has no module proxy access, so x/tools cannot be fetched.
+// If the dependency ever becomes available the analyzers port over
+// mechanically — each Run already takes a Pass with Fset/Files/TypesInfo.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in
+	// //kgelint:ignore comments.
+	Name string
+	// Doc is the one-paragraph description shown by `kgelint -help`.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path of the package under analysis. Fixture
+	// packages carry their directory-derived path; analyzers that scope by
+	// package should also consider Pkg.Name().
+	PkgPath string
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ignoreSet maps file -> line -> analyzer names suppressed on that line. The
+// wildcard name "all" suppresses every analyzer.
+type ignoreSet map[string]map[int]map[string]bool
+
+// ignoreDirective is the comment prefix that suppresses findings, e.g.
+//
+//	x := v.(float64) //kgelint:ignore floateq intentional bit-compare
+//
+// The directive applies to the line it sits on and the line directly below
+// (so it can precede the flagged statement).
+const ignoreDirective = "kgelint:ignore"
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	ig := make(ignoreSet)
+	add := func(file string, line int, name string) {
+		if ig[file] == nil {
+			ig[file] = make(map[int]map[string]bool)
+		}
+		if ig[file][line] == nil {
+			ig[file][line] = make(map[string]bool)
+		}
+		ig[file][line][name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Fields(rest) {
+					// Names after the analyzer list are free-form rationale;
+					// analyzer names are lowercase identifiers.
+					if name != strings.ToLower(name) {
+						break
+					}
+					add(pos.Filename, pos.Line, name)
+					add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return ig
+}
+
+func (ig ignoreSet) suppresses(d Diagnostic) bool {
+	byLine := ig[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	names := byLine[d.Pos.Line]
+	return names[d.Analyzer] || names["all"]
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving (non-suppressed) findings in stable file/line order.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		ig := collectIgnores(pkg.Fset, pkg.Syntax)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				PkgPath:   pkg.PkgPath,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		for _, d := range diags {
+			if !ig.suppresses(d) {
+				all = append(all, d)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}
+
+// All returns the full kgedist analyzer suite in a deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SeedRand,
+		DivergentCollective,
+		FloatEq,
+		DroppedErr,
+		AtomicRow,
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+// seedrand protects the reproducibility of the paper's results. Every
+// experiment in this repo must be bit-replayable from a single uint64 seed,
+// which holds only if all randomness flows through internal/xrand's
+// splittable generator. Importing math/rand (global, mutex-guarded,
+// non-splittable) or seeding anything from wall-clock time silently breaks
+// replay — exactly the class of bug the abstract's "dynamic strategies"
+// ablations cannot tolerate.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SeedRand forbids math/rand imports and time-derived seeds outside
+// internal/xrand.
+var SeedRand = &Analyzer{
+	Name: "seedrand",
+	Doc: "forbid math/rand and time-seeded randomness outside internal/xrand; " +
+		"all RNG streams must derive from a run seed via xrand.New/Split",
+	Run: runSeedRand,
+}
+
+// seedCalleeNames are constructors/seeders whose arguments must not be
+// derived from the wall clock.
+var seedCalleeNames = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"Seed":      true,
+	"Split":     true,
+	"NewZipf":   true,
+}
+
+func runSeedRand(pass *Pass) error {
+	if pass.Pkg.Name() == "xrand" || strings.HasSuffix(pass.PkgPath, "internal/xrand") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s outside internal/xrand breaks seeded reproducibility; use kgedist/internal/xrand", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if !seedCalleeNames[name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if pos, found := findTimeNow(pass, arg); found {
+					pass.Reportf(pos,
+						"time-derived seed passed to %s: seeds must come from the run configuration, not the wall clock", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName returns the syntactic name a call invokes ("" if anonymous).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// findTimeNow reports a call to time.Now anywhere under expr.
+func findTimeNow(pass *Pass, expr ast.Expr) (pos token.Pos, found bool) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := calleeFunc(pass, call); f != nil && f.Name() == "Now" && funcPkgPath(f) == "time" {
+			pos, found = call.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}

@@ -1,0 +1,43 @@
+// Fixture for the droppederr analyzer: silently discarded error results are
+// flagged; explicit discards, handled errors, and the conventionally
+// infallible writers are not.
+package droppederrfix
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func dropped() {
+	os.Remove("stale.tmp") // want "call discards its error result"
+}
+
+func deferredDrop(f *os.File) {
+	defer f.Close() // want "deferred call discards its error result"
+}
+
+func goroutineDrop() {
+	go os.Remove("stale.tmp") // want "call discards its error result"
+}
+
+func explicitDiscard() {
+	_ = os.Remove("stale.tmp")
+}
+
+func handled() error {
+	if err := os.Remove("stale.tmp"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func exemptWriters(sb *strings.Builder) {
+	fmt.Println("progress")
+	fmt.Fprintf(os.Stderr, "progress\n")
+	sb.WriteString("chunk")
+}
+
+func suppressed() {
+	os.Remove("stale.tmp") //kgelint:ignore droppederr fixture: proves the escape hatch
+}

@@ -1,0 +1,39 @@
+// Fixture for the floateq analyzer: exact float equality is flagged except
+// against a literal zero, inside approved approximate helpers, or when
+// explicitly suppressed.
+package floateqfix
+
+func equality(a, b float64) bool {
+	return a == b // want "exact float comparison"
+}
+
+func inequality(a, b float32) bool {
+	return a != b // want "exact float comparison"
+}
+
+func constantCompare(a float64) bool {
+	return a != 1.5 // want "exact float comparison"
+}
+
+func zeroGuard(a float64, row []float32) bool {
+	return a == 0 && row[0] != 0 // exact-zero emptiness guards are allowed
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+func approxEqual(a, b, tol float64) bool {
+	if a == b { // approved helper: exact short-circuit is the point
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < tol
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //kgelint:ignore floateq fixture: bit-exact determinism check
+}

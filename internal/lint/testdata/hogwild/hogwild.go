@@ -1,0 +1,24 @@
+// Fixture for the atomicrow analyzer: inside a hogwild package, plain row
+// views and direct Data access on the shared parameter matrices are flagged;
+// the atomic accessors are the sanctioned path.
+package hogwild
+
+import "kgedist/internal/tensor"
+
+func plainRowView(m *tensor.Matrix) []float32 {
+	return m.Row(0) // want "plain Matrix.Row view"
+}
+
+func directData(m *tensor.Matrix) float32 {
+	return m.Data[0] // want "direct Matrix.Data access"
+}
+
+func atomicAccessors(m *tensor.Matrix, dst, g []float32) {
+	m.AtomicRowLoad(0, dst)
+	m.AtomicRowAxpy(0, -0.05, g)
+	_ = tensor.AtomicLoad(dst, 0)
+}
+
+func suppressed(m *tensor.Matrix) []float32 {
+	return m.Row(0) //kgelint:ignore atomicrow fixture: proves the escape hatch
+}

@@ -1,0 +1,35 @@
+// Fixture for the seedrand analyzer: math/rand imports and wall-clock
+// seeding must be flagged everywhere outside internal/xrand.
+package seedrandfix
+
+import (
+	"math/rand" // want "import of math/rand outside internal/xrand"
+	"time"
+
+	"kgedist/internal/xrand"
+)
+
+func timeSeededSource() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want "time-derived seed passed to NewSource"
+}
+
+func reseeded(r *rand.Rand) {
+	r.Seed(time.Now().Unix()) // want "time-derived seed passed to Seed"
+}
+
+func xrandFromClock() *xrand.RNG {
+	return xrand.New(uint64(time.Now().UnixNano())) // want "time-derived seed passed to New"
+}
+
+func constantSeedIsFine() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func timingIsFine() time.Time {
+	// time.Now outside a seeding call is legitimate (wall-clock benchmarks).
+	return time.Now()
+}
+
+func suppressed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) //kgelint:ignore seedrand fixture: proves the escape hatch
+}

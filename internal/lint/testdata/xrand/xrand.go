@@ -1,0 +1,10 @@
+// Fixture proving the seedrand exemption: a package named xrand (the
+// designated RNG home) may reference math/rand, e.g. to cross-validate its
+// distributions. No diagnostics expected anywhere in this file.
+package xrand
+
+import "math/rand"
+
+func fromMathRand(src rand.Source) int {
+	return rand.New(src).Int()
+}

@@ -130,7 +130,7 @@ func (f *Figure) Render(w io.Writer) {
 		for _, s := range f.Series {
 			cell := ""
 			for i, sx := range s.X {
-				if sx == x {
+				if sx == x { //kgelint:ignore floateq matches x values copied verbatim from the series
 					cell = trim(s.Y[i])
 					break
 				}

@@ -45,11 +45,11 @@ func SaveCheckpoint(path string, m Model, p *Params) error {
 		return writeF32(w, p.Relation.Data)
 	}()
 	if werr != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("model: writing checkpoint: %w", werr)
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("model: flushing checkpoint: %w", err)
 	}
 	return f.Close()
@@ -62,7 +62,7 @@ func LoadCheckpoint(path string) (Model, *Params, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("model: opening checkpoint: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //kgelint:ignore droppederr read-only close
 	r := bufio.NewReader(f)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != checkpointMagic {

@@ -41,11 +41,11 @@ func (m *RotatE) Dim() int { return m.dim }
 func (m *RotatE) Width() int { return 2 * m.dim }
 
 // Score implements Model.
-func (m *RotatE) Score(p *Params, t kg.Triple) float32 {
+func (m *RotatE) Score(p *Params, t kg.Triple) float32 { return scoreVia(m, p, t) }
+
+// ScoreRows implements Model over explicit rows.
+func (m *RotatE) ScoreRows(h, r, tt []float32) float32 {
 	d := m.dim
-	h := p.Entity.Row(int(t.H))
-	r := p.Relation.Row(int(t.R))
-	tt := p.Entity.Row(int(t.T))
 	hr, hi := h[:d], h[d:]
 	rr, ri := r[:d], r[d:]
 	tr, ti := tt[:d], tt[d:]
@@ -61,10 +61,12 @@ func (m *RotatE) Score(p *Params, t kg.Triple) float32 {
 
 // AccumulateScoreGrad implements Model.
 func (m *RotatE) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, gr, gt []float32) {
+	gradVia(m, p, t, coef, gh, gr, gt)
+}
+
+// AccumulateScoreGradRows implements Model over explicit rows.
+func (m *RotatE) AccumulateScoreGradRows(h, r, tt []float32, coef float32, gh, gr, gt []float32) {
 	d := m.dim
-	h := p.Entity.Row(int(t.H))
-	r := p.Relation.Row(int(t.R))
-	tt := p.Entity.Row(int(t.T))
 	hr, hi := h[:d], h[d:]
 	rr, ri := r[:d], r[d:]
 	tr, ti := tt[:d], tt[d:]
@@ -129,12 +131,14 @@ func projectH(e, w, out []float32) {
 
 // Score implements Model. Entity rows are width 2*dim for interface
 // uniformity; only the first dim coordinates carry the embedding.
-func (m *TransH) Score(p *Params, t kg.Triple) float32 {
+func (m *TransH) Score(p *Params, t kg.Triple) float32 { return scoreVia(m, p, t) }
+
+// ScoreRows implements Model over explicit rows.
+func (m *TransH) ScoreRows(hRow, rel, tRow []float32) float32 {
 	d := m.dim
-	h := p.Entity.Row(int(t.H))[:d]
-	rel := p.Relation.Row(int(t.R))
+	h := hRow[:d]
 	w, dvec := rel[:d], rel[d:]
-	tt := p.Entity.Row(int(t.T))[:d]
+	tt := tRow[:d]
 	var s float64
 	wh := tensor.Dot(w, h)
 	wt := tensor.Dot(w, tt)
@@ -147,11 +151,15 @@ func (m *TransH) Score(p *Params, t kg.Triple) float32 {
 
 // AccumulateScoreGrad implements Model.
 func (m *TransH) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, gr, gt []float32) {
+	gradVia(m, p, t, coef, gh, gr, gt)
+}
+
+// AccumulateScoreGradRows implements Model over explicit rows.
+func (m *TransH) AccumulateScoreGradRows(hRow, rel, tRow []float32, coef float32, gh, gr, gt []float32) {
 	d := m.dim
-	h := p.Entity.Row(int(t.H))[:d]
-	rel := p.Relation.Row(int(t.R))
+	h := hRow[:d]
 	w, dvec := rel[:d], rel[d:]
-	tt := p.Entity.Row(int(t.T))[:d]
+	tt := tRow[:d]
 	wh := tensor.Dot(w, h)
 	wt := tensor.Dot(w, tt)
 
@@ -210,11 +218,11 @@ func (m *SimplE) Dim() int { return m.dim }
 func (m *SimplE) Width() int { return 2 * m.dim }
 
 // Score implements Model.
-func (m *SimplE) Score(p *Params, t kg.Triple) float32 {
+func (m *SimplE) Score(p *Params, t kg.Triple) float32 { return scoreVia(m, p, t) }
+
+// ScoreRows implements Model over explicit rows.
+func (m *SimplE) ScoreRows(h, r, tt []float32) float32 {
 	d := m.dim
-	h := p.Entity.Row(int(t.H))
-	r := p.Relation.Row(int(t.R))
-	tt := p.Entity.Row(int(t.T))
 	hH, hT := h[:d], h[d:]
 	rf, ri := r[:d], r[d:]
 	tH, tT := tt[:d], tt[d:]
@@ -223,10 +231,12 @@ func (m *SimplE) Score(p *Params, t kg.Triple) float32 {
 
 // AccumulateScoreGrad implements Model.
 func (m *SimplE) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, gr, gt []float32) {
+	gradVia(m, p, t, coef, gh, gr, gt)
+}
+
+// AccumulateScoreGradRows implements Model over explicit rows.
+func (m *SimplE) AccumulateScoreGradRows(h, r, tt []float32, coef float32, gh, gr, gt []float32) {
 	d := m.dim
-	h := p.Entity.Row(int(t.H))
-	r := p.Relation.Row(int(t.R))
-	tt := p.Entity.Row(int(t.T))
 	hH, hT := h[:d], h[d:]
 	rf, ri := r[:d], r[d:]
 	tH, tT := tt[:d], tt[d:]

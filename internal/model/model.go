@@ -52,14 +52,33 @@ type Model interface {
 	// Score returns the plausibility score of a triple; higher = more
 	// plausible.
 	Score(p *Params, t kg.Triple) float32
+	// ScoreRows scores from explicit embedding rows (head, relation, tail),
+	// each Width() long. Callers that must not touch the shared store
+	// directly — the lock-free hogwild workers score thread-local row
+	// snapshots — go through this entry point.
+	ScoreRows(h, r, t []float32) float32
 	// AccumulateScoreGrad adds coef * dScore/dRow into the three gradient
 	// rows (head entity, relation, tail entity), each Width() long.
 	AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, gr, gt []float32)
+	// AccumulateScoreGradRows is AccumulateScoreGrad over explicit embedding
+	// rows, pairing with ScoreRows.
+	AccumulateScoreGradRows(h, r, t []float32, coef float32, gh, gr, gt []float32)
 	// ScoreFlops estimates floating-point operations of one Score call,
 	// used by the simulated compute-time model.
 	ScoreFlops() float64
 	// GradFlops estimates flops of one AccumulateScoreGrad call.
 	GradFlops() float64
+}
+
+// scoreVia implements Score by fetching the triple's rows from the store
+// and delegating to ScoreRows; every concrete model uses it.
+func scoreVia(m Model, p *Params, t kg.Triple) float32 {
+	return m.ScoreRows(p.Entity.Row(int(t.H)), p.Relation.Row(int(t.R)), p.Entity.Row(int(t.T)))
+}
+
+// gradVia implements AccumulateScoreGrad via AccumulateScoreGradRows.
+func gradVia(m Model, p *Params, t kg.Triple, coef float32, gh, gr, gt []float32) {
+	m.AccumulateScoreGradRows(p.Entity.Row(int(t.H)), p.Relation.Row(int(t.R)), p.Entity.Row(int(t.T)), coef, gh, gr, gt)
 }
 
 // New constructs a model by name; the canonical names are "complex",
@@ -130,11 +149,11 @@ func (m *ComplEx) Width() int { return 2 * m.dim }
 //
 //	phi(h,r,t) = <Re r, Re h, Re t> + <Re r, Im h, Im t>
 //	           + <Im r, Re h, Im t> - <Im r, Im h, Re t>
-func (m *ComplEx) Score(p *Params, t kg.Triple) float32 {
+func (m *ComplEx) Score(p *Params, t kg.Triple) float32 { return scoreVia(m, p, t) }
+
+// ScoreRows implements Model over explicit rows.
+func (m *ComplEx) ScoreRows(h, r, tt []float32) float32 {
 	d := m.dim
-	h := p.Entity.Row(int(t.H))
-	r := p.Relation.Row(int(t.R))
-	tt := p.Entity.Row(int(t.T))
 	hr, hi := h[:d], h[d:]
 	rr, ri := r[:d], r[d:]
 	tr, ti := tt[:d], tt[d:]
@@ -145,10 +164,12 @@ func (m *ComplEx) Score(p *Params, t kg.Triple) float32 {
 // AccumulateScoreGrad implements Model with the closed-form partials of the
 // ComplEx score.
 func (m *ComplEx) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, gr, gt []float32) {
+	gradVia(m, p, t, coef, gh, gr, gt)
+}
+
+// AccumulateScoreGradRows implements Model over explicit rows.
+func (m *ComplEx) AccumulateScoreGradRows(h, r, tt []float32, coef float32, gh, gr, gt []float32) {
 	d := m.dim
-	h := p.Entity.Row(int(t.H))
-	r := p.Relation.Row(int(t.R))
-	tt := p.Entity.Row(int(t.T))
 	hr, hi := h[:d], h[d:]
 	rr, ri := r[:d], r[d:]
 	tr, ti := tt[:d], tt[d:]
@@ -201,15 +222,20 @@ func (m *DistMult) Dim() int { return m.dim }
 func (m *DistMult) Width() int { return m.dim }
 
 // Score implements Model.
-func (m *DistMult) Score(p *Params, t kg.Triple) float32 {
-	return tensor.Dot3(p.Entity.Row(int(t.H)), p.Relation.Row(int(t.R)), p.Entity.Row(int(t.T)))
+func (m *DistMult) Score(p *Params, t kg.Triple) float32 { return scoreVia(m, p, t) }
+
+// ScoreRows implements Model over explicit rows.
+func (m *DistMult) ScoreRows(h, r, t []float32) float32 {
+	return tensor.Dot3(h, r, t)
 }
 
 // AccumulateScoreGrad implements Model.
 func (m *DistMult) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, gr, gt []float32) {
-	h := p.Entity.Row(int(t.H))
-	r := p.Relation.Row(int(t.R))
-	tt := p.Entity.Row(int(t.T))
+	gradVia(m, p, t, coef, gh, gr, gt)
+}
+
+// AccumulateScoreGradRows implements Model over explicit rows.
+func (m *DistMult) AccumulateScoreGradRows(h, r, tt []float32, coef float32, gh, gr, gt []float32) {
 	tensor.AxpyMul(coef, r, tt, gh)
 	tensor.AxpyMul(coef, h, tt, gr)
 	tensor.AxpyMul(coef, h, r, gt)
@@ -246,10 +272,10 @@ func (m *TransE) Dim() int { return m.dim }
 func (m *TransE) Width() int { return m.dim }
 
 // Score implements Model.
-func (m *TransE) Score(p *Params, t kg.Triple) float32 {
-	h := p.Entity.Row(int(t.H))
-	r := p.Relation.Row(int(t.R))
-	tt := p.Entity.Row(int(t.T))
+func (m *TransE) Score(p *Params, t kg.Triple) float32 { return scoreVia(m, p, t) }
+
+// ScoreRows implements Model over explicit rows.
+func (m *TransE) ScoreRows(h, r, tt []float32) float32 {
 	var s float64
 	for i := range h {
 		d := float64(h[i] + r[i] - tt[i])
@@ -260,9 +286,11 @@ func (m *TransE) Score(p *Params, t kg.Triple) float32 {
 
 // AccumulateScoreGrad implements Model: d(phi)/dh = -2(h+r-t), etc.
 func (m *TransE) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, gr, gt []float32) {
-	h := p.Entity.Row(int(t.H))
-	r := p.Relation.Row(int(t.R))
-	tt := p.Entity.Row(int(t.T))
+	gradVia(m, p, t, coef, gh, gr, gt)
+}
+
+// AccumulateScoreGradRows implements Model over explicit rows.
+func (m *TransE) AccumulateScoreGradRows(h, r, tt []float32, coef float32, gh, gr, gt []float32) {
 	for i := range h {
 		diff := h[i] + r[i] - tt[i]
 		g := -2 * coef * diff

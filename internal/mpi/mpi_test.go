@@ -2,9 +2,12 @@ package mpi
 
 import (
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"kgedist/internal/simnet"
 	"kgedist/internal/xrand"
@@ -12,6 +15,26 @@ import (
 
 func newWorld(p int) *World {
 	return NewWorld(simnet.NewCluster(p, simnet.XC40Params()))
+}
+
+// watchdog runs fn and fails the test with a full goroutine dump if it does
+// not return within timeout. A hung collective rendezvous otherwise stalls
+// the whole test binary until the go test deadline with no indication of
+// which ranks are stuck where; the dump shows every rank's blocked frame.
+func watchdog(t *testing.T, name string, timeout time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("%s: rendezvous timed out after %v; goroutine dump:\n%s", name, timeout, buf[:n])
+	}
 }
 
 func TestRankAndSize(t *testing.T) {
@@ -57,8 +80,14 @@ func TestRunPropagatesPanic(t *testing.T) {
 }
 
 func TestAllReduceSumMatchesSequential(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 4, 7, 8, 16} {
-		for _, n := range []int{0, 1, 2, 5, 64, 1000} {
+	ps := []int{1, 2, 3, 4, 7, 8, 16}
+	ns := []int{0, 1, 2, 5, 64, 1000}
+	if testing.Short() {
+		ps = []int{1, 3, 8}
+		ns = []int{0, 5, 64}
+	}
+	for _, p := range ps {
+		for _, n := range ns {
 			w := newWorld(p)
 			rng := xrand.New(uint64(p*1000 + n))
 			inputs := make([][]float32, p)
@@ -284,18 +313,24 @@ func TestClocksSynchronizedAfterCollective(t *testing.T) {
 }
 
 func TestManySequentialCollectivesNoDeadlock(t *testing.T) {
+	iters := 50
+	if testing.Short() {
+		iters = 10
+	}
 	w := newWorld(8)
-	w.Run(func(c *Comm) {
-		buf := make([]float32, 33)
-		for i := 0; i < 50; i++ {
-			c.AllReduceSum(buf, "a")
-			_, _, _ = c.AllGatherRows([]int32{int32(c.Rank())}, []float32{1}, "b")
-			c.AllReduceScalar(1, OpSum)
-			c.Barrier()
-		}
+	watchdog(t, "sequential collectives", 30*time.Second, func() {
+		w.Run(func(c *Comm) {
+			buf := make([]float32, 33)
+			for i := 0; i < iters; i++ {
+				c.AllReduceSum(buf, "a")
+				_, _, _ = c.AllGatherRows([]int32{int32(c.Rank())}, []float32{1}, "b")
+				c.AllReduceScalar(1, OpSum)
+				c.Barrier()
+			}
+		})
 	})
-	if got := w.Cluster().Stats().Collectives; got != 200 {
-		t.Fatalf("collectives = %d, want 200", got)
+	if got := w.Cluster().Stats().Collectives; got != int64(4*iters) {
+		t.Fatalf("collectives = %d, want %d", got, 4*iters)
 	}
 }
 
@@ -330,7 +365,11 @@ func TestQuickAllReduce(t *testing.T) {
 		})
 		return ok
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	count := 30
+	if testing.Short() {
+		count = 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -362,7 +401,11 @@ func BenchmarkAllGatherRows8(b *testing.B) {
 // random world sizes: no deadlock, and statistics identical across reruns
 // of the same sequence (determinism independent of goroutine scheduling).
 func TestRandomCollectiveSequences(t *testing.T) {
-	for trial := 0; trial < 8; trial++ {
+	trials := 8
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
 		rng := xrand.New(uint64(trial))
 		p := rng.Intn(7) + 2
 		nOps := rng.Intn(12) + 4
@@ -372,24 +415,26 @@ func TestRandomCollectiveSequences(t *testing.T) {
 		}
 		run := func() (float64, int64) {
 			w := newWorld(p)
-			w.Run(func(c *Comm) {
-				buf := make([]float32, 65)
-				for _, op := range ops {
-					switch op {
-					case 0:
-						c.AllReduceSum(buf, "s")
-					case 1:
-						c.AllReduceSumRD(buf, "s")
-					case 2:
-						c.AllGatherRows([]int32{int32(c.Rank())}, []float32{1, 2}, "s")
-					case 3:
-						c.Barrier()
-					case 4:
-						c.AllReduceScalar(float64(c.Rank()), OpMax)
-					case 5:
-						c.Broadcast(buf, op%p)
+			watchdog(t, "random collective sequence", 30*time.Second, func() {
+				w.Run(func(c *Comm) {
+					buf := make([]float32, 65)
+					for _, op := range ops {
+						switch op {
+						case 0:
+							c.AllReduceSum(buf, "s")
+						case 1:
+							c.AllReduceSumRD(buf, "s")
+						case 2:
+							c.AllGatherRows([]int32{int32(c.Rank())}, []float32{1, 2}, "s")
+						case 3:
+							c.Barrier()
+						case 4:
+							c.AllReduceScalar(float64(c.Rank()), OpMax)
+						case 5:
+							c.Broadcast(buf, op%p)
+						}
 					}
-				}
+				})
 			})
 			st := w.Cluster().Stats()
 			return st.CommSeconds, st.BytesMoved
@@ -401,4 +446,71 @@ func TestRandomCollectiveSequences(t *testing.T) {
 				trial, p, c1, b1, c2, b2)
 		}
 	}
+}
+
+// TestPhaserReuseAcrossGenerations drives the rendezvous phaser through many
+// arrive/release/re-arrive cycles with deliberately skewed participants: the
+// same phaser object must be reusable generation after generation, onLast
+// must run exactly once per generation, and no participant may slip into
+// generation g+1 while another is still blocked in g.
+func TestPhaserReuseAcrossGenerations(t *testing.T) {
+	const n = 4
+	gens := 200
+	if testing.Short() {
+		gens = 50
+	}
+	ph := newPhaser(n)
+	var onLastRuns int64
+	var inGen int64 // observed generation counter maintained by onLast
+	watchdog(t, "phaser reuse", 30*time.Second, func() {
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for g := 0; g < gens; g++ {
+					if id == g%n {
+						// Skew arrival order so a different participant is
+						// late (and a different one last) each generation.
+						runtime.Gosched()
+					}
+					ph.await(func() {
+						atomic.AddInt64(&onLastRuns, 1)
+						atomic.AddInt64(&inGen, 1)
+					})
+					// Between release and the next arrival every participant
+					// must observe the same completed-generation count: the
+					// phaser cannot have released us early.
+					if got := atomic.LoadInt64(&inGen); got < int64(g+1) {
+						t.Errorf("participant %d released in gen %d before onLast ran (%d)", id, g, got)
+						return
+					}
+				}
+			}(id)
+		}
+		wg.Wait()
+	})
+	if onLastRuns != int64(gens) {
+		t.Fatalf("onLast ran %d times over %d generations", onLastRuns, gens)
+	}
+}
+
+// TestPhaserNilOnLast exercises the no-callback arrival path used by plain
+// barriers.
+func TestPhaserNilOnLast(t *testing.T) {
+	const n = 3
+	ph := newPhaser(n)
+	watchdog(t, "phaser nil onLast", 10*time.Second, func() {
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for g := 0; g < 25; g++ {
+					ph.await(nil)
+				}
+			}()
+		}
+		wg.Wait()
+	})
 }

@@ -35,13 +35,13 @@ func Render(f *metrics.Figure, w io.Writer) error {
 		return fmt.Errorf("svgplot: figure %q has no data points", f.Title)
 	}
 	// Pad the y range so flat lines stay visible.
-	if yMax == yMin {
+	if yMax == yMin { //kgelint:ignore floateq degenerate-range guard wants exact equality
 		yMax++
 		if yMin > 0 {
 			yMin--
 		}
 	}
-	if xMax == xMin {
+	if xMax == xMin { //kgelint:ignore floateq degenerate-range guard wants exact equality
 		xMax++
 	}
 	plotW := float64(width - marginL - marginR)

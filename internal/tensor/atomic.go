@@ -1,0 +1,119 @@
+// Atomic bit-pattern accessors for float32 slices and Matrix rows.
+//
+// Hogwild training (internal/hogwild) shares one parameter store across
+// worker threads and updates it without locks. Plain float loads and stores
+// are undefined behaviour under the Go memory model and drown `go test
+// -race` in reports, so every access to shared rows goes through these
+// accessors instead: each float32 element is reinterpreted as its uint32
+// bit pattern and moved with sync/atomic Load/Store/CompareAndSwap. The
+// updates stay lock-free and word-granular — still Hogwild semantics, a row
+// read can interleave with a concurrent writer's elements — but every
+// individual access is a synchronized machine word, which is exactly what
+// the race detector (and the hardware) needs. Element bit patterns are
+// 32-bit because the store is float32; a float64 store would use the
+// identical construction over uint64.
+//
+// On amd64/arm64 an atomic load compiles to a plain load plus a compiler
+// reordering fence, so the read path costs nothing; the CAS-loop add is the
+// price of not losing concurrent updates to the same element.
+
+package tensor
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+)
+
+// bits returns the element's address reinterpreted as an atomic 32-bit
+// pattern. The bounds check happens at the call site via normal indexing.
+func bits(x []float32, i int) *uint32 {
+	return (*uint32)(unsafe.Pointer(&x[i]))
+}
+
+// AtomicLoad returns x[i] via an atomic bit-pattern load.
+func AtomicLoad(x []float32, i int) float32 {
+	return math.Float32frombits(atomic.LoadUint32(bits(x, i)))
+}
+
+// AtomicStore sets x[i] = v via an atomic bit-pattern store.
+func AtomicStore(x []float32, i int, v float32) {
+	atomic.StoreUint32(bits(x, i), math.Float32bits(v))
+}
+
+// AtomicCompareAndSwap installs new at x[i] iff the element still holds
+// old's exact bit pattern, reporting success.
+func AtomicCompareAndSwap(x []float32, i int, old, new float32) bool {
+	return atomic.CompareAndSwapUint32(bits(x, i), math.Float32bits(old), math.Float32bits(new))
+}
+
+// AtomicAdd adds delta to x[i] with a compare-and-swap loop: no concurrent
+// increment to the same element is ever lost, unlike a plain read-modify-
+// write. Returns the new value.
+func AtomicAdd(x []float32, i int, delta float32) float32 {
+	p := bits(x, i)
+	for {
+		old := atomic.LoadUint32(p)
+		next := math.Float32bits(math.Float32frombits(old) + delta)
+		if atomic.CompareAndSwapUint32(p, old, next) {
+			return math.Float32frombits(next)
+		}
+	}
+}
+
+// AtomicCopy copies src into dst element-wise with atomic loads and stores.
+// The copy is per-element atomic, not a snapshot: concurrent writers may be
+// observed mid-row, which is the Hogwild contract.
+func AtomicCopy(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: AtomicCopy length mismatch")
+	}
+	for i := range dst {
+		AtomicStore(dst, i, AtomicLoad(src, i))
+	}
+}
+
+// AtomicRowLoad copies row i into dst via atomic element loads.
+func (m *Matrix) AtomicRowLoad(i int, dst []float32) {
+	if i < 0 || i >= m.Rows {
+		panic("tensor: Matrix row out of range")
+	}
+	if len(dst) != m.Cols {
+		panic("tensor: AtomicRowLoad width mismatch")
+	}
+	row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	for j := range dst {
+		dst[j] = AtomicLoad(row, j)
+	}
+}
+
+// AtomicRowStore installs src as row i via atomic element stores.
+func (m *Matrix) AtomicRowStore(i int, src []float32) {
+	if i < 0 || i >= m.Rows {
+		panic("tensor: Matrix row out of range")
+	}
+	if len(src) != m.Cols {
+		panic("tensor: AtomicRowStore width mismatch")
+	}
+	row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	for j, v := range src {
+		AtomicStore(row, j, v)
+	}
+}
+
+// AtomicRowAxpy adds alpha*g element-wise into row i with per-element
+// compare-and-swap loops — the lock-free sparse SGD update.
+func (m *Matrix) AtomicRowAxpy(i int, alpha float32, g []float32) {
+	if i < 0 || i >= m.Rows {
+		panic("tensor: Matrix row out of range")
+	}
+	if len(g) != m.Cols {
+		panic("tensor: AtomicRowAxpy width mismatch")
+	}
+	row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	for j, gv := range g {
+		if gv != 0 { //kgelint:ignore floateq exact-zero gradient elements skip the CAS
+			AtomicAdd(row, j, alpha*gv)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicLoadStoreRoundTrip(t *testing.T) {
+	x := make([]float32, 4)
+	for i, v := range []float32{0, -1.5, 3.25e7, -0} {
+		AtomicStore(x, i, v)
+		if got := AtomicLoad(x, i); got != v { //kgelint:ignore floateq bit-pattern round trip is exact
+			t.Fatalf("elem %d: stored %v loaded %v", i, v, got)
+		}
+	}
+}
+
+func TestAtomicCompareAndSwap(t *testing.T) {
+	x := []float32{2.5}
+	if AtomicCompareAndSwap(x, 0, 3, 9) {
+		t.Fatal("CAS succeeded against wrong old value")
+	}
+	if !AtomicCompareAndSwap(x, 0, 2.5, 9) {
+		t.Fatal("CAS failed against matching old value")
+	}
+	if x[0] != 9 { //kgelint:ignore floateq CAS result is exact
+		t.Fatalf("x[0] = %v after CAS", x[0])
+	}
+}
+
+// TestAtomicAddConcurrent is the lost-update test: G writers each add 1 to
+// the same element K times. A plain read-modify-write loses increments under
+// contention; the CAS loop must account for every single one. All counts
+// stay far below 2^24 so float32 addition is exact.
+func TestAtomicAddConcurrent(t *testing.T) {
+	const g = 8
+	k := 20000
+	if testing.Short() {
+		k = 4000
+	}
+	x := make([]float32, 3) // neighbors guard against out-of-bounds writes
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < k; i++ {
+				AtomicAdd(x, 1, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if want := float32(g * k); x[1] != want { //kgelint:ignore floateq small-integer float sums are exact
+		t.Fatalf("lost updates: got %v want %v", x[1], want)
+	}
+	if x[0] != 0 || x[2] != 0 { //kgelint:ignore floateq untouched neighbors stay exactly zero
+		t.Fatalf("neighbors clobbered: %v", x)
+	}
+}
+
+// TestAtomicRowAxpyConcurrentWriters hammers one shared row with concurrent
+// axpy updates — the exact access pattern of the hogwild SGD step — and
+// checks that no element update was lost.
+func TestAtomicRowAxpyConcurrentWriters(t *testing.T) {
+	const g, cols = 6, 16
+	k := 5000
+	if testing.Short() {
+		k = 1000
+	}
+	m := NewMatrix(3, cols)
+	grad := make([]float32, cols)
+	for j := range grad {
+		grad[j] = float32(j%3) - 1 // mix of -1, 0, +1 per column
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < k; i++ {
+				m.AtomicRowAxpy(1, 2, grad)
+			}
+		}()
+	}
+	wg.Wait()
+	row := m.Row(1)
+	for j := range row {
+		want := 2 * grad[j] * float32(g*k)
+		if row[j] != want { //kgelint:ignore floateq small-integer float sums are exact
+			t.Fatalf("col %d: got %v want %v", j, row[j], want)
+		}
+	}
+	for _, j := range []int{0, 2} {
+		for _, v := range m.Row(j) {
+			if v != 0 { //kgelint:ignore floateq untouched rows stay exactly zero
+				t.Fatalf("row %d clobbered", j)
+			}
+		}
+	}
+}
+
+// TestAtomicRowLoadUnderConcurrentStores checks that snapshots taken while
+// another goroutine rewrites the row always observe element values some
+// writer actually stored — never torn or stale-garbage words.
+func TestAtomicRowLoadUnderConcurrentStores(t *testing.T) {
+	const cols = 8
+	iters := 20000
+	if testing.Short() {
+		iters = 4000
+	}
+	m := NewMatrix(1, cols)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		src := make([]float32, cols)
+		for v := float32(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := range src {
+				src[j] = v
+			}
+			m.AtomicRowStore(0, src)
+		}
+	}()
+	dst := make([]float32, cols)
+	for i := 0; i < iters; i++ {
+		m.AtomicRowLoad(0, dst)
+		for j, v := range dst {
+			if v != float32(int(v)) || v < 0 { //kgelint:ignore floateq written values are exact whole numbers
+				t.Fatalf("iter %d col %d: observed value %v never written", i, j, v)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestAtomicRowBoundsChecks(t *testing.T) {
+	m := NewMatrix(2, 4)
+	buf := make([]float32, 4)
+	for name, fn := range map[string]func(){
+		"load row":   func() { m.AtomicRowLoad(2, buf) },
+		"store row":  func() { m.AtomicRowStore(-1, buf) },
+		"axpy row":   func() { m.AtomicRowAxpy(5, 1, buf) },
+		"load width": func() { m.AtomicRowLoad(0, buf[:2]) },
+		"axpy width": func() { m.AtomicRowAxpy(0, 1, buf[:3]) },
+		"copy len":   func() { AtomicCopy(buf[:2], buf) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAtomicCopy(t *testing.T) {
+	src := []float32{1, -2, 3.5}
+	dst := make([]float32, 3)
+	AtomicCopy(dst, src)
+	for i := range src {
+		if dst[i] != src[i] { //kgelint:ignore floateq copy is bit-exact
+			t.Fatalf("dst = %v", dst)
+		}
+	}
+}
