@@ -9,7 +9,7 @@ GO ?= go
 # the ~10-20x race slowdown; unit-level coverage stays on.
 RACE_PKGS = ./internal/hogwild/ ./internal/mpi/ ./internal/simnet/ ./internal/ps/ ./internal/core/ ./internal/tensor/
 
-.PHONY: all build vet lint test race bench ci
+.PHONY: all build vet lint test race bench faults ci
 
 all: build
 
@@ -31,7 +31,15 @@ test:
 race:
 	$(GO) test -race -short -count=1 $(RACE_PKGS)
 
+# Fault-injection suite under the race detector: scheduled rank crashes,
+# recv-watchdog timeouts, shrink-and-continue recovery, checkpoint
+# corruption. The failure paths close abort channels and release blocked
+# ranks concurrently, so they get their own race-checked tier.
+faults:
+	$(GO) test -race -short -count=1 -run 'Fault|Shrink|Recover|Checkpoint|Panic|RecvTimeout' \
+		./internal/mpi/ ./internal/simnet/ ./internal/core/ ./internal/model/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: build vet lint test race
+ci: build vet lint test race faults

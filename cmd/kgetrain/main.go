@@ -17,6 +17,7 @@ import (
 	"kgedist/internal/grad"
 	"kgedist/internal/kg"
 	"kgedist/internal/model"
+	"kgedist/internal/simnet"
 	"kgedist/internal/trace"
 )
 
@@ -45,6 +46,11 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "random seed")
 		save      = flag.String("save", "", "write the trained model to this checkpoint file")
 		traceOut  = flag.String("trace", "", "write a JSONL run trace to this file")
+
+		faults    = flag.String("faults", "", "fault plan, e.g. 'crash:2@350,slow:0@100+50x4,delay:0@200+30x8' (kind:RANK@T[+DURxFACTOR], virtual seconds)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "snapshot the merged model every N epochs (recovery point; 0 = off)")
+		ckptPath  = flag.String("checkpoint", "", "persist snapshots crash-safely to this file (needs -checkpoint-every)")
+		recoverOn = flag.Bool("recover", false, "shrink-and-continue on rank failure instead of aborting")
 	)
 	flag.Parse()
 
@@ -95,6 +101,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -quant %q\n", *quant)
 		os.Exit(1)
 	}
+	if *faults != "" {
+		plan, err := simnet.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.FaultPlan = plan
+	}
+	cfg.CheckpointEvery = *ckptEvery
+	cfg.CheckpointPath = *ckptPath
+	cfg.Recover = *recoverOn
 
 	fmt.Printf("dataset %s: %d entities, %d relations, %d/%d/%d train/valid/test\n",
 		d.Name, d.NumEntities, d.NumRelations, len(d.Train), len(d.Valid), len(d.Test))
@@ -113,6 +130,13 @@ func main() {
 		res.CommHours, float64(res.CommBytes)/1e6, float64(res.RelationCommBytes)/1e6)
 	if res.SwitchedAtEpoch > 0 {
 		fmt.Printf("dynamic switch        all-gather from epoch %d\n", res.SwitchedAtEpoch)
+	}
+	if rc := res.Recovery; rc.FaultsInjected > 0 || rc.Checkpoints > 0 {
+		fmt.Printf("fault tolerance       %d fault(s) injected, %d rank failure(s), %d recover(y/ies), %d epoch(s) replayed\n",
+			rc.FaultsInjected, rc.RankFailures, rc.Recoveries, rc.EpochsLost)
+		fmt.Printf("                      %d checkpoint(s), %.1f virtual s recovering, finished on %d node(s)%s\n",
+			rc.Checkpoints, rc.RecoverySeconds, rc.FinalNodes,
+			map[bool]string{true: " (degraded)", false: ""}[rc.Degraded])
 	}
 	fmt.Printf("test TCA              %.1f%%\n", res.TCA)
 	fmt.Printf("test filtered MRR     %.3f (Hits@10 %.3f)\n", res.MRR, res.Hits10)

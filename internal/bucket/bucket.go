@@ -180,7 +180,7 @@ func Train(cfg Config, d *kg.Dataset, workers int) (*Result, error) {
 	}
 	var entityBytes int64
 
-	world.Run(func(c *mpi.Comm) {
+	runErr := world.RunErr(func(c *mpi.Comm) error {
 		rank := c.Rank()
 		relOpt := opt.NewSGD()
 		lr := float32(cfg.LR)
@@ -190,7 +190,9 @@ func Train(cfg Config, d *kg.Dataset, workers int) (*Result, error) {
 				pr := pairs[rank]
 				// Bucket migration accounting (rank 0 updates shared state
 				// between barriers).
-				c.Barrier()
+				if err := c.Barrier(); err != nil {
+					return err
+				}
 				if rank == 0 {
 					for wID, q := range pairs {
 						for _, b := range q {
@@ -201,7 +203,9 @@ func Train(cfg Config, d *kg.Dataset, workers int) (*Result, error) {
 						}
 					}
 				}
-				c.Barrier()
+				if err := c.Barrier(); err != nil {
+					return err
+				}
 				// Charge the migration cost for this rank's two buckets.
 				moveBytes := int64((bucketSize[pr[0]] + bucketSize[pr[1]]) * w * 4)
 				mvCost, _, _ := c.Cluster().PointToPointCost(moveBytes)
@@ -231,7 +235,9 @@ func Train(cfg Config, d *kg.Dataset, workers int) (*Result, error) {
 				// applies the aggregated update, fenced by barriers.
 				relDense := make([]float32, d.NumRelations*w)
 				relG.ScatterDense(relDense)
-				c.AllReduceSum(relDense, "relation")
+				if _, err := c.AllReduceSum(relDense, "relation"); err != nil {
+					return err
+				}
 				if rank == 0 {
 					agg := grad.NewSparseGrad(w)
 					agg.AccumulateDense(relDense)
@@ -244,10 +250,16 @@ func Train(cfg Config, d *kg.Dataset, workers int) (*Result, error) {
 						relOpt.ApplyRow(id, params.Relation.Row(int(id)), row, lr)
 					})
 				}
-				c.Barrier()
+				if err := c.Barrier(); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	})
+	if runErr != nil {
+		return nil, runErr
+	}
 
 	filter := kg.NewFilterIndex(d)
 	evalRng := xrand.New(cfg.Seed + 99)

@@ -22,6 +22,7 @@ import (
 
 	"kgedist/internal/grad"
 	"kgedist/internal/model"
+	"kgedist/internal/simnet"
 )
 
 // CommStrategy selects the gradient-exchange baseline.
@@ -157,6 +158,35 @@ type Config struct {
 	// waits for the straggler).
 	StragglerSlowdown float64
 
+	// FaultPlan, when non-nil, schedules deterministic faults (rank crashes,
+	// slowdown windows, network-delay spikes) against the virtual clock.
+	// The plan is cloned at train start; see simnet.ParseFaultPlan for the
+	// textual form used by the -faults CLI flag.
+	FaultPlan *simnet.FaultPlan
+	// CheckpointEvery > 0 snapshots the merged model every that many epochs
+	// (charged to the virtual clock). The snapshot is the warm-start point
+	// for shrink-and-continue recovery; epoch 0 (the initialization) is
+	// always an implicit snapshot, so recovery works even before the first
+	// periodic checkpoint.
+	CheckpointEvery int
+	// CheckpointPath, when set, additionally persists each snapshot to disk
+	// with the crash-safe protocol (tmp file + checksum + rename). Requires
+	// CheckpointEvery > 0 to have any effect.
+	CheckpointPath string
+	// Recover enables shrink-and-continue: when ranks die mid-training the
+	// world is shrunk over the survivors, the dead ranks' shards are
+	// re-partitioned, and training resumes from the last snapshot. Without
+	// it a rank failure aborts the run with *mpi.RankFailedError.
+	Recover bool
+	// MaxRecoveries caps shrink-and-continue attempts; one more failure
+	// degrades the run to a single fault-free node (graceful degradation)
+	// instead of giving up. Ignored unless Recover is set.
+	MaxRecoveries int
+	// RecoveryBackoff is the virtual seconds charged for the first recovery
+	// (failure detection, re-partitioning, checkpoint reload); each further
+	// recovery doubles it — exponential backoff in simulated time.
+	RecoveryBackoff float64
+
 	// Seed drives every random choice of the run.
 	Seed uint64
 	// TrackEpochStats records per-epoch gradient-row counts and sparsity
@@ -195,6 +225,8 @@ func DefaultConfig() Config {
 		NegSelect:     false,
 		ValSample:     2000,
 		TestSample:    300,
+		MaxRecoveries: 3,
+		RecoveryBackoff: 30,
 		Seed:          1,
 	}
 }
@@ -251,6 +283,18 @@ func (c Config) Validate() error {
 	}
 	if c.Tolerance < 1 || c.StopPatience < 1 {
 		return fmt.Errorf("core: Tolerance and StopPatience must be >= 1")
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("core: CheckpointEvery must be >= 0, got %d", c.CheckpointEvery)
+	}
+	if c.CheckpointPath != "" && c.CheckpointEvery <= 0 {
+		return fmt.Errorf("core: CheckpointPath needs CheckpointEvery > 0")
+	}
+	if c.MaxRecoveries < 0 {
+		return fmt.Errorf("core: MaxRecoveries must be >= 0, got %d", c.MaxRecoveries)
+	}
+	if c.RecoveryBackoff < 0 {
+		return fmt.Errorf("core: RecoveryBackoff must be >= 0, got %v", c.RecoveryBackoff)
 	}
 	return nil
 }

@@ -10,15 +10,22 @@ import (
 
 // Tags used for per-matrix communication accounting. RelationCommBytes in
 // Result comes straight from these counters, making the §4.4 claim (zero
-// relation communication under RP) directly measurable.
+// relation communication under RP) directly measurable. The checkpoint and
+// recovery tags account the fault-tolerance overhead separately so it never
+// pollutes the gradient-exchange figures.
 const (
-	tagEntity   = "entity"
-	tagRelation = "relation"
-	tagProbe    = "probe"
+	tagEntity     = "entity"
+	tagRelation   = "relation"
+	tagProbe      = "probe"
+	tagCheckpoint = "checkpoint"
+	tagRecovery   = "recovery"
 )
 
 // exchanger performs one rank's gradient exchanges, owning the scratch
-// buffers, quantization RNG and error-feedback residuals.
+// buffers, quantization RNG and error-feedback residuals. Every exchange can
+// fail with *mpi.RankFailedError when a peer dies mid-collective; the caller
+// propagates the error out of the worker so the recovery loop can shrink the
+// world and resume.
 type exchanger struct {
 	cfg     *Config
 	comm    *mpi.Comm
@@ -67,27 +74,33 @@ func scaleRows(g *grad.SparseGrad, p int) {
 // the averaged aggregate. Full precision by construction: summing quantized
 // payloads element-wise is not defined, which is why the paper's quantized
 // exchanges ride the all-gather path.
-func (x *exchanger) allReduce(g *grad.SparseGrad, rows int, buf *[]float32, tag string) (*grad.SparseGrad, float64) {
+func (x *exchanger) allReduce(g *grad.SparseGrad, rows int, buf *[]float32, tag string) (*grad.SparseGrad, float64, error) {
 	if *buf == nil {
 		*buf = make([]float32, rows*x.width)
 	}
 	g.ScatterDense(*buf)
-	cost := x.comm.AllReduceSum(*buf, tag)
+	cost, err := x.comm.AllReduceSum(*buf, tag)
+	if err != nil {
+		return nil, 0, err
+	}
 	agg := grad.NewSparseGrad(x.width)
 	agg.AccumulateDense(*buf)
 	scaleRows(agg, x.comm.Size())
-	return agg, cost
+	return agg, cost, nil
 }
 
 // allGather exchanges only non-zero rows. With quantization enabled the
 // rows are encoded to the configured scheme (1 or 2 bits per value plus one
 // scale per row) before hitting the wire.
-func (x *exchanger) allGather(g *grad.SparseGrad, res *grad.Residual, tag string) (*grad.SparseGrad, float64) {
+func (x *exchanger) allGather(g *grad.SparseGrad, res *grad.Residual, tag string) (*grad.SparseGrad, float64, error) {
 	agg := grad.NewSparseGrad(x.width)
 	var cost float64
 	if x.cfg.ValueSparsify > 0 {
 		vs := grad.SparsifyValues(g, x.cfg.ValueSparsify)
-		payloads, c := x.comm.AllGatherBytes(vs.Marshal(), tag)
+		payloads, c, err := x.comm.AllGatherBytes(vs.Marshal(), tag)
+		if err != nil {
+			return nil, 0, err
+		}
 		cost = c
 		for _, p := range payloads {
 			dec, err := grad.UnmarshalValueSparse(p)
@@ -97,11 +110,14 @@ func (x *exchanger) allGather(g *grad.SparseGrad, res *grad.Residual, tag string
 			dec.AddInto(agg)
 		}
 		scaleRows(agg, x.comm.Size())
-		return agg, cost
+		return agg, cost, nil
 	}
 	if x.cfg.Quant == grad.NoQuant {
 		idx, flat := g.Flatten()
-		allIdx, allVals, c := x.comm.AllGatherRows(idx, flat, tag)
+		allIdx, allVals, c, err := x.comm.AllGatherRows(idx, flat, tag)
+		if err != nil {
+			return nil, 0, err
+		}
 		cost = c
 		for src := range allIdx {
 			agg.AddFlat(allIdx[src], allVals[src])
@@ -114,7 +130,10 @@ func (x *exchanger) allGather(g *grad.SparseGrad, res *grad.Residual, tag string
 		if res != nil {
 			res.Update(g, enc)
 		}
-		payloads, c := x.comm.AllGatherBytes(enc.Marshal(), tag)
+		payloads, c, err := x.comm.AllGatherBytes(enc.Marshal(), tag)
+		if err != nil {
+			return nil, 0, err
+		}
 		cost = c
 		for _, p := range payloads {
 			dec, err := grad.Unmarshal(p)
@@ -125,52 +144,65 @@ func (x *exchanger) allGather(g *grad.SparseGrad, res *grad.Residual, tag string
 		}
 	}
 	scaleRows(agg, x.comm.Size())
-	return agg, cost
+	return agg, cost, nil
 }
 
 // exchange aggregates the entity and relation gradients under the given
 // mode ("allreduce" or "allgather"). Under relation partition the relation
 // gradient is returned as-is: rank-local, full precision, zero cost.
-func (x *exchanger) exchange(entG, relG *grad.SparseGrad, mode string) (entAgg, relAgg *grad.SparseGrad, cost float64) {
+func (x *exchanger) exchange(entG, relG *grad.SparseGrad, mode string) (entAgg, relAgg *grad.SparseGrad, cost float64, err error) {
 	switch mode {
 	case "allreduce":
-		entAgg, cost = x.allReduce(entG, x.numEnt, &x.entBuf, tagEntity)
+		entAgg, cost, err = x.allReduce(entG, x.numEnt, &x.entBuf, tagEntity)
 	case "allgather":
-		entAgg, cost = x.allGather(entG, x.entRes, tagEntity)
+		entAgg, cost, err = x.allGather(entG, x.entRes, tagEntity)
 	default:
 		panic("core: unknown exchange mode " + mode)
 	}
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	if x.cfg.RelationPartition {
 		relAgg = relG // rank-private, never communicated (§4.4)
-		return entAgg, relAgg, cost
+		return entAgg, relAgg, cost, nil
 	}
 	var relCost float64
 	switch mode {
 	case "allreduce":
-		relAgg, relCost = x.allReduce(relG, x.numRel, &x.relBuf, tagRelation)
+		relAgg, relCost, err = x.allReduce(relG, x.numRel, &x.relBuf, tagRelation)
 	case "allgather":
-		relAgg, relCost = x.allGather(relG, x.relRes, tagRelation)
+		relAgg, relCost, err = x.allGather(relG, x.relRes, tagRelation)
 	}
-	return entAgg, relAgg, cost + relCost
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return entAgg, relAgg, cost + relCost, nil
 }
 
 // probeAllGather performs a throwaway all-gather of the same payloads to
 // measure its cost for the dynamic strategy's §4.1 probe. The results are
 // discarded; error-feedback residuals are left untouched.
-func (x *exchanger) probeAllGather(entG, relG *grad.SparseGrad) float64 {
-	probe := func(g *grad.SparseGrad) float64 {
+func (x *exchanger) probeAllGather(entG, relG *grad.SparseGrad) (float64, error) {
+	probe := func(g *grad.SparseGrad) (float64, error) {
 		if x.cfg.Quant == grad.NoQuant {
 			idx, flat := g.Flatten()
-			_, _, c := x.comm.AllGatherRows(idx, flat, tagProbe)
-			return c
+			_, _, c, err := x.comm.AllGatherRows(idx, flat, tagProbe)
+			return c, err
 		}
 		enc := grad.Quantize(g, x.cfg.Quant, x.qRng)
-		_, c := x.comm.AllGatherBytes(enc.Marshal(), tagProbe)
-		return c
+		_, c, err := x.comm.AllGatherBytes(enc.Marshal(), tagProbe)
+		return c, err
 	}
-	cost := probe(entG)
+	cost, err := probe(entG)
+	if err != nil {
+		return 0, err
+	}
 	if !x.cfg.RelationPartition {
-		cost += probe(relG)
+		relCost, err := probe(relG)
+		if err != nil {
+			return 0, err
+		}
+		cost += relCost
 	}
-	return cost
+	return cost, nil
 }

@@ -30,6 +30,34 @@ type EpochStats struct {
 	LR float64
 }
 
+// RecoveryStats summarizes the fault-tolerance activity of a run: injected
+// faults, rank failures observed, shrink-and-continue recoveries, epochs
+// replayed, and the virtual time charged to checkpointing and recovery. All
+// values are deterministic functions of (Config, dataset, nodes): a given
+// seed and fault plan always yields the same stats.
+type RecoveryStats struct {
+	// FaultsInjected counts fault-plan entries that actually fired.
+	FaultsInjected int
+	// RankFailures counts dead ranks observed across all failures.
+	RankFailures int
+	// Recoveries counts shrink-and-continue restarts.
+	Recoveries int
+	// EpochsLost counts completed epochs discarded by rollbacks to the last
+	// snapshot (work that had to be replayed).
+	EpochsLost int
+	// RecoverySeconds is the virtual time charged to failure detection,
+	// backoff and checkpoint reload.
+	RecoverySeconds float64
+	// Checkpoints counts periodic snapshots taken.
+	Checkpoints int
+	// FinalNodes is the world size that finished the run (smaller than
+	// Nodes after shrink-and-continue).
+	FinalNodes int
+	// Degraded reports that the run fell back to a single fault-free node
+	// after exhausting MaxRecoveries.
+	Degraded bool
+}
+
 // Result summarizes a training run; fields mirror the paper's table columns.
 type Result struct {
 	// Strategy is the paper-style label, e.g. "DRS+1-bit+RP+SS".
@@ -60,6 +88,9 @@ type Result struct {
 	// SwitchedAtEpoch is the epoch the dynamic strategy switched to
 	// all-gather, or 0 if it never switched / was not dynamic.
 	SwitchedAtEpoch int
+	// Recovery reports the fault-tolerance activity of the run; a fault-free
+	// run without checkpointing leaves every counter zero except FinalNodes.
+	Recovery RecoveryStats
 	// PerEpoch holds the per-epoch series when TrackEpochStats was set
 	// (always includes at least Seconds/ValAccuracy/Mode).
 	PerEpoch []EpochStats

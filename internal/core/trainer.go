@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"kgedist/internal/eval"
 	"kgedist/internal/grad"
@@ -22,14 +24,99 @@ const zeroRowEps = 1e-8
 
 // Train runs a full distributed training job over the dataset with the
 // given number of simulated nodes and returns the paper-style result
-// (training time, epochs, TCA, MRR, communication volumes).
+// (training time, epochs, TCA, MRR, communication volumes). With a fault
+// plan configured, ranks may die mid-training; Recover turns those deaths
+// into shrink-and-continue recoveries, otherwise Train returns the
+// *mpi.RankFailedError.
 func Train(cfg Config, d *kg.Dataset, nodes int) (*Result, error) {
 	res, _, _, err := trainInternal(cfg, d, nodes)
 	return res, err
 }
 
+// partition bundles the data distribution for one node count. It is a pure
+// function of (cfg, dataset, nodes), so re-partitioning after a shrink is
+// deterministic: the same survivors always receive the same shards.
+type partition struct {
+	shards          [][]kg.Triple
+	valShards       [][]kg.Triple
+	relOwner        []int
+	batchesPerEpoch int
+	perRankValCap   int
+}
+
+// buildPartition distributes the training and validation triples over nodes
+// ranks (uniform baseline or relation partition, per cfg).
+func buildPartition(cfg *Config, d *kg.Dataset, nodes int) partition {
+	baseRng := xrand.New(cfg.Seed)
+	shuffled := append([]kg.Triple(nil), d.Train...)
+	baseRng.Split(77).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	var pt partition
+	if cfg.RelationPartition {
+		if cfg.PartitionAlgo == "lpt" {
+			pt.shards = kg.RelationPartitionLPT(shuffled, d.NumRelations, nodes)
+		} else {
+			pt.shards = kg.RelationPartition(shuffled, d.NumRelations, nodes)
+		}
+		pt.relOwner = make([]int, d.NumRelations)
+		for r := range pt.relOwner {
+			pt.relOwner[r] = -1
+		}
+		for rank, shard := range pt.shards {
+			for _, t := range shard {
+				pt.relOwner[t.R] = rank
+			}
+		}
+	} else {
+		pt.shards = kg.UniformPartition(shuffled, nodes)
+	}
+	maxShard := 0
+	for _, s := range pt.shards {
+		if len(s) > maxShard {
+			maxShard = len(s)
+		}
+	}
+	pt.batchesPerEpoch = (maxShard + cfg.BatchSize - 1) / cfg.BatchSize
+
+	// Validation shards: under RP a rank can only score relations it owns
+	// (other replicas' rows are stale by design), so split by owner.
+	pt.valShards = make([][]kg.Triple, nodes)
+	if pt.relOwner != nil {
+		for _, t := range d.Valid {
+			owner := pt.relOwner[t.R]
+			if owner < 0 {
+				owner = 0
+			}
+			pt.valShards[owner] = append(pt.valShards[owner], t)
+		}
+	} else {
+		pt.valShards = kg.UniformPartition(d.Valid, nodes)
+	}
+	if cfg.ValSample > 0 {
+		pt.perRankValCap = cfg.ValSample/nodes + 1
+	}
+	return pt
+}
+
+// snapshot is the recovery point: the merged model as of some completed
+// epoch. Epoch 0 holds the shared initialization, so shrink-and-continue
+// works even before the first periodic checkpoint.
+type snapshot struct {
+	epoch  int
+	params *model.Params
+}
+
 // trainInternal is Train plus white-box access to the per-rank replicas and
 // the relation-owner table, used by the replica-consistency tests.
+//
+// The attempt loop implements shrink-and-continue (ULFM-style): a rank
+// failure surfaces as *mpi.RankFailedError from RunErr; the world is shrunk
+// over the survivors, the dead ranks' shards are re-partitioned, replicas
+// warm-start from the last snapshot, and training resumes at the snapshot
+// epoch. After MaxRecoveries the run degrades to a single fault-free node
+// rather than giving up. Every step — fault firing, shrink, re-partition,
+// replay — is a deterministic function of (Config, dataset, nodes).
 func trainInternal(cfg Config, d *kg.Dataset, nodes int) (*Result, []*model.Params, []int, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, nil, err
@@ -47,65 +134,18 @@ func trainInternal(cfg Config, d *kg.Dataset, nodes int) (*Result, []*model.Para
 	m := model.New(cfg.ModelName, cfg.Dim)
 	width := m.Width()
 
-	// ---- Data distribution (uniform baseline or relation partition) ----
-	baseRng := xrand.New(cfg.Seed)
-	shuffled := append([]kg.Triple(nil), d.Train...)
-	baseRng.Split(77).Shuffle(len(shuffled), func(i, j int) {
-		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
-	})
-	var shards [][]kg.Triple
-	var relOwner []int
-	if cfg.RelationPartition {
-		if cfg.PartitionAlgo == "lpt" {
-			shards = kg.RelationPartitionLPT(shuffled, d.NumRelations, nodes)
-		} else {
-			shards = kg.RelationPartition(shuffled, d.NumRelations, nodes)
-		}
-		relOwner = make([]int, d.NumRelations)
-		for r := range relOwner {
-			relOwner[r] = -1
-		}
-		for rank, shard := range shards {
-			for _, t := range shard {
-				relOwner[t.R] = rank
-			}
-		}
-	} else {
-		shards = kg.UniformPartition(shuffled, nodes)
-	}
-	maxShard := 0
-	for _, s := range shards {
-		if len(s) > maxShard {
-			maxShard = len(s)
-		}
-	}
-	batchesPerEpoch := (maxShard + cfg.BatchSize - 1) / cfg.BatchSize
-
-	// Validation shards: under RP a rank can only score relations it owns
-	// (other replicas' rows are stale by design), so split by owner.
-	valShards := make([][]kg.Triple, nodes)
-	if relOwner != nil {
-		for _, t := range d.Valid {
-			owner := relOwner[t.R]
-			if owner < 0 {
-				owner = 0
-			}
-			valShards[owner] = append(valShards[owner], t)
-		}
-	} else {
-		valShards = kg.UniformPartition(d.Valid, nodes)
-	}
-	perRankValCap := 0
-	if cfg.ValSample > 0 {
-		perRankValCap = cfg.ValSample/nodes + 1
-	}
-
 	// ---- Cluster, world, replicated parameters ----
 	cluster := simnet.NewCluster(nodes, simnet.XC40Params())
 	if cfg.StragglerSlowdown > 1 {
 		cluster.SetComputeSpeed(0, 1/cfg.StragglerSlowdown)
 	}
+	if cfg.FaultPlan != nil {
+		if err := cluster.SetFaultPlan(cfg.FaultPlan); err != nil {
+			return nil, nil, nil, err
+		}
+	}
 	world := mpi.NewWorld(cluster)
+
 	var proto *model.Params
 	if cfg.WarmStart != nil {
 		if cfg.WarmStart.Entity.Rows != d.NumEntities ||
@@ -120,27 +160,93 @@ func trainInternal(cfg Config, d *kg.Dataset, nodes int) (*Result, []*model.Para
 		proto = model.NewParams(m, d.NumEntities, d.NumRelations)
 		proto.Init(m, xrand.New(cfg.Seed).Split(0))
 	}
-	perRank := make([]*model.Params, nodes)
-	for r := range perRank {
-		perRank[r] = proto.Clone()
-	}
 
 	res := &Result{Strategy: cfg.StrategyLabel(), Nodes: nodes}
-	run := &trainRun{
-		cfg:             &cfg,
-		d:               d,
-		m:               m,
-		width:           width,
-		shards:          shards,
-		valShards:       valShards,
-		perRankValCap:   perRankValCap,
-		relOwner:        relOwner,
-		batchesPerEpoch: batchesPerEpoch,
-		cluster:         cluster,
-		perRank:         perRank,
-		res:             res,
+	snap := &snapshot{epoch: 0, params: proto}
+	var rec RecoveryStats
+
+	var perRank []*model.Params
+	var relOwner []int
+	attempt := 0
+	for {
+		pt := buildPartition(&cfg, d, world.Size())
+		relOwner = pt.relOwner
+		perRank = make([]*model.Params, world.Size())
+		for r := range perRank {
+			perRank[r] = snap.params.Clone()
+		}
+		run := &trainRun{
+			cfg:             &cfg,
+			d:               d,
+			m:               m,
+			width:           width,
+			shards:          pt.shards,
+			valShards:       pt.valShards,
+			perRankValCap:   pt.perRankValCap,
+			relOwner:        pt.relOwner,
+			batchesPerEpoch: pt.batchesPerEpoch,
+			cluster:         cluster,
+			perRank:         perRank,
+			res:             res,
+			snap:            snap,
+			rec:             &rec,
+			startEpoch:      snap.epoch,
+		}
+		err := world.RunErr(run.worker)
+		if err == nil {
+			break
+		}
+		var rf *mpi.RankFailedError
+		if !errors.As(err, &rf) || !cfg.Recover {
+			return nil, nil, nil, err
+		}
+
+		// ---- Shrink-and-continue ----
+		attempt++
+		rec.Recoveries++
+		rec.RankFailures += len(rf.Ranks)
+		rec.EpochsLost += res.Epochs - snap.epoch
+		for len(res.PerEpoch) > 0 && res.PerEpoch[len(res.PerEpoch)-1].Epoch > snap.epoch {
+			res.PerEpoch = res.PerEpoch[:len(res.PerEpoch)-1]
+		}
+		res.Epochs = snap.epoch
+
+		degrade := attempt > cfg.MaxRecoveries || world.Size()-len(rf.Ranks) == 1
+		shrunk, serr := world.Shrink(rf.Ranks)
+		if serr != nil {
+			return nil, nil, nil, errors.Join(err, serr)
+		}
+		world = shrunk
+		if degrade && world.Size() > 1 {
+			// Graceful degradation: collapse to a single node, which cannot
+			// suffer a collective failure.
+			extra := make([]int, 0, world.Size()-1)
+			for r := 1; r < world.Size(); r++ {
+				extra = append(extra, r)
+			}
+			if shrunk, serr = world.Shrink(extra); serr != nil {
+				return nil, nil, nil, errors.Join(err, serr)
+			}
+			world = shrunk
+		}
+		if degrade {
+			cluster.ClearFaultPlan()
+			rec.Degraded = true
+		}
+
+		// Charge the recovery to the virtual clock: exponential backoff
+		// (failure detection and re-coordination) plus every survivor
+		// reloading the snapshot from stable storage.
+		bytes := int64(4 * (len(snap.params.Entity.Data) + len(snap.params.Relation.Data)))
+		reload, _, _ := cluster.PointToPointCost(bytes)
+		cost := cfg.RecoveryBackoff*math.Pow(2, float64(attempt-1)) + reload*float64(world.Size())
+		cluster.Collective(cost, bytes*int64(world.Size()), int64(world.Size()), tagRecovery)
+		rec.RecoverySeconds += cost
 	}
-	world.Run(run.worker)
+
+	rec.FaultsInjected = cluster.FaultsInjected()
+	rec.FinalNodes = world.Size()
+	res.Recovery = rec
 
 	// ---- Final evaluation on the merged model ----
 	merged := mergeParams(m, perRank, relOwner)
@@ -178,10 +284,16 @@ type trainRun struct {
 	cluster         *simnet.Cluster
 	perRank         []*model.Params
 	res             *Result
+	snap            *snapshot
+	rec             *RecoveryStats
+	startEpoch      int   // resume point: epochs before this are already done
+	ckptErr         error // rank-0 checkpoint write error, read between barriers
 }
 
-// worker is the per-rank training loop.
-func (t *trainRun) worker(c *mpi.Comm) {
+// worker is the per-rank training loop. Collective errors (a peer died) are
+// returned, not handled: the recovery loop in trainInternal owns shrinking
+// the world and re-running.
+func (t *trainRun) worker(c *mpi.Comm) error {
 	cfg := t.cfg
 	rank := c.Rank()
 	nodes := c.Size()
@@ -222,15 +334,19 @@ func (t *trainRun) worker(c *mpi.Comm) {
 	var prevStats simnet.Stats
 	var prevTime float64
 
-	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
+	for epoch := t.startEpoch + 1; epoch <= cfg.MaxEpochs; epoch++ {
 		// Epoch-start timestamp (rank 0 reads between barriers so no rank
 		// is mid-charge).
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		if rank == 0 {
 			prevTime = t.cluster.MaxTime()
 			prevStats = t.cluster.Stats()
 		}
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 
 		epochRng := rng.Split(uint64(100 + epoch))
 		epochRng.ShuffleInts(order)
@@ -286,24 +402,35 @@ func (t *trainRun) worker(c *mpi.Comm) {
 				applyFlops += t.applyGrads(relOpt, params.Relation, relG, lr)
 				t.cluster.AddCompute(rank, applyFlops)
 				if (b+1)%cfg.SyncEvery == 0 || b == t.batchesPerEpoch-1 {
-					c.AllReduceSum(params.Entity.Data, tagEntity)
+					if _, err := c.AllReduceSum(params.Entity.Data, tagEntity); err != nil {
+						return err
+					}
 					tensor.Scale(1/float32(nodes), params.Entity.Data)
 					if !cfg.RelationPartition {
-						c.AllReduceSum(params.Relation.Data, tagRelation)
+						if _, err := c.AllReduceSum(params.Relation.Data, tagRelation); err != nil {
+							return err
+						}
 						tensor.Scale(1/float32(nodes), params.Relation.Data)
 					}
 				}
 				continue
 			}
 
-			entAgg, relAgg, cost := x.exchange(entG, relG, mode)
+			entAgg, relAgg, cost, err := x.exchange(entG, relG, mode)
+			if err != nil {
+				return err
+			}
 
 			// Dynamic strategy probe (§4.1): on every ProbeEvery-th epoch,
 			// while still in all-reduce, time one all-gather of the same
 			// payload and switch permanently if it is cheaper.
 			if cfg.Comm == CommDynamic && mode == "allreduce" && !probed && epoch%cfg.ProbeEvery == 0 {
 				probed = true
-				if gCost := x.probeAllGather(entG, relG); gCost < cost {
+				gCost, err := x.probeAllGather(entG, relG)
+				if err != nil {
+					return err
+				}
+				if gCost < cost {
 					mode = "allgather"
 					if switched == 0 {
 						switched = epoch
@@ -321,15 +448,23 @@ func (t *trainRun) worker(c *mpi.Comm) {
 		// shard, reduced globally so all ranks share the decision.
 		valRng := xrand.New(cfg.Seed).Split(uint64(5000 + epoch)).Split(uint64(rank))
 		correct, total := t.localValAccuracy(params, rank, valRng)
-		gc := c.AllReduceScalar(float64(correct), mpi.OpSum)
-		gt := c.AllReduceScalar(float64(total), mpi.OpSum)
+		gc, err := c.AllReduceScalar(float64(correct), mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		gt, err := c.AllReduceScalar(float64(total), mpi.OpSum)
+		if err != nil {
+			return err
+		}
 		valAcc := 50.0
 		if gt > 0 {
 			valAcc = 100 * gc / gt
 		}
 
 		// Epoch-end timestamp and per-epoch record.
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		if rank == 0 {
 			now := t.cluster.MaxTime()
 			st := t.cluster.Stats()
@@ -352,7 +487,9 @@ func (t *trainRun) worker(c *mpi.Comm) {
 			t.res.Epochs = epoch
 			t.res.SwitchedAtEpoch = switched
 		}
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 
 		if cfg.TrackEpochStats {
 			// Rank 0 computes the real validation TCA on the merged model
@@ -363,7 +500,15 @@ func (t *trainRun) worker(c *mpi.Comm) {
 				t.res.PerEpoch[len(t.res.PerEpoch)-1].ValTCA =
 					validationTCA(t.m, merged, t.d, cfg.ValSample, cfg.Seed+uint64(epoch))
 			}
-			c.Barrier()
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+
+		if cfg.CheckpointEvery > 0 && epoch%cfg.CheckpointEvery == 0 {
+			if err := t.checkpointEpoch(c, epoch); err != nil {
+				return err
+			}
 		}
 
 		plateau.Observe(valAcc)
@@ -382,6 +527,44 @@ func (t *trainRun) worker(c *mpi.Comm) {
 			break
 		}
 	}
+	return nil
+}
+
+// checkpointEpoch takes the coordinated snapshot: rank 0 merges the replicas
+// into the recovery point (and persists it crash-safely when CheckpointPath
+// is set) while the other ranks hold at barriers; the snapshot's virtual
+// cost is charged to the shared clock under the "checkpoint" tag. A disk
+// write error is shared through t.ckptErr so every rank stops after the
+// closing barrier — a lone returning rank would leave its peers blocked at
+// the next collective.
+func (t *trainRun) checkpointEpoch(c *mpi.Comm, epoch int) error {
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	if c.Rank() == 0 {
+		merged := mergeParams(t.m, t.perRank, t.relOwner)
+		t.snap.epoch = epoch
+		t.snap.params = merged
+		t.rec.Checkpoints++
+		t.ckptErr = nil
+		if t.cfg.CheckpointPath != "" {
+			t.ckptErr = model.SaveCheckpoint(t.cfg.CheckpointPath, t.m, merged)
+		}
+		// Charge the snapshot: the merged model ships to stable storage.
+		bytes := int64(4 * (len(merged.Entity.Data) + len(merged.Relation.Data)))
+		cost, _, _ := t.cluster.PointToPointCost(bytes)
+		t.cluster.Collective(cost, bytes, int64(c.Size()), tagCheckpoint)
+	}
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	if t.ckptErr == nil {
+		return nil
+	}
+	if c.Rank() == 0 {
+		return fmt.Errorf("core: checkpoint at epoch %d: %w", epoch, t.ckptErr)
+	}
+	return fmt.Errorf("core: checkpoint at epoch %d failed on rank 0", epoch)
 }
 
 // trainExample processes one positive triple and its negatives under the

@@ -86,6 +86,7 @@ func TestSeedRandXrandExemption(t *testing.T)     { runFixture(t, SeedRand, "xra
 func TestDivergentCollectiveFixture(t *testing.T) { runFixture(t, DivergentCollective, "divergent") }
 func TestFloatEqFixture(t *testing.T)             { runFixture(t, FloatEq, "floateq") }
 func TestDroppedErrFixture(t *testing.T)          { runFixture(t, DroppedErr, "droppederr") }
+func TestCollectiveErrFixture(t *testing.T)       { runFixture(t, CollectiveErr, "collectiveerr") }
 func TestAtomicRowFixture(t *testing.T)           { runFixture(t, AtomicRow, "hogwild") }
 
 // TestLoadRepoPackage smoke-tests the module loader against a real package.
@@ -121,7 +122,7 @@ func TestAllRegistryComplete(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"seedrand", "divergentcollective", "floateq", "droppederr", "atomicrow"} {
+	for _, want := range []string{"seedrand", "divergentcollective", "floateq", "droppederr", "collectiveerr", "atomicrow"} {
 		if !names[want] {
 			t.Fatalf("analyzer %q missing from All()", want)
 		}

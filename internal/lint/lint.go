@@ -175,6 +175,7 @@ func All() []*Analyzer {
 		DivergentCollective,
 		FloatEq,
 		DroppedErr,
+		CollectiveErr,
 		AtomicRow,
 	}
 }

@@ -1,0 +1,68 @@
+// Fixture for the collectiveerr analyzer: discarded collective errors are
+// flagged even when the discard is an explicit blank assignment; handled
+// errors and non-collective calls are not.
+package collectiveerrfix
+
+import (
+	"os"
+
+	"kgedist/internal/mpi"
+)
+
+func statementDiscard(c *mpi.Comm, buf []float32) {
+	c.AllReduceSum(buf, "grad") // want "mpi collective AllReduceSum discards its error result"
+	c.Barrier()                 // want "mpi collective Barrier discards its error result"
+}
+
+func blankDiscardSingle(c *mpi.Comm) {
+	_ = c.Barrier() // want "mpi collective Barrier blank-discards its error result"
+}
+
+func blankDiscardTuple(c *mpi.Comm, buf []float32) {
+	cost, _ := c.AllReduceSum(buf, "grad") // want "mpi collective AllReduceSum blank-discards its error result"
+	_ = cost
+}
+
+func blankDiscardRows(c *mpi.Comm, idx []int32, vals []float32) {
+	ai, av, cost, _ := c.AllGatherRows(idx, vals, "rows") // want "mpi collective AllGatherRows blank-discards its error result"
+	_, _, _ = ai, av, cost
+}
+
+func deferredDiscard(c *mpi.Comm) {
+	defer c.Barrier() // want "mpi collective Barrier discards its error result"
+}
+
+func worldMethodDiscard(w *mpi.World, dead []int) {
+	w.Shrink(dead) // want "mpi collective Shrink discards its error result"
+}
+
+func runErrDiscard(w *mpi.World) {
+	w.RunErr(func(c *mpi.Comm) error { return c.Barrier() }) // want "mpi collective RunErr discards its error result"
+}
+
+func handled(c *mpi.Comm, buf []float32) error {
+	if err := c.Barrier(); err != nil {
+		return err
+	}
+	cost, err := c.AllReduceSum(buf, "grad")
+	if err != nil {
+		return err
+	}
+	_ = cost
+	return nil
+}
+
+func propagated(c *mpi.Comm) error {
+	return c.Barrier()
+}
+
+func nonCollectiveBlankDiscardOK() {
+	// Blank-discarding ordinary errors stays legal (droppederr territory).
+	_ = os.Remove("stale.tmp")
+}
+
+func errorlessMethodsOK(c *mpi.Comm) {
+	// Methods without an error result are no business of this analyzer.
+	_ = c.Rank()
+	c.Size()
+}

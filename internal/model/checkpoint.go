@@ -3,28 +3,57 @@ package model
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 )
 
 // Checkpoint file layout (little endian):
 //
-//	magic "KGE1" | nameLen u32 | name | dim u32 | entities u32 |
-//	relations u32 | width u32 | entity data f32s | relation data f32s
+//	magic "KGE2" | nameLen u32 | name | dim u32 | entities u32 |
+//	relations u32 | width u32 | entity data f32s | relation data f32s |
+//	crc32 u32
+//
+// The trailing CRC-32 (IEEE) covers every byte before it. Writes are
+// crash-safe: the file is assembled at path+".tmp", fsynced, and renamed
+// into place, so a crash mid-write leaves the previous checkpoint intact
+// and a torn write is caught by the checksum on load. The former "KGE1"
+// format (no checksum) is rejected with a distinct error.
 
-const checkpointMagic = "KGE1"
+const (
+	checkpointMagic       = "KGE2"
+	checkpointMagicLegacy = "KGE1"
+)
 
-// SaveCheckpoint writes the model name, dimension and parameters to path.
+// ErrCorruptCheckpoint is wrapped by LoadCheckpoint errors caused by a
+// failed integrity check (truncation or checksum mismatch), as opposed to a
+// missing file or an unrecognized format.
+var ErrCorruptCheckpoint = errors.New("model: corrupt checkpoint")
+
+// SaveCheckpoint writes the model name, dimension and parameters to path
+// using the crash-safe protocol: write to path+".tmp" with a CRC-32 footer,
+// fsync, rename over path. On error the temporary file is removed and any
+// existing checkpoint at path is left untouched.
 func SaveCheckpoint(path string, m Model, p *Params) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("model: creating checkpoint: %w", err)
 	}
-	w := bufio.NewWriter(f)
+	fail := func(stage string, err error) error {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("model: %s checkpoint: %w", stage, err)
+	}
+	bw := bufio.NewWriter(f)
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(bw, crc) // body bytes are hashed as they are written
 	werr := func() error {
-		if _, err := w.WriteString(checkpointMagic); err != nil {
+		if _, err := w.Write([]byte(checkpointMagic)); err != nil {
 			return err
 		}
 		name := m.Name()
@@ -32,7 +61,7 @@ func SaveCheckpoint(path string, m Model, p *Params) error {
 		if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
 			return err
 		}
-		if _, err := w.WriteString(name); err != nil {
+		if _, err := w.Write([]byte(name)); err != nil {
 			return err
 		}
 		dims := []uint32{uint32(m.Dim()), uint32(p.Entity.Rows), uint32(p.Relation.Rows), uint32(m.Width())}
@@ -42,46 +71,95 @@ func SaveCheckpoint(path string, m Model, p *Params) error {
 		if err := writeF32(w, p.Entity.Data); err != nil {
 			return err
 		}
-		return writeF32(w, p.Relation.Data)
+		if err := writeF32(w, p.Relation.Data); err != nil {
+			return err
+		}
+		// Footer: checksum of everything above, itself unhashed.
+		return binary.Write(bw, binary.LittleEndian, crc.Sum32())
 	}()
 	if werr != nil {
-		_ = f.Close()
-		return fmt.Errorf("model: writing checkpoint: %w", werr)
+		return fail("writing", werr)
 	}
-	if err := w.Flush(); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("model: flushing checkpoint: %w", err)
+	if err := bw.Flush(); err != nil {
+		return fail("flushing", err)
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		return fail("syncing", err)
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("model: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("model: publishing checkpoint: %w", err)
+	}
+	// Best-effort directory sync so the rename itself survives a crash;
+	// not all filesystems support it, so errors are ignored.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	return nil
 }
 
-// LoadCheckpoint reads a checkpoint and reconstructs the model and its
-// parameters.
+// LoadCheckpoint reads a checkpoint, verifies its checksum, and
+// reconstructs the model and its parameters. Truncated or corrupted files
+// are rejected with an error wrapping ErrCorruptCheckpoint — a damaged
+// checkpoint is never silently loaded.
 func LoadCheckpoint(path string) (Model, *Params, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("model: opening checkpoint: %w", err)
 	}
 	defer f.Close() //kgelint:ignore droppederr read-only close
-	r := bufio.NewReader(f)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != checkpointMagic {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, fmt.Errorf("model: stat checkpoint: %w", err)
+	}
+	if fi.Size() < int64(len(checkpointMagic))+4 {
+		return nil, nil, fmt.Errorf("%w: %s truncated to %d bytes", ErrCorruptCheckpoint, path, fi.Size())
+	}
+	// Hash exactly the body region [0, size-4): the reader below cannot
+	// consume past it, and whatever the parser leaves behind is drained
+	// through the hash before the footer check, so trailing garbage inside
+	// the region flips the checksum rather than being ignored.
+	bodyLen := fi.Size() - 4
+	crc := crc32.NewIEEE()
+	r := bufio.NewReader(io.TeeReader(io.LimitReader(f, bodyLen), crc))
+
+	truncated := func(what string, err error) error {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: %s truncated in %s", ErrCorruptCheckpoint, path, what)
+		}
+		return fmt.Errorf("model: reading checkpoint %s: %w", what, err)
+	}
+
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, nil, truncated("magic", err)
+	}
+	switch string(magic) {
+	case checkpointMagic:
+	case checkpointMagicLegacy:
+		return nil, nil, fmt.Errorf("model: %s is a legacy KGE1 checkpoint (no checksum); re-save it with this version", path)
+	default:
 		return nil, nil, fmt.Errorf("model: %s is not a KGE checkpoint", path)
 	}
 	var nameLen uint32
 	if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
-		return nil, nil, fmt.Errorf("model: corrupt checkpoint header: %w", err)
+		return nil, nil, truncated("header", err)
 	}
 	if nameLen > 64 {
-		return nil, nil, fmt.Errorf("model: implausible model name length %d", nameLen)
+		return nil, nil, fmt.Errorf("%w: implausible model name length %d", ErrCorruptCheckpoint, nameLen)
 	}
 	nameBuf := make([]byte, nameLen)
 	if _, err := io.ReadFull(r, nameBuf); err != nil {
-		return nil, nil, fmt.Errorf("model: corrupt checkpoint name: %w", err)
+		return nil, nil, truncated("name", err)
 	}
 	var dims [4]uint32
 	if err := binary.Read(r, binary.LittleEndian, &dims); err != nil {
-		return nil, nil, fmt.Errorf("model: corrupt checkpoint dims: %w", err)
+		return nil, nil, truncated("dims", err)
 	}
 	dim, entities, relations, width := int(dims[0]), int(dims[1]), int(dims[2]), int(dims[3])
 	m := New(string(nameBuf), dim)
@@ -90,10 +168,22 @@ func LoadCheckpoint(path string) (Model, *Params, error) {
 	}
 	p := NewParams(m, entities, relations)
 	if err := readF32(r, p.Entity.Data); err != nil {
-		return nil, nil, fmt.Errorf("model: reading entity matrix: %w", err)
+		return nil, nil, truncated("entity matrix", err)
 	}
 	if err := readF32(r, p.Relation.Data); err != nil {
-		return nil, nil, fmt.Errorf("model: reading relation matrix: %w", err)
+		return nil, nil, truncated("relation matrix", err)
+	}
+	// Drain whatever of the body region the parser did not consume, then
+	// verify the footer.
+	if _, err := io.Copy(io.Discard, r); err != nil {
+		return nil, nil, fmt.Errorf("model: reading checkpoint tail: %w", err)
+	}
+	var footer [4]byte
+	if _, err := io.ReadFull(f, footer[:]); err != nil {
+		return nil, nil, truncated("checksum footer", err)
+	}
+	if got, want := crc.Sum32(), binary.LittleEndian.Uint32(footer[:]); got != want {
+		return nil, nil, fmt.Errorf("%w: %s checksum mismatch (have %08x, footer says %08x)", ErrCorruptCheckpoint, path, got, want)
 	}
 	return m, p, nil
 }

@@ -1,8 +1,10 @@
 package model
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"kgedist/internal/xrand"
@@ -69,5 +71,113 @@ func TestLoadCheckpointErrors(t *testing.T) {
 	}
 	if _, _, err := LoadCheckpoint(trunc); err == nil {
 		t.Fatal("truncated checkpoint accepted")
+	} else if !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("truncated checkpoint error %v does not wrap ErrCorruptCheckpoint", err)
+	}
+}
+
+func TestLoadCheckpointDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	m := New("complex", 4)
+	p := NewParams(m, 10, 3)
+	p.Init(m, xrand.New(7))
+	path := filepath.Join(dir, "ck.kge")
+	if err := SaveCheckpoint(path, m, p); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in every region of the file: header, entity data,
+	// relation data, and the checksum footer itself. Each must be caught.
+	for _, off := range []int{5, len(data) / 3, len(data) - 10, len(data) - 2} {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x40
+		badPath := filepath.Join(dir, "bad.kge")
+		if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := LoadCheckpoint(badPath)
+		if err == nil {
+			t.Fatalf("bit flip at offset %d silently loaded", off)
+		}
+		if !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("bit flip at offset %d: error %v does not wrap ErrCorruptCheckpoint", off, err)
+		}
+	}
+	// Truncation at every boundary must be caught too (never a crash, never
+	// a silent load).
+	for _, n := range []int{3, 7, 20, len(data) - 5, len(data) - 1} {
+		badPath := filepath.Join(dir, "short.kge")
+		if err := os.WriteFile(badPath, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := LoadCheckpoint(badPath); err == nil {
+			t.Fatalf("truncation to %d bytes silently loaded", n)
+		}
+	}
+	// Trailing garbage shifts the hashed region and must also fail.
+	badPath := filepath.Join(dir, "long.kge")
+	if err := os.WriteFile(badPath, append(append([]byte(nil), data...), 0xAA, 0xBB), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpoint(badPath); err == nil {
+		t.Fatal("checkpoint with trailing garbage silently loaded")
+	}
+	// The pristine file still loads.
+	if _, _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+}
+
+func TestLoadCheckpointRejectsLegacyFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.kge")
+	if err := os.WriteFile(path, []byte("KGE1somebytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := LoadCheckpoint(path)
+	if err == nil {
+		t.Fatal("legacy KGE1 checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "legacy") {
+		t.Fatalf("legacy error %v should name the format", err)
+	}
+}
+
+func TestSaveCheckpointIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	m := New("complex", 4)
+	p := NewParams(m, 10, 3)
+	p.Init(m, xrand.New(7))
+	path := filepath.Join(dir, "ck.kge")
+	if err := SaveCheckpoint(path, m, p); err != nil {
+		t.Fatal(err)
+	}
+	// No temporary file survives a successful save.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stale temporary file after save: %v", err)
+	}
+	// A failed save (target directory vanished) must not leave a tmp file
+	// behind either.
+	gone := filepath.Join(dir, "nope", "ck.kge")
+	if err := SaveCheckpoint(gone, m, p); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+	if _, err := os.Stat(gone + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("stale temporary file after failed save: %v", err)
+	}
+	// Overwriting an existing checkpoint goes through the same rename path;
+	// the old file is replaced only by a complete, verifiable new one.
+	p.Entity.Data[0] += 1
+	if err := SaveCheckpoint(path, m, p); err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Entity.Data[0] != p.Entity.Data[0] {
+		t.Fatal("overwrite did not publish the new contents")
 	}
 }

@@ -14,7 +14,10 @@ package mpi
 // For non-power-of-two worlds the standard pre/post folding is applied:
 // the first P-2^m ranks fold into partners, the power-of-two core runs
 // recursive doubling, and the result is copied back out.
-func (c *Comm) AllReduceSumRD(buf []float32, tag string) float64 {
+func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
+	if err := c.enter(); err != nil {
+		return 0, err
+	}
 	p := c.w.p
 	n := len(buf)
 	cost, moved, msgs := c.w.cluster.RecursiveDoublingAllReduceCost(int64(4 * n))
@@ -31,10 +34,15 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) float64 {
 		if r >= m {
 			out := make([]float32, n)
 			copy(out, buf)
-			c.send(r-m, message{f32: out})
+			if err := c.send(r-m, message{f32: out}); err != nil {
+				return 0, err
+			}
 			inCore = false
 		} else if r < rem {
-			msg := c.recv(r + m)
+			msg, err := c.recv(r + m)
+			if err != nil {
+				return 0, err
+			}
 			for i, v := range msg.f32 {
 				buf[i] += v
 			}
@@ -45,8 +53,13 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) float64 {
 				partner := r ^ k
 				out := make([]float32, n)
 				copy(out, buf)
-				c.send(partner, message{f32: out})
-				msg := c.recv(partner)
+				if err := c.send(partner, message{f32: out}); err != nil {
+					return 0, err
+				}
+				msg, err := c.recv(partner)
+				if err != nil {
+					return 0, err
+				}
 				for i, v := range msg.f32 {
 					buf[i] += v
 				}
@@ -57,14 +70,21 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) float64 {
 		if r < rem {
 			out := make([]float32, n)
 			copy(out, buf)
-			c.send(r+m, message{f32: out})
+			if err := c.send(r+m, message{f32: out}); err != nil {
+				return 0, err
+			}
 		} else if r >= m {
-			msg := c.recv(r - m)
+			msg, err := c.recv(r - m)
+			if err != nil {
+				return 0, err
+			}
 			copy(buf, msg.f32)
 		}
 	}
-	c.finish(cost, moved, msgs, tag)
-	return cost
+	if err := c.finish(cost, moved, msgs, tag); err != nil {
+		return 0, err
+	}
+	return cost, nil
 }
 
 // AllGatherBytesBruck gathers one byte payload per rank using Bruck's
@@ -73,7 +93,10 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) float64 {
 // round — ceil(log2 P) rounds instead of the ring's P-1, at the price of
 // retransmitting accumulated data. Returns payloads indexed by source rank
 // plus the virtual cost.
-func (c *Comm) AllGatherBytesBruck(payload []byte, tag string) ([][]byte, float64) {
+func (c *Comm) AllGatherBytesBruck(payload []byte, tag string) ([][]byte, float64, error) {
+	if err := c.enter(); err != nil {
+		return nil, 0, err
+	}
 	p := c.w.p
 	out := make([][]byte, p)
 	out[c.rank] = payload
@@ -96,8 +119,13 @@ func (c *Comm) AllGatherBytesBruck(payload []byte, tag string) ([][]byte, float6
 				flat = append(flat, byte(len(b)), byte(len(b)>>8), byte(len(b)>>16), byte(len(b)>>24))
 				flat = append(flat, b...)
 			}
-			c.send(dst, message{raw: flat})
-			msg := c.recv(src)
+			if err := c.send(dst, message{raw: flat}); err != nil {
+				return nil, 0, err
+			}
+			msg, err := c.recv(src)
+			if err != nil {
+				return nil, 0, err
+			}
 			// Unpack into have[count...].
 			off := 0
 			for i := 0; i < send; i++ {
@@ -120,6 +148,8 @@ func (c *Comm) AllGatherBytesBruck(payload []byte, tag string) ([][]byte, float6
 		sizes[i] = int64(len(b))
 	}
 	cost, moved, msgs := c.w.cluster.BruckAllGatherCost(sizes)
-	c.finish(cost, moved, msgs, tag)
-	return out, cost
+	if err := c.finish(cost, moved, msgs, tag); err != nil {
+		return nil, 0, err
+	}
+	return out, cost, nil
 }

@@ -107,7 +107,7 @@ func TestAllGatherBytesBruck(t *testing.T) {
 			for i := range payload {
 				payload[i] = byte(c.Rank() + 1)
 			}
-			bs, _ := c.AllGatherBytesBruck(payload, "bruck")
+			bs, _, _ := c.AllGatherBytesBruck(payload, "bruck")
 			got[c.Rank()] = bs
 		})
 		for r := 0; r < p; r++ {
@@ -147,7 +147,7 @@ func TestBruckCostFewerLatencies(t *testing.T) {
 func TestBruckEmptyPayloads(t *testing.T) {
 	w := newWorld(4)
 	w.Run(func(c *Comm) {
-		bs, _ := c.AllGatherBytesBruck(nil, "bruck")
+		bs, _, _ := c.AllGatherBytesBruck(nil, "bruck")
 		for src, b := range bs {
 			if len(b) != 0 {
 				t.Errorf("src %d: got %d bytes", src, len(b))
@@ -192,12 +192,12 @@ func TestQuickBruckMatchesRing(t *testing.T) {
 		bruck := make([][][]byte, p)
 		wR := newWorld(p)
 		wR.Run(func(c *Comm) {
-			out, _ := c.AllGatherBytes(payloads[c.Rank()], "x")
+			out, _, _ := c.AllGatherBytes(payloads[c.Rank()], "x")
 			ring[c.Rank()] = out
 		})
 		wB := newWorld(p)
 		wB.Run(func(c *Comm) {
-			out, _ := c.AllGatherBytesBruck(payloads[c.Rank()], "x")
+			out, _, _ := c.AllGatherBytesBruck(payloads[c.Rank()], "x")
 			bruck[c.Rank()] = out
 		})
 		for r := 0; r < p; r++ {

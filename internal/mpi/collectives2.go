@@ -16,7 +16,10 @@ package mpi
 // cost. Chunk boundaries are i*n/P; rank r ends up owning chunk (r+1) mod P,
 // as in the ring algorithm. The rest of buf is left partially reduced,
 // mirroring MPI_Reduce_scatter's contract of only defining the local chunk.
-func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost float64) {
+func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost float64, err error) {
+	if err := c.enter(); err != nil {
+		return 0, 0, 0, err
+	}
 	p := c.w.p
 	n := len(buf)
 	var moved, msgs int64
@@ -42,8 +45,13 @@ func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost flo
 			recvIdx := ((r-s-1)%p + p) % p
 			out := make([]float32, len(chunk(sendIdx)))
 			copy(out, chunk(sendIdx))
-			c.send(right, message{f32: out})
-			m := c.recv(left)
+			if err := c.send(right, message{f32: out}); err != nil {
+				return 0, 0, 0, err
+			}
+			m, err := c.recv(left)
+			if err != nil {
+				return 0, 0, 0, err
+			}
 			dst := chunk(recvIdx)
 			for i, v := range m.f32 {
 				dst[i] += v
@@ -52,48 +60,74 @@ func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost flo
 		own := (r + 1) % p
 		lo, hi = bound[own], bound[own+1]
 	}
-	c.finish(cost, moved, msgs, tag)
-	return lo, hi, cost
+	if err := c.finish(cost, moved, msgs, tag); err != nil {
+		return 0, 0, 0, err
+	}
+	return lo, hi, cost, nil
 }
 
 // Gather collects every rank's payload at root, indexed by source rank;
 // non-root ranks return nil. Payload sizes may differ per rank.
-func (c *Comm) Gather(payload []float32, root int, tag string) [][]float32 {
+func (c *Comm) Gather(payload []float32, root int, tag string) ([][]float32, error) {
 	p := c.w.p
 	var out [][]float32
 	if p == 1 {
+		if err := c.enter(); err != nil {
+			return nil, err
+		}
 		out = [][]float32{payload}
-		c.finish(0, 0, 0, tag)
-		return out
+		if err := c.finish(0, 0, 0, tag); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
-	total := c.AllReduceScalar(float64(4*len(payload)), OpSum)
+	total, err := c.AllReduceScalar(float64(4*len(payload)), OpSum)
+	if err != nil {
+		return nil, err
+	}
 	if c.rank == root {
 		out = make([][]float32, p)
 		out[root] = payload
 		for src := 0; src < p; src++ {
 			if src != root {
-				out[src] = c.recv(src).f32
+				m, err := c.recv(src)
+				if err != nil {
+					return nil, err
+				}
+				out[src] = m.f32
 			}
 		}
 	} else {
-		c.send(root, message{f32: payload})
+		if err := c.send(root, message{f32: payload}); err != nil {
+			return nil, err
+		}
 	}
 	par := c.w.cluster.Params()
 	cost := float64(p-1)*par.Alpha + total*par.Beta
-	c.finish(cost, int64(total), int64(p-1), tag)
-	return out
+	if err := c.finish(cost, int64(total), int64(p-1), tag); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Scatter distributes root's per-rank payloads; every rank returns its own
 // part. parts is only read at the root and must have one entry per rank.
-func (c *Comm) Scatter(parts [][]float32, root int, tag string) []float32 {
+func (c *Comm) Scatter(parts [][]float32, root int, tag string) ([]float32, error) {
 	p := c.w.p
 	if p == 1 {
 		if len(parts) != 1 {
 			panic("mpi: Scatter needs one part per rank")
 		}
-		c.finish(0, 0, 0, tag)
-		return parts[0]
+		if err := c.enter(); err != nil {
+			return nil, err
+		}
+		if err := c.finish(0, 0, 0, tag); err != nil {
+			return nil, err
+		}
+		return parts[0], nil
+	}
+	if err := c.enter(); err != nil {
+		return nil, err
 	}
 	var own []float32
 	if c.rank == root {
@@ -103,15 +137,26 @@ func (c *Comm) Scatter(parts [][]float32, root int, tag string) []float32 {
 		own = parts[root]
 		for dst := 0; dst < p; dst++ {
 			if dst != root {
-				c.send(dst, message{f32: parts[dst]})
+				if err := c.send(dst, message{f32: parts[dst]}); err != nil {
+					return nil, err
+				}
 			}
 		}
 	} else {
-		own = c.recv(root).f32
+		m, err := c.recv(root)
+		if err != nil {
+			return nil, err
+		}
+		own = m.f32
 	}
-	total := c.AllReduceScalar(float64(4*len(own)), OpSum)
+	total, err := c.AllReduceScalar(float64(4*len(own)), OpSum)
+	if err != nil {
+		return nil, err
+	}
 	par := c.w.cluster.Params()
 	cost := float64(p-1)*par.Alpha + total*par.Beta
-	c.finish(cost, int64(total), int64(p-1), tag)
-	return own
+	if err := c.finish(cost, int64(total), int64(p-1), tag); err != nil {
+		return nil, err
+	}
+	return own, nil
 }

@@ -28,7 +28,7 @@ func TestReduceScatterSum(t *testing.T) {
 			got := make([]owned, p)
 			w.Run(func(c *Comm) {
 				buf := append([]float32(nil), inputs[c.Rank()]...)
-				lo, hi, _ := c.ReduceScatterSum(buf, "rs")
+				lo, hi, _, _ := c.ReduceScatterSum(buf, "rs")
 				got[c.Rank()] = owned{lo, hi, append([]float32(nil), buf[lo:hi]...)}
 			})
 			// Owned chunks must tile [0, n) and hold the full sums.
@@ -65,7 +65,7 @@ func TestGather(t *testing.T) {
 				for i := range payload {
 					payload[i] = float32(10*c.Rank() + i)
 				}
-				results[c.Rank()] = c.Gather(payload, root, "gather")
+				results[c.Rank()], _ = c.Gather(payload, root, "gather")
 			})
 			for r := 0; r < p; r++ {
 				if r != root && p > 1 {
@@ -103,7 +103,7 @@ func TestScatter(t *testing.T) {
 						parts[dst] = []float32{float32(100 + dst), float32(dst)}
 					}
 				}
-				results[c.Rank()] = c.Scatter(parts, root, "scatter")
+				results[c.Rank()], _ = c.Scatter(parts, root, "scatter")
 			})
 			for r := 0; r < p; r++ {
 				if len(results[r]) != 2 || results[r][0] != float32(100+r) || results[r][1] != float32(r) {
@@ -135,7 +135,7 @@ func TestGatherScatterDeterministicStats(t *testing.T) {
 		w := newWorld(5)
 		w.Run(func(c *Comm) {
 			payload := make([]float32, 8)
-			g := c.Gather(payload, 2, "g")
+			g, _ := c.Gather(payload, 2, "g")
 			var parts [][]float32
 			if c.Rank() == 2 {
 				parts = g

@@ -1,0 +1,125 @@
+package mpi
+
+// Failure semantics (ULFM-style). A rank dies when the simnet fault schedule
+// declares a crash due at a collective entry, when a peer's recv deadline
+// expires, or when its goroutine panics. Death is world-global state: the
+// abort channel is closed, the phaser releases every waiter, and every
+// collective in flight — and every collective attempted afterwards — returns
+// a *RankFailedError naming the dead ranks instead of completing. No rank is
+// ever left blocked: senders, receivers and rendezvous waiters all select on
+// the abort channel. The world is then permanently failed; the caller builds
+// a successor with Shrink and re-runs the survivors.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultRecvTimeout is the watchdog deadline a fresh world applies to every
+// point-to-point receive. It is a real-time backstop against genuine hangs
+// (a stuck rank that never announces its death); scheduled crash faults are
+// detected immediately and never wait it out.
+const DefaultRecvTimeout = 60 * time.Second
+
+// RankFailedError reports that one or more ranks died during a collective.
+// Every surviving rank observes the same error at its next (or current)
+// collective; recovery is to Shrink the world over the survivors and re-run.
+type RankFailedError struct {
+	// Ranks lists the dead ranks, sorted ascending.
+	Ranks []int
+}
+
+// Error implements the error interface.
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("mpi: rank(s) %v failed; shrink the world to continue", e.Ranks)
+}
+
+// failureState tracks dead ranks and the world-wide abort signal.
+type failureState struct {
+	mu      sync.Mutex
+	dead    []int
+	abort   chan struct{}
+	aborted bool
+}
+
+func newFailureState() *failureState {
+	return &failureState{abort: make(chan struct{})}
+}
+
+// fail marks rank dead and trips the abort signal on first use. Reports
+// whether the rank was newly dead.
+func (fs *failureState) fail(rank int) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, r := range fs.dead {
+		if r == rank {
+			return false
+		}
+	}
+	fs.dead = append(fs.dead, rank)
+	sort.Ints(fs.dead)
+	if !fs.aborted {
+		fs.aborted = true
+		close(fs.abort)
+	}
+	return true
+}
+
+// failed returns a copy of the dead-rank set (nil when healthy).
+func (fs *failureState) failed() []int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if len(fs.dead) == 0 {
+		return nil
+	}
+	return append([]int(nil), fs.dead...)
+}
+
+// err returns the RankFailedError for the current dead set, or nil.
+func (fs *failureState) err() error {
+	ranks := fs.failed()
+	if ranks == nil {
+		return nil
+	}
+	return &RankFailedError{Ranks: ranks}
+}
+
+// Failed returns the ranks known dead in this world, sorted (nil if none).
+func (w *World) Failed() []int { return w.fs.failed() }
+
+// SetRecvTimeout overrides the per-receive watchdog deadline; d <= 0
+// disables it (receives then block until a message or a failure abort).
+// Call before Run/RunErr — the setting is read by rank goroutines.
+func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
+// Shrink builds the successor world after a failure: the given dead ranks
+// are removed, survivors are renumbered densely in rank order (old rank r
+// becomes r minus the number of dead ranks below it), and fresh links,
+// phaser and sequence counters are built over the survivors. The underlying
+// cluster is shrunk in place, so survivor clocks, accumulated statistics and
+// remaining fault-plan entries carry over. The old world must not be used
+// afterwards.
+func (w *World) Shrink(dead []int) (*World, error) {
+	if len(dead) == 0 {
+		return nil, fmt.Errorf("mpi: Shrink needs at least one dead rank")
+	}
+	seen := make(map[int]bool, len(dead))
+	for _, r := range dead {
+		if r < 0 || r >= w.p {
+			return nil, fmt.Errorf("mpi: Shrink rank %d out of range [0,%d)", r, w.p)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("mpi: Shrink rank %d listed twice", r)
+		}
+		seen[r] = true
+	}
+	if len(seen) >= w.p {
+		return nil, fmt.Errorf("mpi: Shrink would leave no survivors (%d dead of %d)", len(seen), w.p)
+	}
+	w.cluster.Shrink(dead)
+	nw := NewWorld(w.cluster)
+	nw.recvTimeout = w.recvTimeout
+	return nw, nil
+}

@@ -1,0 +1,253 @@
+package mpi
+
+// Fault-injection tests: crash faults abort collectives with a typed error
+// on every rank instead of deadlocking, worlds shrink over the survivors,
+// silent ranks are detected by the receive watchdog, and panics are
+// aggregated with their stacks. These run under `make faults` (and the
+// race tier) in CI.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"kgedist/internal/simnet"
+)
+
+// crashWorld builds a world whose given rank dies at virtual time at.
+func crashWorld(t *testing.T, p, rank int, at float64) *World {
+	t.Helper()
+	cluster := simnet.NewCluster(p, simnet.XC40Params())
+	plan := &simnet.FaultPlan{Faults: []simnet.Fault{
+		{Kind: simnet.FaultCrash, Rank: rank, At: at},
+	}}
+	if err := cluster.SetFaultPlan(plan); err != nil {
+		t.Fatalf("SetFaultPlan: %v", err)
+	}
+	return NewWorld(cluster)
+}
+
+func TestFaultCrashAbortsCollectives(t *testing.T) {
+	w := crashWorld(t, 4, 2, 0) // due at the very first collective entry
+	watchdog(t, "crash abort", 30*time.Second, func() {
+		err := w.RunErr(func(c *Comm) error {
+			buf := make([]float32, 64)
+			for i := 0; i < 100; i++ {
+				if _, err := c.AllReduceSum(buf, "x"); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		var rf *RankFailedError
+		if !errors.As(err, &rf) {
+			t.Fatalf("RunErr = %v, want *RankFailedError", err)
+		}
+		if len(rf.Ranks) != 1 || rf.Ranks[0] != 2 {
+			t.Fatalf("dead ranks = %v, want [2]", rf.Ranks)
+		}
+	})
+	if got := w.Failed(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Failed() = %v", got)
+	}
+}
+
+func TestFaultCrashMidTrainingReleasesEveryRank(t *testing.T) {
+	// The crash arms partway through a sequence of collectives: clocks
+	// advance with each operation, the fault fires at a later entry, and
+	// every survivor must still unblock with the same typed error.
+	w := crashWorld(t, 5, 1, 1e-3)
+	completed := make([]int, 5)
+	watchdog(t, "mid-training crash", 30*time.Second, func() {
+		err := w.RunErr(func(c *Comm) error {
+			buf := make([]float32, 4096)
+			for i := 0; ; i++ {
+				if _, err := c.AllReduceSum(buf, "x"); err != nil {
+					completed[c.Rank()] = i
+					return err
+				}
+			}
+		})
+		var rf *RankFailedError
+		if !errors.As(err, &rf) {
+			t.Fatalf("RunErr = %v, want *RankFailedError", err)
+		}
+		if len(rf.Ranks) != 1 || rf.Ranks[0] != 1 {
+			t.Fatalf("dead ranks = %v, want [1]", rf.Ranks)
+		}
+	})
+	if completed[0] == 0 {
+		t.Fatal("crash fired on the first collective; expected clocks to advance first")
+	}
+	if w.Cluster().FaultsInjected() != 1 {
+		t.Fatalf("FaultsInjected = %d, want 1", w.Cluster().FaultsInjected())
+	}
+}
+
+func TestFailedWorldRefusesFurtherCollectives(t *testing.T) {
+	w := crashWorld(t, 3, 0, 0)
+	watchdog(t, "failed world refuses", 30*time.Second, func() {
+		err := w.RunErr(func(c *Comm) error {
+			if err := c.Barrier(); err != nil {
+				// Every later collective on the dead world must fail fast,
+				// not hang waiting for the dead rank.
+				if err2 := c.Barrier(); err2 == nil {
+					return fmt.Errorf("rank %d: collective on failed world succeeded", c.Rank())
+				}
+				return err
+			}
+			return nil
+		})
+		var rf *RankFailedError
+		if !errors.As(err, &rf) {
+			t.Fatalf("RunErr = %v, want *RankFailedError", err)
+		}
+	})
+}
+
+func TestShrinkAndContinue(t *testing.T) {
+	w := crashWorld(t, 4, 2, 0)
+	watchdog(t, "shrink and continue", 30*time.Second, func() {
+		err := w.RunErr(func(c *Comm) error {
+			c.Cluster().AddSeconds(c.Rank(), 1) // pre-crash progress on every clock
+			_, err := c.AllReduceSum(make([]float32, 8), "x")
+			return err
+		})
+		var rf *RankFailedError
+		if !errors.As(err, &rf) {
+			t.Fatalf("RunErr = %v, want *RankFailedError", err)
+		}
+		before := w.Cluster().MaxTime()
+
+		nw, err := w.Shrink(rf.Ranks)
+		if err != nil {
+			t.Fatalf("Shrink: %v", err)
+		}
+		if nw.Size() != 3 || nw.Cluster().P() != 3 {
+			t.Fatalf("shrunken world size = %d (cluster %d), want 3", nw.Size(), nw.Cluster().P())
+		}
+		if nw.Cluster().MaxTime() < before {
+			t.Fatalf("survivor clocks rewound: %v < %v", nw.Cluster().MaxTime(), before)
+		}
+		// The successor world completes collectives normally.
+		sums := make([]float32, 3)
+		runErr := nw.RunErr(func(c *Comm) error {
+			buf := []float32{float32(c.Rank() + 1)}
+			if _, err := c.AllReduceSum(buf, "x"); err != nil {
+				return err
+			}
+			sums[c.Rank()] = buf[0]
+			return nil
+		})
+		if runErr != nil {
+			t.Fatalf("post-shrink RunErr: %v", runErr)
+		}
+		for r, s := range sums {
+			if s != 6 {
+				t.Fatalf("rank %d sum = %v, want 6", r, s)
+			}
+		}
+	})
+}
+
+func TestShrinkRejectsBadArguments(t *testing.T) {
+	w := newWorld(3)
+	cases := [][]int{nil, {3}, {-1}, {1, 1}, {0, 1, 2}}
+	for _, dead := range cases {
+		if _, err := w.Shrink(dead); err == nil {
+			t.Fatalf("Shrink(%v) accepted", dead)
+		}
+	}
+}
+
+func TestRecvTimeoutDetectsSilentRank(t *testing.T) {
+	// Rank 1 goes silent without a scheduled fault (the "stuck rank"
+	// scenario): the receive watchdog must declare it dead so rank 0
+	// returns an error instead of hanging forever.
+	w := newWorld(2)
+	w.SetRecvTimeout(100 * time.Millisecond)
+	watchdog(t, "recv timeout", 30*time.Second, func() {
+		err := w.RunErr(func(c *Comm) error {
+			if c.Rank() == 1 {
+				return nil // silent desertion: never joins the collective
+			}
+			_, err := c.AllReduceSum(make([]float32, 16), "x")
+			return err
+		})
+		var rf *RankFailedError
+		if !errors.As(err, &rf) {
+			t.Fatalf("RunErr = %v, want *RankFailedError", err)
+		}
+		if len(rf.Ranks) != 1 || rf.Ranks[0] != 1 {
+			t.Fatalf("dead ranks = %v, want [1]", rf.Ranks)
+		}
+	})
+}
+
+func TestRunAggregatesAllPanicsWithStacks(t *testing.T) {
+	w := newWorld(3)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected aggregated panic")
+		}
+		msg := fmt.Sprint(p)
+		for _, want := range []string{"2 rank(s) panicked", "rank 0 panicked: boom-0", "rank 2 panicked: boom-2", "goroutine"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic message missing %q:\n%s", want, msg)
+			}
+		}
+		if strings.Contains(msg, "rank 1 panicked") {
+			t.Fatalf("healthy rank reported as panicked:\n%s", msg)
+		}
+	}()
+	w.Run(func(c *Comm) {
+		if c.Rank() != 1 {
+			panic(fmt.Sprintf("boom-%d", c.Rank()))
+		}
+	})
+}
+
+func TestRunErrPanickedRankUnblocksPeers(t *testing.T) {
+	// A panicking rank must not leave peers hanging at a rendezvous: it is
+	// marked dead and the collectives abort.
+	w := newWorld(3)
+	watchdog(t, "panic unblocks peers", 30*time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic to propagate")
+			}
+		}()
+		w.Run(func(c *Comm) {
+			if c.Rank() == 2 {
+				panic("dead rank")
+			}
+			// Error-blind body: the collective returns an error which the
+			// body ignores; Run converts the world failure into a panic.
+			_, _ = c.AllReduceSum(make([]float32, 8), "x")
+		})
+	})
+}
+
+func TestRunErrJoinsBodyErrors(t *testing.T) {
+	w := newWorld(2)
+	sentinel := errors.New("body failure")
+	err := w.RunErr(func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("RunErr = %v, want wrapped sentinel", err)
+	}
+	var rf *RankFailedError
+	if errors.As(err, &rf) {
+		t.Fatalf("healthy world reported rank failure: %v", err)
+	}
+}

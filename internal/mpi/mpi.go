@@ -14,11 +14,20 @@
 // All collectives are globally synchronizing: they end with a rendezvous so
 // per-rank virtual clocks are identical on return, matching the
 // bulk-synchronous training loop of the paper.
+//
+// Collectives are fallible: a dead rank (scheduled crash fault, receive
+// deadline expiry, or rank panic) surfaces as a *RankFailedError on every
+// survivor rather than a deadlock or a panic — see fault.go for the failure
+// model and World.Shrink for recovery.
 package mpi
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
+	"strings"
 	"sync"
+	"time"
 
 	"kgedist/internal/simnet"
 )
@@ -33,14 +42,21 @@ type message struct {
 	f64 float64
 }
 
+// errPhaserAborted is the internal signal that a rendezvous was torn down by
+// a failure; callers translate it into the world's RankFailedError.
+var errPhaserAborted = errors.New("mpi: rendezvous aborted by rank failure")
+
 // phaser is a reusable barrier: all n participants arrive, the last one runs
-// onLast, then everyone is released.
+// onLast, then everyone is released. A failure aborts the phaser: current
+// and future waiters return errPhaserAborted instead of blocking on ranks
+// that will never arrive.
 type phaser struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	n       int
 	arrived int
 	gen     uint64
+	aborted bool
 }
 
 func newPhaser(n int) *phaser {
@@ -49,8 +65,12 @@ func newPhaser(n int) *phaser {
 	return ph
 }
 
-func (ph *phaser) await(onLast func()) {
+func (ph *phaser) await(onLast func()) error {
 	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	if ph.aborted {
+		return errPhaserAborted
+	}
 	gen := ph.gen
 	ph.arrived++
 	if ph.arrived == ph.n {
@@ -60,21 +80,36 @@ func (ph *phaser) await(onLast func()) {
 		ph.arrived = 0
 		ph.gen++
 		ph.cond.Broadcast()
-	} else {
-		for ph.gen == gen {
-			ph.cond.Wait()
-		}
+		return nil
 	}
+	for ph.gen == gen && !ph.aborted {
+		ph.cond.Wait()
+	}
+	if ph.gen == gen {
+		// Released by abort, not by generation completion.
+		ph.arrived--
+		return errPhaserAborted
+	}
+	return nil
+}
+
+// abort permanently releases all current and future waiters with an error.
+func (ph *phaser) abort() {
+	ph.mu.Lock()
+	ph.aborted = true
+	ph.cond.Broadcast()
 	ph.mu.Unlock()
 }
 
 // World is a communicator world of P ranks sharing a simnet cluster.
 type World struct {
-	p       int
-	cluster *simnet.Cluster
-	links   [][]chan message // links[src][dst]
-	ph      *phaser
-	seq     []uint64 // per-rank collective sequence number
+	p           int
+	cluster     *simnet.Cluster
+	links       [][]chan message // links[src][dst]
+	ph          *phaser
+	seq         []uint64 // per-rank collective sequence number
+	fs          *failureState
+	recvTimeout time.Duration
 }
 
 // NewWorld builds a world with one rank per cluster node.
@@ -90,11 +125,13 @@ func NewWorld(cluster *simnet.Cluster) *World {
 		}
 	}
 	return &World{
-		p:       p,
-		cluster: cluster,
-		links:   links,
-		ph:      newPhaser(p),
-		seq:     make([]uint64, p),
+		p:           p,
+		cluster:     cluster,
+		links:       links,
+		ph:          newPhaser(p),
+		seq:         make([]uint64, p),
+		fs:          newFailureState(),
+		recvTimeout: DefaultRecvTimeout,
 	}
 }
 
@@ -112,34 +149,83 @@ func (w *World) Comm(rank int) *Comm {
 	return &Comm{w: w, rank: rank}
 }
 
+// failRank declares rank dead: the abort channel trips and the phaser
+// releases every rendezvous waiter.
+func (w *World) failRank(rank int) {
+	if w.fs.fail(rank) {
+		w.ph.abort()
+	}
+}
+
+// rankPanic captures one rank's panic with its stack for aggregated
+// reporting.
+type rankPanic struct {
+	rank  int
+	val   any
+	stack []byte
+}
+
 // Run spawns one goroutine per rank executing f and waits for all of them.
-// Panics inside rank bodies are re-raised on the caller.
+// Panics inside rank bodies are re-raised on the caller in one combined
+// panic that reports every panicked rank with its original stack trace. A
+// collective failure (dead rank) in an error-blind body also panics; bodies
+// that want to handle failures use RunErr.
 func (w *World) Run(f func(c *Comm)) {
+	if err := w.RunErr(func(c *Comm) error { f(c); return nil }); err != nil {
+		panic(err)
+	}
+}
+
+// RunErr spawns one goroutine per rank executing f and waits for all of
+// them. If any rank died (crash fault, receive timeout, or panic of a peer),
+// it returns a single *RankFailedError naming every dead rank; otherwise it
+// returns the joined non-nil errors of the rank bodies. Panics are still
+// re-raised, aggregated across ranks with their stacks.
+func (w *World) RunErr(f func(c *Comm) error) error {
 	var wg sync.WaitGroup
-	panics := make([]any, w.p)
+	errs := make([]error, w.p)
+	panics := make([]*rankPanic, w.p)
 	for r := 0; r < w.p; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[rank] = p
+					panics[rank] = &rankPanic{rank: rank, val: p, stack: debug.Stack()}
+					// A panicked rank is dead to its peers: abort so the
+					// survivors return errors instead of hanging at the
+					// next rendezvous.
+					w.failRank(rank)
 				}
 			}()
-			f(w.Comm(rank))
+			errs[rank] = f(w.Comm(rank))
 		}(r)
 	}
 	wg.Wait()
-	for r, p := range panics {
+	var panicked []*rankPanic
+	for _, p := range panics {
 		if p != nil {
-			panic(fmt.Sprintf("mpi: rank %d panicked: %v", r, p))
+			panicked = append(panicked, p)
 		}
 	}
+	if len(panicked) > 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "mpi: %d rank(s) panicked", len(panicked))
+		for _, p := range panicked {
+			fmt.Fprintf(&b, "\n\nmpi: rank %d panicked: %v\n%s", p.rank, p.val, p.stack)
+		}
+		panic(b.String())
+	}
+	if err := w.fs.err(); err != nil {
+		return err
+	}
+	return errors.Join(errs...)
 }
 
 // Comm is one rank's handle on the world. All collective methods must be
 // called by every rank in the same order; they block until the operation
-// completes globally.
+// completes globally or a failure aborts it, in which case they return a
+// *RankFailedError.
 type Comm struct {
 	w    *World
 	rank int
@@ -154,39 +240,79 @@ func (c *Comm) Size() int { return c.w.p }
 // Cluster exposes the timing model (for compute-time charging).
 func (c *Comm) Cluster() *simnet.Cluster { return c.w.cluster }
 
-func (c *Comm) send(dst int, m message) {
-	m.seq = c.w.seq[c.rank]
-	c.w.links[c.rank][dst] <- m
+// enter opens a collective: the deterministic point where this rank's
+// scheduled crash fault (if due by its virtual clock) fires, and where an
+// already-failed world is refused.
+func (c *Comm) enter() error {
+	if c.w.cluster.CrashDue(c.rank) {
+		c.w.failRank(c.rank)
+	}
+	return c.w.fs.err()
 }
 
-func (c *Comm) recv(src int) message {
-	m := <-c.w.links[src][c.rank]
-	if m.seq != c.w.seq[c.rank] {
-		panic(fmt.Sprintf("mpi: rank %d received message from %d with seq %d during collective %d",
-			c.rank, src, m.seq, c.w.seq[c.rank]))
+func (c *Comm) send(dst int, m message) error {
+	m.seq = c.w.seq[c.rank]
+	select {
+	case c.w.links[c.rank][dst] <- m:
+		return nil
+	case <-c.w.fs.abort:
+		return c.w.fs.err()
 	}
-	return m
+}
+
+func (c *Comm) recv(src int) (message, error) {
+	var deadline <-chan time.Time
+	if c.w.recvTimeout > 0 {
+		t := time.NewTimer(c.w.recvTimeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case m := <-c.w.links[src][c.rank]:
+		if m.seq != c.w.seq[c.rank] {
+			panic(fmt.Sprintf("mpi: rank %d received message from %d with seq %d during collective %d",
+				c.rank, src, m.seq, c.w.seq[c.rank]))
+		}
+		return m, nil
+	case <-c.w.fs.abort:
+		return message{}, c.w.fs.err()
+	case <-deadline:
+		// Watchdog: the peer went silent past the deadline. Declare it
+		// dead so every rank unblocks with the same verdict.
+		c.w.failRank(src)
+		return message{}, c.w.fs.err()
+	}
 }
 
 // finish closes a collective: rendezvous, charge cost once, bump sequence.
-func (c *Comm) finish(cost float64, moved, msgs int64, tag string) {
-	c.w.ph.await(func() {
+func (c *Comm) finish(cost float64, moved, msgs int64, tag string) error {
+	err := c.w.ph.await(func() {
 		c.w.cluster.Collective(cost, moved, msgs, tag)
 		for r := range c.w.seq {
 			c.w.seq[r]++
 		}
 	})
+	if err != nil {
+		return c.w.fs.err()
+	}
+	return nil
 }
 
 // Barrier synchronizes all ranks (dissemination-cost charge).
-func (c *Comm) Barrier() {
+func (c *Comm) Barrier() error {
+	if err := c.enter(); err != nil {
+		return err
+	}
 	cost, moved, msgs := c.w.cluster.BarrierCost()
-	c.finish(cost, moved, msgs, "barrier")
+	return c.finish(cost, moved, msgs, "barrier")
 }
 
 // Broadcast sends root's buf to every rank's buf via a binomial tree.
 // Returns the virtual cost of the operation.
-func (c *Comm) Broadcast(buf []float32, root int) float64 {
+func (c *Comm) Broadcast(buf []float32, root int) (float64, error) {
+	if err := c.enter(); err != nil {
+		return 0, err
+	}
 	p := c.w.p
 	cost, moved, msgs := c.w.cluster.BroadcastCost(int64(4 * len(buf)))
 	if p > 1 {
@@ -202,24 +328,35 @@ func (c *Comm) Broadcast(buf []float32, root int) float64 {
 				dst := (vr + k + root) % p
 				out := make([]float32, len(buf))
 				copy(out, buf)
-				c.send(dst, message{f32: out})
+				if err := c.send(dst, message{f32: out}); err != nil {
+					return 0, err
+				}
 			} else if vr >= k && vr < 2*k {
 				src := (vr - k + root) % p
-				m := c.recv(src)
+				m, err := c.recv(src)
+				if err != nil {
+					return 0, err
+				}
 				copy(buf, m.f32)
 				received = true
 			}
 		}
 	}
-	c.finish(cost, moved, msgs, "broadcast")
-	return cost
+	if err := c.finish(cost, moved, msgs, "broadcast"); err != nil {
+		return 0, err
+	}
+	return cost, nil
 }
 
 // AllReduceSum sums buf element-wise across all ranks, leaving the result in
 // every rank's buf. Implemented as ring reduce-scatter followed by ring
 // all-gather — the dense "all-reduce" path of the paper's baseline. All
-// ranks must pass equal-length buffers. Returns the virtual cost.
-func (c *Comm) AllReduceSum(buf []float32, tag string) float64 {
+// ranks must pass equal-length buffers. Returns the virtual cost. On
+// failure, buf is left in an unspecified partially-reduced state.
+func (c *Comm) AllReduceSum(buf []float32, tag string) (float64, error) {
+	if err := c.enter(); err != nil {
+		return 0, err
+	}
 	p := c.w.p
 	n := len(buf)
 	cost, moved, msgs := c.w.cluster.RingAllReduceCost(int64(4 * n))
@@ -240,8 +377,13 @@ func (c *Comm) AllReduceSum(buf []float32, tag string) float64 {
 			recvIdx := ((r-s-1)%p + p) % p
 			out := make([]float32, len(chunk(sendIdx)))
 			copy(out, chunk(sendIdx))
-			c.send(right, message{f32: out})
-			m := c.recv(left)
+			if err := c.send(right, message{f32: out}); err != nil {
+				return 0, err
+			}
+			m, err := c.recv(left)
+			if err != nil {
+				return 0, err
+			}
 			dst := chunk(recvIdx)
 			for i, v := range m.f32 {
 				dst[i] += v
@@ -253,13 +395,20 @@ func (c *Comm) AllReduceSum(buf []float32, tag string) float64 {
 			recvIdx := ((r-s)%p + p) % p
 			out := make([]float32, len(chunk(sendIdx)))
 			copy(out, chunk(sendIdx))
-			c.send(right, message{f32: out})
-			m := c.recv(left)
+			if err := c.send(right, message{f32: out}); err != nil {
+				return 0, err
+			}
+			m, err := c.recv(left)
+			if err != nil {
+				return 0, err
+			}
 			copy(chunk(recvIdx), m.f32)
 		}
 	}
-	c.finish(cost, moved, msgs, tag)
-	return cost
+	if err := c.finish(cost, moved, msgs, tag); err != nil {
+		return 0, err
+	}
+	return cost, nil
 }
 
 // block is one rank's contribution to a variable-size all-gather.
@@ -275,63 +424,84 @@ func (b block) bytes() int64 {
 
 // ringAllGather rotates each rank's block around the ring so every rank ends
 // with all P blocks, indexed by source rank.
-func (c *Comm) ringAllGather(own block) []block {
+func (c *Comm) ringAllGather(own block) ([]block, error) {
 	p := c.w.p
 	out := make([]block, p)
 	out[c.rank] = own
 	if p == 1 {
-		return out
+		return out, nil
 	}
 	right := (c.rank + 1) % p
 	left := (c.rank - 1 + p) % p
 	cur := own
 	curSrc := c.rank
 	for s := 0; s < p-1; s++ {
-		c.send(right, message{i32: cur.i32, f32: cur.f32, raw: cur.raw})
-		m := c.recv(left)
+		if err := c.send(right, message{i32: cur.i32, f32: cur.f32, raw: cur.raw}); err != nil {
+			return nil, err
+		}
+		m, err := c.recv(left)
+		if err != nil {
+			return nil, err
+		}
 		curSrc = (curSrc - 1 + p) % p
 		cur = block{i32: m.i32, f32: m.f32, raw: m.raw}
 		out[curSrc] = cur
 	}
-	return out
+	return out, nil
 }
 
 // AllGatherRows gathers sparse gradient rows: each rank contributes row
 // indices and a flat values buffer (len(idx)*dim values). Every rank
 // receives all contributions, indexed by source rank. This is the paper's
 // "all-gather" (sparse) exchange. Returns the virtual cost.
-func (c *Comm) AllGatherRows(idx []int32, vals []float32, tag string) (allIdx [][]int32, allVals [][]float32, cost float64) {
-	blocks := c.ringAllGather(block{i32: idx, f32: vals})
+func (c *Comm) AllGatherRows(idx []int32, vals []float32, tag string) (allIdx [][]int32, allVals [][]float32, cost float64, err error) {
+	if err := c.enter(); err != nil {
+		return nil, nil, 0, err
+	}
+	blocks, err := c.ringAllGather(block{i32: idx, f32: vals})
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	sizes := make([]int64, len(blocks))
 	for i, b := range blocks {
 		sizes[i] = b.bytes()
 	}
 	cost, moved, msgs := c.w.cluster.AllGatherVCost(sizes)
-	c.finish(cost, moved, msgs, tag)
+	if err := c.finish(cost, moved, msgs, tag); err != nil {
+		return nil, nil, 0, err
+	}
 	allIdx = make([][]int32, len(blocks))
 	allVals = make([][]float32, len(blocks))
 	for i, b := range blocks {
 		allIdx[i] = b.i32
 		allVals[i] = b.f32
 	}
-	return allIdx, allVals, cost
+	return allIdx, allVals, cost, nil
 }
 
 // AllGatherBytes gathers one opaque byte payload per rank (used for
 // bit-packed quantized gradients). Returns per-source payloads and cost.
-func (c *Comm) AllGatherBytes(payload []byte, tag string) ([][]byte, float64) {
-	blocks := c.ringAllGather(block{raw: payload})
+func (c *Comm) AllGatherBytes(payload []byte, tag string) ([][]byte, float64, error) {
+	if err := c.enter(); err != nil {
+		return nil, 0, err
+	}
+	blocks, err := c.ringAllGather(block{raw: payload})
+	if err != nil {
+		return nil, 0, err
+	}
 	sizes := make([]int64, len(blocks))
 	for i, b := range blocks {
 		sizes[i] = b.bytes()
 	}
 	cost, moved, msgs := c.w.cluster.AllGatherVCost(sizes)
-	c.finish(cost, moved, msgs, tag)
+	if err := c.finish(cost, moved, msgs, tag); err != nil {
+		return nil, 0, err
+	}
 	out := make([][]byte, len(blocks))
 	for i, b := range blocks {
 		out[i] = b.raw
 	}
-	return out, cost
+	return out, cost, nil
 }
 
 // ReduceOp selects the combining function of AllReduceScalar.
@@ -346,8 +516,12 @@ const (
 
 // AllReduceScalar reduces one float64 across ranks (binomial reduce to rank
 // 0, then broadcast). Used for loss sums, validation metrics, and the
-// dynamic-selection probe decisions.
-func (c *Comm) AllReduceScalar(v float64, op ReduceOp) float64 {
+// dynamic-selection probe decisions. The returned value is only meaningful
+// when err is nil.
+func (c *Comm) AllReduceScalar(v float64, op ReduceOp) (float64, error) {
+	if err := c.enter(); err != nil {
+		return 0, err
+	}
 	p := c.w.p
 	result := v
 	if p > 1 {
@@ -355,10 +529,15 @@ func (c *Comm) AllReduceScalar(v float64, op ReduceOp) float64 {
 		vr := c.rank
 		for k := 1; k < p; k <<= 1 {
 			if vr&k != 0 {
-				c.send(vr^k, message{f64: result})
+				if err := c.send(vr^k, message{f64: result}); err != nil {
+					return 0, err
+				}
 				break
 			} else if vr|k < p {
-				m := c.recv(vr | k)
+				m, err := c.recv(vr | k)
+				if err != nil {
+					return 0, err
+				}
 				switch op {
 				case OpSum:
 					result += m.f64
@@ -382,15 +561,22 @@ func (c *Comm) AllReduceScalar(v float64, op ReduceOp) float64 {
 				if !received {
 					panic("mpi: scalar broadcast order violated")
 				}
-				c.send(c.rank+k, message{f64: result})
+				if err := c.send(c.rank+k, message{f64: result}); err != nil {
+					return 0, err
+				}
 			} else if c.rank >= k && c.rank < 2*k {
-				m := c.recv(c.rank - k)
+				m, err := c.recv(c.rank - k)
+				if err != nil {
+					return 0, err
+				}
 				result = m.f64
 				received = true
 			}
 		}
 	}
 	cost, moved, msgs := c.w.cluster.BroadcastCost(8)
-	c.finish(2*cost, 2*moved, 2*msgs, "scalar")
-	return result
+	if err := c.finish(2*cost, 2*moved, 2*msgs, "scalar"); err != nil {
+		return 0, err
+	}
+	return result, nil
 }

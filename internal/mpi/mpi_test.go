@@ -122,7 +122,7 @@ func TestAllReduceSumCostReturned(t *testing.T) {
 	costs := make([]float64, 4)
 	w.Run(func(c *Comm) {
 		buf := make([]float32, 1024)
-		costs[c.Rank()] = c.AllReduceSum(buf, "test")
+		costs[c.Rank()], _ = c.AllReduceSum(buf, "test")
 	})
 	want, _, _ := w.Cluster().RingAllReduceCost(4 * 1024)
 	for r, got := range costs {
@@ -178,7 +178,7 @@ func TestAllGatherRows(t *testing.T) {
 					vals[i*dim+d] = float32(r) + float32(d)/10
 				}
 			}
-			ai, av, _ := c.AllGatherRows(idx, vals, "test")
+			ai, av, _, _ := c.AllGatherRows(idx, vals, "test")
 			gotIdx[r] = ai
 			gotVals[r] = av
 		})
@@ -217,7 +217,7 @@ func TestAllGatherRowsEmptyContribution(t *testing.T) {
 			idx = []int32{7}
 			vals = []float32{1, 2}
 		}
-		ai, av, _ := c.AllGatherRows(idx, vals, "test")
+		ai, av, _, _ := c.AllGatherRows(idx, vals, "test")
 		if len(ai[0]) != 0 || len(ai[2]) != 0 {
 			t.Errorf("rank %d: empty blocks not empty", c.Rank())
 		}
@@ -236,7 +236,7 @@ func TestAllGatherBytes(t *testing.T) {
 			for i := range payload {
 				payload[i] = byte(c.Rank())
 			}
-			bs, _ := c.AllGatherBytes(payload, "test")
+			bs, _, _ := c.AllGatherBytes(payload, "test")
 			got[c.Rank()] = bs
 		})
 		for r := 0; r < p; r++ {
@@ -262,9 +262,9 @@ func TestAllReduceScalar(t *testing.T) {
 		mins := make([]float64, p)
 		w.Run(func(c *Comm) {
 			v := float64(c.Rank() + 1)
-			sums[c.Rank()] = c.AllReduceScalar(v, OpSum)
-			maxs[c.Rank()] = c.AllReduceScalar(v, OpMax)
-			mins[c.Rank()] = c.AllReduceScalar(v, OpMin)
+			sums[c.Rank()], _ = c.AllReduceScalar(v, OpSum)
+			maxs[c.Rank()], _ = c.AllReduceScalar(v, OpMax)
+			mins[c.Rank()], _ = c.AllReduceScalar(v, OpMin)
 		})
 		wantSum := float64(p*(p+1)) / 2
 		for r := 0; r < p; r++ {
@@ -323,7 +323,7 @@ func TestManySequentialCollectivesNoDeadlock(t *testing.T) {
 			buf := make([]float32, 33)
 			for i := 0; i < iters; i++ {
 				c.AllReduceSum(buf, "a")
-				_, _, _ = c.AllGatherRows([]int32{int32(c.Rank())}, []float32{1}, "b")
+				_, _, _, _ = c.AllGatherRows([]int32{int32(c.Rank())}, []float32{1}, "b")
 				c.AllReduceScalar(1, OpSum)
 				c.Barrier()
 			}

@@ -54,6 +54,12 @@ type Cluster struct {
 	speed  []float64 // per-rank compute speed multiplier (1 = nominal)
 	stats  Stats
 	byTag  map[string]int64
+
+	// Fault injection (see fault.go). plan is a private copy; faultFired
+	// marks consumed crash triggers and first-application of window faults.
+	plan           *FaultPlan
+	faultFired     []bool
+	faultsInjected int
 }
 
 // Stats summarize communication activity since construction (or Reset).
@@ -109,10 +115,11 @@ func (c *Cluster) P() int { return len(c.clocks) }
 func (c *Cluster) Params() Params { return c.params }
 
 // AddCompute charges flops of computation to rank's clock, scaled by the
-// rank's compute-speed factor.
+// rank's compute-speed factor and any active transient-slowdown fault
+// window.
 func (c *Cluster) AddCompute(rank int, flops float64) {
 	c.mu.Lock()
-	s := c.speed[rank]
+	s := c.effectiveSpeed(rank)
 	c.mu.Unlock()
 	c.AddSeconds(rank, flops/(c.params.FlopRate*s))
 }
@@ -163,6 +170,9 @@ func (c *Cluster) Collective(cost float64, bytes, messages int64, tag string) {
 			m = t
 		}
 	}
+	// Message-delay fault spikes inflate the operation's cost while the
+	// cluster clock sits inside their window.
+	cost *= c.delayFactor(m)
 	m += cost
 	for i := range c.clocks {
 		c.clocks[i] = m
