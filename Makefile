@@ -9,7 +9,7 @@ GO ?= go
 # the ~10-20x race slowdown; unit-level coverage stays on.
 RACE_PKGS = ./internal/hogwild/ ./internal/mpi/ ./internal/simnet/ ./internal/ps/ ./internal/core/ ./internal/tensor/
 
-.PHONY: all build vet lint test race bench faults ci
+.PHONY: all build vet lint test race bench faults serve ci
 
 all: build
 
@@ -39,7 +39,14 @@ faults:
 	$(GO) test -race -short -count=1 -run 'Fault|Shrink|Recover|Checkpoint|Panic|RecvTimeout' \
 		./internal/mpi/ ./internal/simnet/ ./internal/core/ ./internal/model/
 
+# Serving suite under the race detector: the kgeserve subsystem mixes
+# concurrent HTTP handlers, the predict micro-batcher, the sharded LRU
+# cache and atomic hot checkpoint reload — including a test that hammers
+# every endpoint while the live store is swapped.
+serve:
+	$(GO) test -race -count=1 ./internal/serve/
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-ci: build vet lint test race faults
+ci: build vet lint test race faults serve

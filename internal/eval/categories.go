@@ -84,9 +84,9 @@ func CategorizeRelations(d *kg.Dataset) []RelationCategory {
 
 // SideResult holds filtered MRR split by which side was replaced.
 type SideResult struct {
-	HeadMRR float64
-	TailMRR float64
-	Triples int
+	HeadMRR float64 `json:"head_mrr"`
+	TailMRR float64 `json:"tail_mrr"`
+	Triples int     `json:"triples"`
 }
 
 // DetailedResult breaks the filtered link-prediction metric down by

@@ -12,21 +12,22 @@ import (
 	"kgedist/internal/xrand"
 )
 
-// RankResult summarizes a link-prediction evaluation.
+// RankResult summarizes a link-prediction evaluation. The json tags define
+// the kgeeval -json contract.
 type RankResult struct {
 	// MRR is the raw mean reciprocal rank over head and tail replacement.
-	MRR float64
+	MRR float64 `json:"mrr"`
 	// FilteredMRR skips candidate triples present anywhere in the dataset
 	// (the paper reports filtered MRR).
-	FilteredMRR float64
+	FilteredMRR float64 `json:"filtered_mrr"`
 	// MR is the filtered mean rank (lower is better).
-	MR float64
+	MR float64 `json:"filtered_mr"`
 	// Hits@K are filtered.
-	Hits1  float64
-	Hits3  float64
-	Hits10 float64
+	Hits1  float64 `json:"hits1"`
+	Hits3  float64 `json:"hits3"`
+	Hits10 float64 `json:"hits10"`
 	// Triples is the number of test triples evaluated.
-	Triples int
+	Triples int `json:"triples"`
 }
 
 // LinkPrediction ranks each test triple against all head and all tail
@@ -113,9 +114,9 @@ func LinkPrediction(m model.Model, p *model.Params, d *kg.Dataset, f *kg.FilterI
 type TCAResult struct {
 	// Accuracy is the fraction of test triples (positives and generated
 	// negatives) classified correctly, in percent (as the paper's tables).
-	Accuracy float64
+	Accuracy float64 `json:"accuracy_pct"`
 	// Triples is the number of positive test triples used.
-	Triples int
+	Triples int `json:"triples"`
 }
 
 // corrupt returns a negative for tr that is not a known fact.

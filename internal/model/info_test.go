@@ -1,0 +1,125 @@
+package model
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kgedist/internal/xrand"
+)
+
+func writeTestCheckpoint(t *testing.T, name string, dim, entities, relations int) string {
+	t.Helper()
+	m := New(name, dim)
+	p := NewParams(m, entities, relations)
+	p.Init(m, xrand.New(7))
+	path := filepath.Join(t.TempDir(), "info.kge")
+	if err := SaveCheckpoint(path, m, p); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return path
+}
+
+func TestReadCheckpointInfo(t *testing.T) {
+	path := writeTestCheckpoint(t, "complex", 6, 17, 5)
+	ci, err := ReadCheckpointInfo(path)
+	if err != nil {
+		t.Fatalf("ReadCheckpointInfo: %v", err)
+	}
+	if ci.Model != "complex" || ci.Dim != 6 || ci.Width != 12 {
+		t.Fatalf("model header wrong: %+v", ci)
+	}
+	if ci.Entities != 17 || ci.Relations != 5 {
+		t.Fatalf("shape wrong: %+v", ci)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if ci.Size != fi.Size() {
+		t.Fatalf("size %d, file is %d", ci.Size, fi.Size())
+	}
+	// The header must agree with what a full load reconstructs.
+	m, p, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if m.Name() != ci.Model || m.Dim() != ci.Dim || m.Width() != ci.Width {
+		t.Fatalf("info %+v disagrees with loaded model %s/%d", ci, m.Name(), m.Dim())
+	}
+	if p.Entity.Rows != ci.Entities || p.Relation.Rows != ci.Relations {
+		t.Fatalf("info %+v disagrees with loaded shape %d/%d", ci, p.Entity.Rows, p.Relation.Rows)
+	}
+}
+
+func TestReadCheckpointInfoIdentityTracksContent(t *testing.T) {
+	a := writeTestCheckpoint(t, "distmult", 4, 9, 3)
+	ciA, err := ReadCheckpointInfo(a)
+	if err != nil {
+		t.Fatalf("info a: %v", err)
+	}
+	// Same shape, different parameter values: the CRC identity must differ.
+	m := New("distmult", 4)
+	p := NewParams(m, 9, 3)
+	p.Init(m, xrand.New(99))
+	b := filepath.Join(t.TempDir(), "other.kge")
+	if err := SaveCheckpoint(b, m, p); err != nil {
+		t.Fatalf("save b: %v", err)
+	}
+	ciB, err := ReadCheckpointInfo(b)
+	if err != nil {
+		t.Fatalf("info b: %v", err)
+	}
+	if ciA.CRC == ciB.CRC {
+		t.Fatalf("distinct checkpoints share CRC identity %08x", ciA.CRC)
+	}
+}
+
+func TestReadCheckpointInfoRejectsCorruption(t *testing.T) {
+	path := writeTestCheckpoint(t, "complex", 5, 11, 4)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+
+	t.Run("flipped payload byte", func(t *testing.T) {
+		bad := append([]byte(nil), raw...)
+		bad[len(bad)/2] ^= 0x40
+		p := filepath.Join(t.TempDir(), "bad.kge")
+		if err := os.WriteFile(p, bad, 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if _, err := ReadCheckpointInfo(p); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("want ErrCorruptCheckpoint, got %v", err)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		p := filepath.Join(t.TempDir(), "trunc.kge")
+		if err := os.WriteFile(p, raw[:len(raw)-9], 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if _, err := ReadCheckpointInfo(p); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("want ErrCorruptCheckpoint, got %v", err)
+		}
+	})
+
+	t.Run("not a checkpoint", func(t *testing.T) {
+		p := filepath.Join(t.TempDir(), "junk.kge")
+		if err := os.WriteFile(p, []byte("definitely not a checkpoint"), 0o644); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if _, err := ReadCheckpointInfo(p); err == nil {
+			t.Fatal("junk file accepted")
+		}
+	})
+
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := ReadCheckpointInfo(filepath.Join(t.TempDir(), "nope.kge")); err == nil {
+			t.Fatal("missing file accepted")
+		} else if errors.Is(err, ErrCorruptCheckpoint) {
+			t.Fatalf("missing file misreported as corruption: %v", err)
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"kgedist/internal/eval"
+	"kgedist/internal/metrics"
+)
+
+// PredictQuery is one completion request: fix two slots of a triple, rank
+// candidates for the third.
+type PredictQuery struct {
+	// Side is the slot being completed: "head" or "tail".
+	Side string
+	// H, R, T are the fixed ids. H is ignored when Side == "head", T when
+	// Side == "tail".
+	H, R, T int
+	// K is the number of completions wanted.
+	K int
+	// Filtered skips candidates that are known facts in the filter index.
+	Filtered bool
+}
+
+// PredictResult is the outcome of one batched query.
+type PredictResult struct {
+	Completions []eval.ScoredEntity
+	Err         error
+}
+
+// ErrBatcherStopped is returned by Submit after Stop.
+var ErrBatcherStopped = errors.New("serve: batcher stopped")
+
+// Batcher coalesces concurrent predict queries into shared entity-table
+// sweeps. The first query of a batch opens a collection window; queries
+// arriving within it (up to maxBatch) join the batch, and the whole batch
+// is executed by one exec call that walks the entity table once for all of
+// them. Under bursty load the window rarely expires: while one batch
+// executes, the next fills, so batch size adapts to pressure.
+type Batcher struct {
+	reqs    chan *batchReq
+	window  time.Duration
+	max     int
+	exec    func([]PredictQuery) []PredictResult
+	sizes   *metrics.Histogram
+	quit    chan struct{}
+	done    chan struct{}
+	mu      sync.RWMutex // guards stopped against in-flight Submit sends
+	stopped bool
+}
+
+type batchReq struct {
+	q   PredictQuery
+	out chan PredictResult
+}
+
+// NewBatcher starts a batcher. exec receives 1..maxBatch queries and must
+// return exactly one result per query, in order. window <= 0 flushes as
+// soon as the queue drains; maxBatch is clamped to at least 1.
+func NewBatcher(maxBatch int, window time.Duration, sizes *metrics.Histogram, exec func([]PredictQuery) []PredictResult) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &Batcher{
+		reqs:   make(chan *batchReq, 4*maxBatch),
+		window: window,
+		max:    maxBatch,
+		exec:   exec,
+		sizes:  sizes,
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go b.dispatch()
+	return b
+}
+
+// Submit enqueues one query and blocks until its batch executes.
+func (b *Batcher) Submit(q PredictQuery) PredictResult {
+	r := &batchReq{q: q, out: make(chan PredictResult, 1)}
+	b.mu.RLock()
+	if b.stopped {
+		b.mu.RUnlock()
+		return PredictResult{Err: ErrBatcherStopped}
+	}
+	b.reqs <- r
+	b.mu.RUnlock()
+	return <-r.out
+}
+
+// Stop drains pending queries, waits for the dispatcher to exit, and makes
+// further Submit calls fail fast. Safe to call more than once.
+func (b *Batcher) Stop() {
+	b.mu.Lock()
+	already := b.stopped
+	b.stopped = true
+	b.mu.Unlock()
+	if !already {
+		close(b.quit)
+	}
+	<-b.done
+}
+
+func (b *Batcher) dispatch() {
+	defer close(b.done)
+	for {
+		var first *batchReq
+		select {
+		case first = <-b.reqs:
+		case <-b.quit:
+			// Stop holds the write lock until no Submit send is in
+			// flight, so everything ever enqueued is in the buffer now.
+			b.drain()
+			return
+		}
+		batch := append(make([]*batchReq, 0, b.max), first)
+		if b.window > 0 {
+			timer := time.NewTimer(b.window)
+		collect:
+			for len(batch) < b.max {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				case <-timer.C:
+					break collect
+				case <-b.quit:
+					break collect
+				}
+			}
+			timer.Stop()
+		} else {
+			for len(batch) < b.max {
+				select {
+				case r := <-b.reqs:
+					batch = append(batch, r)
+				default:
+					goto run
+				}
+			}
+		}
+	run:
+		b.run(batch)
+	}
+}
+
+// drain executes whatever is left in the queue after Stop, in maxBatch
+// chunks, so no Submit is left blocked.
+func (b *Batcher) drain() {
+	for {
+		batch := make([]*batchReq, 0, b.max)
+		for len(batch) < b.max {
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+			default:
+				if len(batch) == 0 {
+					return
+				}
+				b.run(batch)
+				batch = batch[:0]
+				continue
+			}
+		}
+		b.run(batch)
+	}
+}
+
+func (b *Batcher) run(batch []*batchReq) {
+	if b.sizes != nil {
+		b.sizes.Observe(float64(len(batch)))
+	}
+	qs := make([]PredictQuery, len(batch))
+	for i, r := range batch {
+		qs[i] = r.q
+	}
+	outs := b.exec(qs)
+	for i, r := range batch {
+		if i < len(outs) {
+			r.out <- outs[i]
+		} else {
+			r.out <- PredictResult{Err: errors.New("serve: batch exec returned short result set")}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kgedist/internal/eval"
+	"kgedist/internal/metrics"
+)
+
+// echoExec returns each query's K as a single fake completion, recording
+// batch sizes.
+func echoExec(calls *atomic.Int64, maxSeen *atomic.Int64) func([]PredictQuery) []PredictResult {
+	return func(qs []PredictQuery) []PredictResult {
+		calls.Add(1)
+		for {
+			cur := maxSeen.Load()
+			if int64(len(qs)) <= cur || maxSeen.CompareAndSwap(cur, int64(len(qs))) {
+				break
+			}
+		}
+		outs := make([]PredictResult, len(qs))
+		for i, q := range qs {
+			outs[i] = PredictResult{Completions: []eval.ScoredEntity{{Entity: int32(q.K), Score: float32(q.K)}}}
+		}
+		return outs
+	}
+}
+
+func TestBatcherDeliversPerRequestResults(t *testing.T) {
+	var calls, maxSeen atomic.Int64
+	b := NewBatcher(8, time.Millisecond, nil, echoExec(&calls, &maxSeen))
+	defer b.Stop()
+	var wg sync.WaitGroup
+	for i := 1; i <= 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := b.Submit(PredictQuery{Side: "tail", K: i})
+			if res.Err != nil {
+				t.Errorf("submit %d: %v", i, res.Err)
+				return
+			}
+			if len(res.Completions) != 1 || int(res.Completions[0].Entity) != i {
+				t.Errorf("submit %d got %v", i, res.Completions)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() == 0 {
+		t.Fatal("exec never called")
+	}
+}
+
+func TestBatcherCoalesces(t *testing.T) {
+	var calls, maxSeen atomic.Int64
+	sizes := metrics.NewHistogram(metrics.SizeBuckets(64)...)
+	// A slow exec guarantees queries pile up behind the running batch.
+	slow := echoExec(&calls, &maxSeen)
+	exec := func(qs []PredictQuery) []PredictResult {
+		time.Sleep(2 * time.Millisecond)
+		return slow(qs)
+	}
+	b := NewBatcher(16, 5*time.Millisecond, sizes, exec)
+	defer b.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if res := b.Submit(PredictQuery{Side: "tail", K: i + 1}); res.Err != nil {
+				t.Errorf("submit: %v", res.Err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if maxSeen.Load() < 2 {
+		t.Fatalf("64 concurrent queries never coalesced (max batch %d)", maxSeen.Load())
+	}
+	if calls.Load() >= 64 {
+		t.Fatalf("no batching: %d exec calls for 64 queries", calls.Load())
+	}
+	s := sizes.Snapshot()
+	if s.Count != calls.Load() {
+		t.Fatalf("batch histogram recorded %d batches, exec ran %d", s.Count, calls.Load())
+	}
+	if s.Sum != 64 {
+		t.Fatalf("batch histogram total %g queries, want 64", s.Sum)
+	}
+}
+
+func TestBatcherRespectsMaxBatch(t *testing.T) {
+	var calls, maxSeen atomic.Int64
+	b := NewBatcher(4, 50*time.Millisecond, nil, echoExec(&calls, &maxSeen))
+	defer b.Stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Submit(PredictQuery{Side: "tail", K: i + 1})
+		}(i)
+	}
+	wg.Wait()
+	if maxSeen.Load() > 4 {
+		t.Fatalf("batch of %d exceeded maxBatch 4", maxSeen.Load())
+	}
+}
+
+func TestBatcherStopDrainsAndRejects(t *testing.T) {
+	var calls, maxSeen atomic.Int64
+	b := NewBatcher(4, time.Millisecond, nil, echoExec(&calls, &maxSeen))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res := b.Submit(PredictQuery{Side: "tail", K: i + 1})
+			// Either served before the drain finished or rejected cleanly;
+			// never a hang (the test would time out) or a lost result.
+			if res.Err == nil && len(res.Completions) != 1 {
+				t.Errorf("lost result: %+v", res)
+			}
+		}(i)
+	}
+	b.Stop()
+	wg.Wait()
+	if res := b.Submit(PredictQuery{Side: "tail", K: 1}); res.Err != ErrBatcherStopped {
+		t.Fatalf("post-stop submit: %v", res.Err)
+	}
+	b.Stop() // idempotent
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+
+	"kgedist/internal/metrics"
+)
+
+// Cache is a sharded LRU over marshaled responses, keyed on
+// (endpoint, canonical query). Sharding keeps lock hold times short under
+// concurrent handlers: a key hashes to one shard, each shard has its own
+// mutex, recency list and map. Hit/miss accounting is global and atomic.
+//
+// A Cache belongs to exactly one Store generation — the server allocates a
+// fresh cache alongside every loaded store and swaps the pair atomically,
+// so a reload can never serve results computed against stale parameters.
+type Cache struct {
+	shards []cacheShard
+	seed   maphash.Seed
+	hits   metrics.Counter
+	misses metrics.Counter
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// cacheShardCount is a power of two so the hash folds with a mask.
+const cacheShardCount = 16
+
+// NewCache returns a cache holding at most capacity entries in total,
+// spread across its shards. capacity <= 0 returns a nil cache, on which
+// Get/Put are no-ops — the disabled configuration.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := (capacity + cacheShardCount - 1) / cacheShardCount
+	c := &Cache{
+		shards: make([]cacheShard, cacheShardCount),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			cap:   per,
+			ll:    list.New(),
+			items: make(map[string]*list.Element, per),
+		}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key string) *cacheShard {
+	h := maphash.String(c.seed, key)
+	return &c.shards[h&(cacheShardCount-1)]
+}
+
+// Get returns the cached value for key, updating recency. The returned
+// slice is shared: callers must not modify it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
+	var val []byte
+	if ok {
+		s.ll.MoveToFront(el)
+		val = el.Value.(*cacheEntry).val // read under the lock: Put may replace it
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	return val, true
+}
+
+// Put stores val under key, evicting the least recently used entry of the
+// key's shard when the shard is full.
+func (c *Cache) Put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.ll.Len() >= s.cap {
+		oldest := s.ll.Back()
+		if oldest != nil {
+			s.ll.Remove(oldest)
+			delete(s.items, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	Entries int     `json:"entries"`
+	Ratio   float64 `json:"hit_ratio"`
+}
+
+// Stats sums per-shard occupancy and the global hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := CacheStats{Hits: c.hits.Value(), Misses: c.misses.Value()}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.ll.Len()
+		s.mu.Unlock()
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.Ratio = float64(st.Hits) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,545 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kgedist/internal/eval"
+	"kgedist/internal/kg"
+	"kgedist/internal/metrics"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// CheckpointPath is the KGE2 checkpoint to serve (required).
+	CheckpointPath string
+	// ShardRows is the entity shard grain (<= 0 = DefaultShardRows).
+	ShardRows int
+	// CacheSize caps the result cache entry count (<= 0 disables caching).
+	CacheSize int
+	// MaxBatch caps predict micro-batches (clamped to >= 1).
+	MaxBatch int
+	// BatchWindow is how long the first query of a batch waits for company.
+	BatchWindow time.Duration
+	// Filter, when set, enables filtered prediction: candidates that are
+	// known facts are skipped. Built from the training dataset.
+	Filter *kg.FilterIndex
+}
+
+// state is one generation of servable state. Store and cache live and die
+// together: a reload installs a fresh pair via one atomic pointer swap, so
+// no request can ever pair an old cache with a new store.
+type state struct {
+	store *Store
+	cache *Cache
+}
+
+// endpointMetrics instruments one API endpoint.
+type endpointMetrics struct {
+	requests metrics.Counter
+	errors   metrics.Counter
+	latency  *metrics.Histogram
+}
+
+// Server is the HTTP inference server. All public methods are safe for
+// concurrent use; queries proceed against an immutable state snapshot, so
+// Reload never blocks the read path.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	state   atomic.Pointer[state]
+	batcher *Batcher
+
+	endpoints  map[string]*endpointMetrics
+	batchSizes *metrics.Histogram
+	started    time.Time
+
+	reloadMu      sync.Mutex // serializes Reload itself
+	statusMu      sync.Mutex // guards the reload status fields below
+	reloads       int64
+	lastReloadErr string
+}
+
+// New loads the configured checkpoint and returns a ready Server. The
+// caller owns shutdown ordering: drain HTTP first, then Close.
+func New(cfg Config) (*Server, error) {
+	st, err := OpenStore(cfg.CheckpointPath, cfg.ShardRows)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		batchSizes: metrics.NewHistogram(metrics.SizeBuckets(1024)...),
+		started:    time.Now(),
+		endpoints:  map[string]*endpointMetrics{},
+	}
+	s.state.Store(&state{store: st, cache: NewCache(cfg.CacheSize)})
+	s.batcher = NewBatcher(cfg.MaxBatch, cfg.BatchWindow, s.batchSizes, s.runPredictBatch)
+	for _, name := range []string{"score", "predict", "neighbors", "reload"} {
+		s.endpoints[name] = &endpointMetrics{latency: metrics.NewHistogram(metrics.LatencyBuckets()...)}
+	}
+	s.mux.HandleFunc("POST /v1/score", s.instrument("score", s.handleScore))
+	s.mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("POST /v1/neighbors", s.instrument("neighbors", s.handleNeighbors))
+	s.mux.HandleFunc("POST /v1/reload", s.instrument("reload", s.handleReload))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Store returns the current live store snapshot.
+func (s *Server) Store() *Store { return s.state.Load().store }
+
+// Close stops the batcher, draining queued queries. Call after the HTTP
+// listener has stopped accepting requests.
+func (s *Server) Close() { s.batcher.Stop() }
+
+// Reload loads the checkpoint at path (or the originally configured path
+// when empty) off to the side, validates it against the live store, and
+// atomically swaps it in together with a fresh cache. In-flight requests
+// finish against the state snapshot they started with. On any error the
+// live state is untouched and /healthz reports the failure.
+func (s *Server) Reload(path string) error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	cur := s.state.Load()
+	if path == "" {
+		path = cur.store.info.Path
+	}
+	err := s.reloadLocked(cur, path)
+	s.statusMu.Lock()
+	if err != nil {
+		s.lastReloadErr = err.Error()
+	} else {
+		s.lastReloadErr = ""
+		s.reloads++
+	}
+	s.statusMu.Unlock()
+	return err
+}
+
+func (s *Server) reloadLocked(cur *state, path string) error {
+	st, err := OpenStore(path, s.cfg.ShardRows)
+	if err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	// Entity and relation id spaces must keep their meaning: the filter
+	// index and every client-side id mapping are defined over them. A
+	// checkpoint with a different shape is a different deployment, not a
+	// hot upgrade.
+	if st.numEntities != cur.store.numEntities || st.numRelations != cur.store.numRelations {
+		return fmt.Errorf("serve: reload rejected: checkpoint shape (%d entities, %d relations) does not match live store (%d, %d)",
+			st.numEntities, st.numRelations, cur.store.numEntities, cur.store.numRelations)
+	}
+	s.state.Store(&state{store: st, cache: NewCache(s.cfg.CacheSize)})
+	return nil
+}
+
+// ReloadStatus reports how many reloads succeeded and the last failure.
+func (s *Server) ReloadStatus() (reloads int64, lastErr string) {
+	s.statusMu.Lock()
+	defer s.statusMu.Unlock()
+	return s.reloads, s.lastReloadErr
+}
+
+// ---- request plumbing ------------------------------------------------------
+
+// apiError carries an HTTP status through the instrument wrapper.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// instrument wraps an endpoint handler with request/error counting and
+// latency observation. Handlers return the response value to encode (a
+// json.RawMessage passes through verbatim, serving the cached-bytes path).
+func (s *Server) instrument(name string, fn func(r *http.Request) (any, error)) http.HandlerFunc {
+	em := s.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		em.requests.Inc()
+		start := time.Now()
+		v, err := fn(r)
+		em.latency.Observe(time.Since(start).Seconds())
+		if err != nil {
+			em.errors.Inc()
+			status := http.StatusInternalServerError
+			var ae *apiError
+			if errAs(err, &ae) {
+				status = ae.status
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if raw, ok := v.(json.RawMessage); ok {
+			_, _ = w.Write(raw)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(v)
+	}
+}
+
+// errAs is errors.As narrowed to *apiError (keeps the import list tight).
+func errAs(err error, target **apiError) bool {
+	for err != nil {
+		if ae, ok := err.(*apiError); ok {
+			*target = ae
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("invalid request body: %v", err)
+	}
+	return nil
+}
+
+// ---- /v1/score -------------------------------------------------------------
+
+// TripleRef is one (head, relation, tail) id triple in API requests.
+type TripleRef struct {
+	H int `json:"h"`
+	R int `json:"r"`
+	T int `json:"t"`
+}
+
+type scoreRequest struct {
+	Triples []TripleRef `json:"triples"`
+}
+
+type scoreResponse struct {
+	Model  string    `json:"model"`
+	Scores []float32 `json:"scores"`
+}
+
+func (s *Server) handleScore(r *http.Request) (any, error) {
+	var req scoreRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Triples) == 0 {
+		return nil, badRequest("score: empty triple list")
+	}
+	st := s.state.Load().store
+	resp := scoreResponse{Model: st.info.Model, Scores: make([]float32, len(req.Triples))}
+	for i, t := range req.Triples {
+		if err := st.checkTriple(t); err != nil {
+			return nil, err
+		}
+		resp.Scores[i] = st.Score(t.H, t.R, t.T)
+	}
+	return resp, nil
+}
+
+func (s *Store) checkTriple(t TripleRef) error {
+	if t.H < 0 || t.H >= s.numEntities || t.T < 0 || t.T >= s.numEntities {
+		return badRequest("entity id out of range [0,%d): %+v", s.numEntities, t)
+	}
+	if t.R < 0 || t.R >= s.numRelations {
+		return badRequest("relation id out of range [0,%d): %+v", s.numRelations, t)
+	}
+	return nil
+}
+
+// ---- /v1/predict -----------------------------------------------------------
+
+type predictRequest struct {
+	Head     *int `json:"head"`
+	Relation *int `json:"relation"`
+	Tail     *int `json:"tail"`
+	K        int  `json:"k"`
+	Filtered bool `json:"filtered"`
+}
+
+// Completion is one ranked completion in a predict response.
+type Completion struct {
+	Entity int32   `json:"entity"`
+	Score  float32 `json:"score"`
+}
+
+type predictResponse struct {
+	Side        string       `json:"side"`
+	Completions []Completion `json:"completions"`
+}
+
+func (s *Server) handlePredict(r *http.Request) (any, error) {
+	var req predictRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Relation == nil {
+		return nil, badRequest("predict: relation is required")
+	}
+	if (req.Head == nil) == (req.Tail == nil) {
+		return nil, badRequest("predict: exactly one of head and tail must be given; the missing one is completed")
+	}
+	if req.Filtered && s.cfg.Filter == nil {
+		return nil, badRequest("predict: filtered ranking requires the server to be started with a dataset (-data/-dataset)")
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	q := PredictQuery{R: *req.Relation, K: req.K, Filtered: req.Filtered}
+	if req.Tail == nil {
+		q.Side = "tail"
+		q.H = *req.Head
+	} else {
+		q.Side = "head"
+		q.T = *req.Tail
+	}
+
+	gen := s.state.Load()
+	key := fmt.Sprintf("predict|%s|%d|%d|%d|%d|%t", q.Side, q.H, q.R, q.T, q.K, q.Filtered)
+	if cached, ok := gen.cache.Get(key); ok {
+		return json.RawMessage(cached), nil
+	}
+	res := s.batcher.Submit(q)
+	if res.Err != nil {
+		return nil, res.Err
+	}
+	resp := predictResponse{Side: q.Side, Completions: make([]Completion, len(res.Completions))}
+	for i, c := range res.Completions {
+		resp.Completions[i] = Completion{Entity: c.Entity, Score: c.Score}
+	}
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	gen.cache.Put(key, buf)
+	return json.RawMessage(buf), nil
+}
+
+// runPredictBatch executes one micro-batch: a single pass over the entity
+// table feeds every query's accumulator, sharing the per-candidate row
+// fetch across the batch. Shards are swept in parallel with per-(shard,
+// query) accumulators merged afterwards, so the hot loop takes no locks.
+func (s *Server) runPredictBatch(qs []PredictQuery) []PredictResult {
+	st := s.state.Load().store
+	outs := make([]PredictResult, len(qs))
+	type prepared struct {
+		idx   int
+		q     PredictQuery
+		fixE  []float32 // embedding of the fixed entity
+		relE  []float32
+		k     int
+	}
+	var live []prepared
+	for i, q := range qs {
+		if q.Side != "head" && q.Side != "tail" {
+			outs[i].Err = badRequest("predict: side must be head or tail")
+			continue
+		}
+		fixed := q.H
+		if q.Side == "head" {
+			fixed = q.T
+		}
+		if fixed < 0 || fixed >= st.numEntities {
+			outs[i].Err = badRequest("predict: entity id %d out of range [0,%d)", fixed, st.numEntities)
+			continue
+		}
+		if q.R < 0 || q.R >= st.numRelations {
+			outs[i].Err = badRequest("predict: relation id %d out of range [0,%d)", q.R, st.numRelations)
+			continue
+		}
+		k := q.K
+		if k > st.numEntities {
+			k = st.numEntities
+		}
+		live = append(live, prepared{idx: i, q: q, fixE: st.EntityRow(fixed), relE: st.RelationRow(q.R), k: k})
+	}
+	if len(live) == 0 {
+		return outs
+	}
+	m := st.Model()
+	filter := s.cfg.Filter
+	accs := make([][]*eval.TopKAccumulator, st.NumShards())
+	st.sweepShards(func(shard, lo, hi int) {
+		local := make([]*eval.TopKAccumulator, len(live))
+		for i, p := range live {
+			local[i] = eval.NewTopK(p.k)
+		}
+		for e := lo; e < hi; e++ {
+			row := st.EntityRow(e)
+			for i, p := range live {
+				var score float32
+				if p.q.Side == "tail" {
+					if p.q.Filtered && filter.Contains(kg.Triple{H: int32(p.q.H), R: int32(p.q.R), T: int32(e)}) {
+						continue
+					}
+					score = m.ScoreRows(p.fixE, p.relE, row)
+				} else {
+					if p.q.Filtered && filter.Contains(kg.Triple{H: int32(e), R: int32(p.q.R), T: int32(p.q.T)}) {
+						continue
+					}
+					score = m.ScoreRows(row, p.relE, p.fixE)
+				}
+				local[i].Offer(int32(e), score)
+			}
+		}
+		accs[shard] = local
+	})
+	for i, p := range live {
+		merged := accs[0][i]
+		for _, local := range accs[1:] {
+			merged.Merge(local[i])
+		}
+		outs[p.idx].Completions = merged.Results()
+	}
+	return outs
+}
+
+// ---- /v1/neighbors ---------------------------------------------------------
+
+type neighborsRequest struct {
+	Entity int    `json:"entity"`
+	K      int    `json:"k"`
+	Metric string `json:"metric"`
+}
+
+type neighborsResponse struct {
+	Entity    int          `json:"entity"`
+	Metric    string       `json:"metric"`
+	Neighbors []Completion `json:"neighbors"`
+}
+
+func (s *Server) handleNeighbors(r *http.Request) (any, error) {
+	var req neighborsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.Metric == "" {
+		req.Metric = "cosine"
+	}
+	gen := s.state.Load()
+	key := fmt.Sprintf("neighbors|%d|%d|%s", req.Entity, req.K, req.Metric)
+	if cached, ok := gen.cache.Get(key); ok {
+		return json.RawMessage(cached), nil
+	}
+	nb, err := gen.store.Neighbors(req.Entity, req.K, req.Metric)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	resp := neighborsResponse{Entity: req.Entity, Metric: req.Metric, Neighbors: make([]Completion, len(nb))}
+	for i, c := range nb {
+		resp.Neighbors[i] = Completion{Entity: c.Entity, Score: c.Score}
+	}
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	gen.cache.Put(key, buf)
+	return json.RawMessage(buf), nil
+}
+
+// ---- /v1/reload ------------------------------------------------------------
+
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+type reloadResponse struct {
+	Checkpoint StoreInfo `json:"checkpoint"`
+	Reloads    int64     `json:"reloads"`
+}
+
+func (s *Server) handleReload(r *http.Request) (any, error) {
+	var req reloadRequest
+	if r.ContentLength != 0 {
+		if err := decodeJSON(r, &req); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Reload(req.Path); err != nil {
+		return nil, &apiError{status: http.StatusConflict, msg: err.Error()}
+	}
+	n, _ := s.ReloadStatus()
+	return reloadResponse{Checkpoint: s.Store().Info(), Reloads: n}, nil
+}
+
+// ---- /healthz --------------------------------------------------------------
+
+type healthResponse struct {
+	Status        string    `json:"status"`
+	Checkpoint    StoreInfo `json:"checkpoint"`
+	Reloads       int64     `json:"reloads"`
+	LastReloadErr string    `json:"last_reload_error,omitempty"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Filtered      bool      `json:"filtered_ranking"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	n, lastErr := s.ReloadStatus()
+	resp := healthResponse{
+		Status:        "ok",
+		Checkpoint:    s.Store().Info(),
+		Reloads:       n,
+		LastReloadErr: lastErr,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Filtered:      s.cfg.Filter != nil,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// ---- /metrics --------------------------------------------------------------
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	uptime := time.Since(s.started).Seconds()
+	names := make([]string, 0, len(s.endpoints))
+	for name := range s.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		em := s.endpoints[name]
+		reqs := em.requests.Value()
+		fmt.Fprintf(w, "kgeserve_requests_total{endpoint=%q} %d\n", name, reqs)
+		fmt.Fprintf(w, "kgeserve_errors_total{endpoint=%q} %d\n", name, em.errors.Value())
+		if uptime > 0 {
+			fmt.Fprintf(w, "kgeserve_qps{endpoint=%q} %.4f\n", name, float64(reqs)/uptime)
+		}
+		em.latency.Snapshot().WriteTo(w, "kgeserve_"+name+"_latency_seconds")
+	}
+	s.batchSizes.Snapshot().WriteTo(w, "kgeserve_batch_size")
+	gen := s.state.Load()
+	cs := gen.cache.Stats()
+	fmt.Fprintf(w, "kgeserve_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "kgeserve_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "kgeserve_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "kgeserve_cache_hit_ratio %.4f\n", cs.Ratio)
+	n, _ := s.ReloadStatus()
+	fmt.Fprintf(w, "kgeserve_reloads_total %d\n", n)
+	fmt.Fprintf(w, "kgeserve_store_entities %d\n", gen.store.NumEntities())
+	fmt.Fprintf(w, "kgeserve_store_relations %d\n", gen.store.NumRelations())
+	fmt.Fprintf(w, "kgeserve_store_shards %d\n", gen.store.NumShards())
+	fmt.Fprintf(w, "kgeserve_uptime_seconds %.3f\n", uptime)
+}

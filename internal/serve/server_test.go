@@ -1,0 +1,430 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kgedist/internal/kg"
+	"kgedist/internal/model"
+	"kgedist/internal/xrand"
+)
+
+// newTestServer builds a server over a fresh random checkpoint plus the
+// httptest front end. Returns the server, its base URL, and the dataset
+// whose filter index it serves.
+func newTestServer(t *testing.T, cacheSize int) (*Server, string, *kg.Dataset) {
+	t.Helper()
+	dir := t.TempDir()
+	path := writeCheckpoint(t, dir, "complex", 4, 30, 4, 9)
+	d := &kg.Dataset{
+		NumEntities:  30,
+		NumRelations: 4,
+		Train: []kg.Triple{
+			{H: 0, R: 0, T: 1}, {H: 0, R: 0, T: 2}, {H: 5, R: 1, T: 6},
+			{H: 7, R: 2, T: 8}, {H: 9, R: 3, T: 10},
+		},
+	}
+	s, err := New(Config{
+		CheckpointPath: path,
+		ShardRows:      8,
+		CacheSize:      cacheSize,
+		MaxBatch:       8,
+		BatchWindow:    500 * time.Microsecond,
+		Filter:         kg.NewFilterIndex(d),
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts.URL, d
+}
+
+func postJSON(t *testing.T, url string, body any, out any) (int, string) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close() //kgelint:ignore droppederr read-only close
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("unmarshal %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close() //kgelint:ignore droppederr read-only close
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, raw)
+	}
+	return string(raw)
+}
+
+func TestScoreEndpoint(t *testing.T) {
+	s, url, _ := newTestServer(t, 0)
+	var resp scoreResponse
+	status, raw := postJSON(t, url+"/v1/score", map[string]any{
+		"triples": []map[string]int{{"h": 0, "r": 0, "t": 1}, {"h": 3, "r": 2, "t": 7}},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if resp.Model != "complex" || len(resp.Scores) != 2 {
+		t.Fatalf("resp %+v", resp)
+	}
+	st := s.Store()
+	for i, tr := range []TripleRef{{0, 0, 1}, {3, 2, 7}} {
+		want := st.Score(tr.H, tr.R, tr.T)
+		if math.Abs(float64(resp.Scores[i]-want)) > 1e-6 {
+			t.Fatalf("score %d = %g, want %g", i, resp.Scores[i], want)
+		}
+	}
+	// Out-of-range ids are a 400, not a panic.
+	if status, _ := postJSON(t, url+"/v1/score", map[string]any{
+		"triples": []map[string]int{{"h": 999, "r": 0, "t": 1}},
+	}, nil); status != http.StatusBadRequest {
+		t.Fatalf("oob status %d", status)
+	}
+	if status, _ := postJSON(t, url+"/v1/score", map[string]any{"triples": []map[string]int{}}, nil); status != http.StatusBadRequest {
+		t.Fatalf("empty status %d", status)
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	s, url, d := newTestServer(t, 0)
+	st := s.Store()
+	m := st.Model()
+
+	var resp predictResponse
+	status, raw := postJSON(t, url+"/v1/predict", map[string]any{
+		"head": 0, "relation": 0, "k": 5,
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if resp.Side != "tail" || len(resp.Completions) != 5 {
+		t.Fatalf("resp %+v", resp)
+	}
+	// Oracle: brute-force tail ranking.
+	type es struct {
+		e int
+		s float32
+	}
+	var all []es
+	for e := 0; e < st.NumEntities(); e++ {
+		all = append(all, es{e, m.ScoreRows(st.EntityRow(0), st.RelationRow(0), st.EntityRow(e))})
+	}
+	best := all[0]
+	for _, c := range all[1:] {
+		if c.s > best.s {
+			best = c
+		}
+	}
+	if int(resp.Completions[0].Entity) != best.e {
+		t.Fatalf("top completion %d, oracle %d", resp.Completions[0].Entity, best.e)
+	}
+	for i := 1; i < len(resp.Completions); i++ {
+		if resp.Completions[i].Score > resp.Completions[i-1].Score {
+			t.Fatalf("completions not sorted: %+v", resp.Completions)
+		}
+	}
+
+	// Filtered: known facts (0,0,1) and (0,0,2) must not appear.
+	var filt predictResponse
+	status, raw = postJSON(t, url+"/v1/predict", map[string]any{
+		"head": 0, "relation": 0, "k": st.NumEntities(), "filtered": true,
+	}, &filt)
+	if status != http.StatusOK {
+		t.Fatalf("filtered status %d: %s", status, raw)
+	}
+	for _, c := range filt.Completions {
+		for _, tr := range d.Train {
+			if tr.H == 0 && tr.R == 0 && c.Entity == tr.T {
+				t.Fatalf("filtered ranking returned known fact tail %d", c.Entity)
+			}
+		}
+	}
+	if len(filt.Completions) != st.NumEntities()-2 {
+		t.Fatalf("filtered returned %d of %d candidates", len(filt.Completions), st.NumEntities()-2)
+	}
+
+	// Head-side completion.
+	var head predictResponse
+	if status, raw := postJSON(t, url+"/v1/predict", map[string]any{
+		"tail": 1, "relation": 0, "k": 3,
+	}, &head); status != http.StatusOK || head.Side != "head" {
+		t.Fatalf("head predict %d %s %+v", status, raw, head)
+	}
+
+	// Validation errors.
+	for name, body := range map[string]map[string]any{
+		"both slots":  {"head": 0, "tail": 1, "relation": 0},
+		"no slots":    {"relation": 0},
+		"no relation": {"head": 0},
+		"oob entity":  {"head": 999, "relation": 0},
+		"oob rel":     {"head": 0, "relation": 99},
+	} {
+		if status, _ := postJSON(t, url+"/v1/predict", body, nil); status != http.StatusBadRequest {
+			t.Fatalf("%s: status %d", name, status)
+		}
+	}
+}
+
+func TestNeighborsEndpoint(t *testing.T) {
+	s, url, _ := newTestServer(t, 0)
+	var resp neighborsResponse
+	status, raw := postJSON(t, url+"/v1/neighbors", map[string]any{"entity": 3, "k": 4}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if len(resp.Neighbors) != 4 || resp.Metric != "cosine" {
+		t.Fatalf("resp %+v", resp)
+	}
+	want, err := s.Store().Neighbors(3, 4, "cosine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range resp.Neighbors {
+		if n.Entity != want[i].Entity {
+			t.Fatalf("neighbor %d = %d, want %d", i, n.Entity, want[i].Entity)
+		}
+	}
+	if status, _ := postJSON(t, url+"/v1/neighbors", map[string]any{"entity": -1}, nil); status != http.StatusBadRequest {
+		t.Fatalf("oob entity status %d", status)
+	}
+}
+
+func TestPredictCaching(t *testing.T) {
+	s, url, _ := newTestServer(t, 256)
+	body := map[string]any{"head": 0, "relation": 0, "k": 5}
+	var first, second predictResponse
+	postJSON(t, url+"/v1/predict", body, &first)
+	postJSON(t, url+"/v1/predict", body, &second)
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("cached response differs: %+v vs %+v", first, second)
+	}
+	cs := s.state.Load().cache.Stats()
+	if cs.Hits < 1 {
+		t.Fatalf("no cache hit recorded: %+v", cs)
+	}
+	metricsOut := getBody(t, url+"/metrics")
+	if !strings.Contains(metricsOut, "kgeserve_cache_hits_total 1") {
+		t.Fatalf("metrics missing cache hits:\n%s", metricsOut)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	s, url, _ := newTestServer(t, 16)
+	postJSON(t, url+"/v1/score", map[string]any{"triples": []map[string]int{{"h": 0, "r": 0, "t": 1}}}, nil)
+	postJSON(t, url+"/v1/predict", map[string]any{"head": 0, "relation": 0}, nil)
+	postJSON(t, url+"/v1/neighbors", map[string]any{"entity": 0}, nil)
+
+	var health healthResponse
+	if err := json.Unmarshal([]byte(getBody(t, url+"/healthz")), &health); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if health.Status != "ok" || health.Checkpoint.Model != "complex" || health.Checkpoint.CRC == "" {
+		t.Fatalf("healthz %+v", health)
+	}
+	if health.Checkpoint.CRC != s.Store().Info().CRC {
+		t.Fatalf("healthz CRC %s != store %s", health.Checkpoint.CRC, s.Store().Info().CRC)
+	}
+
+	out := getBody(t, url+"/metrics")
+	for _, want := range []string{
+		`kgeserve_requests_total{endpoint="score"} 1`,
+		`kgeserve_requests_total{endpoint="predict"} 1`,
+		`kgeserve_requests_total{endpoint="neighbors"} 1`,
+		`kgeserve_score_latency_seconds_count 1`,
+		`kgeserve_predict_latency_seconds_bucket`,
+		`kgeserve_batch_size_count 1`,
+		`kgeserve_cache_hit_ratio`,
+		`kgeserve_store_entities 30`,
+		`kgeserve_reloads_total 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReloadSwapsCheckpoint(t *testing.T) {
+	s, url, _ := newTestServer(t, 16)
+	oldCRC := s.Store().Info().CRC
+
+	// A different parameter snapshot, same shape.
+	dir := t.TempDir()
+	m := model.New("complex", 4)
+	p := model.NewParams(m, 30, 4)
+	p.Init(m, xrand.New(123))
+	next := filepath.Join(dir, "next.kge")
+	if err := model.SaveCheckpoint(next, m, p); err != nil {
+		t.Fatal(err)
+	}
+
+	var resp reloadResponse
+	status, raw := postJSON(t, url+"/v1/reload", map[string]any{"path": next}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("reload status %d: %s", status, raw)
+	}
+	if resp.Reloads != 1 || resp.Checkpoint.CRC == oldCRC {
+		t.Fatalf("reload response %+v (old crc %s)", resp, oldCRC)
+	}
+	if got := s.Store().Info().Path; got != next {
+		t.Fatalf("live path %s, want %s", got, next)
+	}
+
+	// Shape mismatch is rejected and the live store stays put.
+	p2 := model.NewParams(m, 31, 4)
+	p2.Init(m, xrand.New(5))
+	bad := filepath.Join(dir, "bad.kge")
+	if err := model.SaveCheckpoint(bad, m, p2); err != nil {
+		t.Fatal(err)
+	}
+	status, raw = postJSON(t, url+"/v1/reload", map[string]any{"path": bad}, nil)
+	if status != http.StatusConflict {
+		t.Fatalf("bad reload status %d: %s", status, raw)
+	}
+	if s.Store().Info().Path != next {
+		t.Fatal("failed reload replaced the live store")
+	}
+	var health healthResponse
+	if err := json.Unmarshal([]byte(getBody(t, url+"/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Reloads != 1 || health.LastReloadErr == "" {
+		t.Fatalf("healthz after failed reload: %+v", health)
+	}
+}
+
+// TestConcurrentQueriesDuringReload is the acceptance test for atomic hot
+// reload: a mixed read workload hammers every endpoint while the live
+// checkpoint is swapped back and forth. Every response must be internally
+// consistent (HTTP 200, well-formed, correct cardinality); the race
+// detector guards the memory model.
+func TestConcurrentQueriesDuringReload(t *testing.T) {
+	s, url, _ := newTestServer(t, 64)
+
+	// Second checkpoint with identical shape.
+	dir := t.TempDir()
+	m := model.New("complex", 4)
+	p := model.NewParams(m, 30, 4)
+	p.Init(m, xrand.New(77))
+	alt := filepath.Join(dir, "alt.kge")
+	if err := model.SaveCheckpoint(alt, m, p); err != nil {
+		t.Fatal(err)
+	}
+	paths := []string{alt, s.Store().Info().Path}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					var resp scoreResponse
+					if status, raw := postJSON(t, url+"/v1/score", map[string]any{
+						"triples": []map[string]int{{"h": w, "r": i % 4, "t": (w + i) % 30}},
+					}, &resp); status != http.StatusOK || len(resp.Scores) != 1 {
+						t.Errorf("score during reload: %d %s", status, raw)
+						return
+					}
+				case 1:
+					var resp predictResponse
+					if status, raw := postJSON(t, url+"/v1/predict", map[string]any{
+						"head": w, "relation": i % 4, "k": 5,
+					}, &resp); status != http.StatusOK || len(resp.Completions) != 5 {
+						t.Errorf("predict during reload: %d %s", status, raw)
+						return
+					}
+				default:
+					var resp neighborsResponse
+					if status, raw := postJSON(t, url+"/v1/neighbors", map[string]any{
+						"entity": (w * 3) % 30, "k": 3,
+					}, &resp); status != http.StatusOK || len(resp.Neighbors) != 3 {
+						t.Errorf("neighbors during reload: %d %s", status, raw)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	const reloads = 10
+	for i := 0; i < reloads; i++ {
+		if err := s.Reload(paths[i%2]); err != nil {
+			t.Errorf("reload %d: %v", i, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	n, lastErr := s.ReloadStatus()
+	if n != reloads || lastErr != "" {
+		t.Fatalf("reload status %d %q", n, lastErr)
+	}
+	out := getBody(t, url+"/metrics")
+	if !strings.Contains(out, fmt.Sprintf("kgeserve_reloads_total %d", reloads)) {
+		t.Fatalf("metrics lost reload count:\n%s", out)
+	}
+}
+
+func TestServerCloseDrains(t *testing.T) {
+	s, url, _ := newTestServer(t, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			postJSON(t, url+"/v1/predict", map[string]any{"head": i % 30, "relation": 0, "k": 2}, nil)
+		}(i)
+	}
+	wg.Wait()
+	s.Close() // must not hang with queries drained
+	// After close the batcher rejects; the endpoint degrades to a 500, not a hang.
+	if status, _ := postJSON(t, url+"/v1/predict", map[string]any{"head": 0, "relation": 0}, nil); status == http.StatusOK {
+		t.Fatal("predict succeeded after Close")
+	}
+}

@@ -1,0 +1,252 @@
+// Package serve is the inference half of the system: it loads trained
+// embedding checkpoints into an immutable, shard-partitioned read-only
+// store and answers scoring, completion and similarity queries over HTTP.
+// Training owns the mutable tensor.Matrix path; serving deliberately does
+// not share it — a Store is frozen at load time, every method is safe for
+// unlimited concurrent readers, and checkpoint upgrades happen by swapping
+// whole stores atomically (see Server), never by mutating one in place.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"kgedist/internal/eval"
+	"kgedist/internal/model"
+)
+
+// Store is a read-only snapshot of one checkpoint's embeddings. Entity rows
+// are partitioned into contiguous shards, each with its own backing slice:
+// shards bound the working set of a parallel sweep (predict and neighbors
+// walk shards on separate goroutines) and keep any single allocation small
+// enough for the allocator to place comfortably at FB250K scale.
+type Store struct {
+	m     model.Model
+	width int
+
+	numEntities  int
+	numRelations int
+
+	shardRows int         // entity rows per shard (last shard may be short)
+	shards    [][]float32 // shard s holds rows [s*shardRows, min((s+1)*shardRows, numEntities))
+	relations []float32   // relation matrix, single slab (relation counts are small)
+
+	info StoreInfo
+}
+
+// StoreInfo identifies the checkpoint a store was built from; /healthz
+// reports it so operators can tell which parameter snapshot is live.
+type StoreInfo struct {
+	Path     string    `json:"path"`
+	Model    string    `json:"model"`
+	Dim      int       `json:"dim"`
+	Entities int       `json:"entities"`
+	Relation int       `json:"relations"`
+	CRC      string    `json:"crc32"`
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+// DefaultShardRows bounds one shard to ~16k rows; at dim 200 ComplEx that
+// is a ~25MB slab, big enough to amortize sweep overhead and small enough
+// to parallelize mini benchmarks.
+const DefaultShardRows = 16384
+
+// OpenStore loads the KGE2 checkpoint at path into a new Store. shardRows
+// sets the entity partition grain (<= 0 selects DefaultShardRows). The
+// checkpoint is CRC-validated by the load; a corrupt file never becomes a
+// live store.
+func OpenStore(path string, shardRows int) (*Store, error) {
+	info, err := model.ReadCheckpointInfo(path)
+	if err != nil {
+		return nil, err
+	}
+	m, p, err := model.LoadCheckpoint(path)
+	if err != nil {
+		return nil, err
+	}
+	if shardRows <= 0 {
+		shardRows = DefaultShardRows
+	}
+	s := &Store{
+		m:            m,
+		width:        m.Width(),
+		numEntities:  p.Entity.Rows,
+		numRelations: p.Relation.Rows,
+		shardRows:    shardRows,
+		relations:    p.Relation.Data,
+		info: StoreInfo{
+			Path:     path,
+			Model:    info.Model,
+			Dim:      info.Dim,
+			Entities: info.Entities,
+			Relation: info.Relations,
+			CRC:      fmt.Sprintf("%08x", info.CRC),
+			LoadedAt: time.Now().UTC(),
+		},
+	}
+	// Carve the entity matrix into per-shard slabs, copied out of the
+	// loaded Params so the store owns its memory outright and the
+	// training-shaped Params can be collected.
+	numShards := (s.numEntities + shardRows - 1) / shardRows
+	if numShards == 0 {
+		numShards = 1
+		s.shards = [][]float32{{}}
+	} else {
+		s.shards = make([][]float32, numShards)
+		for i := 0; i < numShards; i++ {
+			lo, hi := s.shardBounds(i)
+			slab := make([]float32, (hi-lo)*s.width)
+			copy(slab, p.Entity.Data[lo*s.width:hi*s.width])
+			s.shards[i] = slab
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) shardBounds(i int) (lo, hi int) {
+	lo = i * s.shardRows
+	hi = lo + s.shardRows
+	if hi > s.numEntities {
+		hi = s.numEntities
+	}
+	return lo, hi
+}
+
+// Model returns the scoring model (stateless; safe to share).
+func (s *Store) Model() model.Model { return s.m }
+
+// Info returns the checkpoint identity.
+func (s *Store) Info() StoreInfo { return s.info }
+
+// NumEntities returns the number of entity rows.
+func (s *Store) NumEntities() int { return s.numEntities }
+
+// NumRelations returns the number of relation rows.
+func (s *Store) NumRelations() int { return s.numRelations }
+
+// NumShards returns the entity shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// EntityRow returns entity id's embedding row. The slice aliases the
+// store's immutable slab: callers must treat it as read-only.
+func (s *Store) EntityRow(id int) []float32 {
+	if id < 0 || id >= s.numEntities {
+		panic("serve: entity id out of range")
+	}
+	shard := id / s.shardRows
+	off := (id - shard*s.shardRows) * s.width
+	return s.shards[shard][off : off+s.width]
+}
+
+// RelationRow returns relation id's embedding row (read-only).
+func (s *Store) RelationRow(id int) []float32 {
+	if id < 0 || id >= s.numRelations {
+		panic("serve: relation id out of range")
+	}
+	return s.relations[id*s.width : (id+1)*s.width]
+}
+
+// Score computes the model score of (h, r, t).
+func (s *Store) Score(h, r, t int) float32 {
+	return s.m.ScoreRows(s.EntityRow(h), s.RelationRow(r), s.EntityRow(t))
+}
+
+// sweepShards runs fn(shardIndex, loEntity, hiEntity) over all entity
+// shards, in parallel when more than one worker is useful. Workers are
+// capped at GOMAXPROCS; fn must be safe to run concurrently with itself on
+// disjoint shards.
+func (s *Store) sweepShards(fn func(shard, lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(s.shards) {
+		workers = len(s.shards)
+	}
+	if workers <= 1 {
+		for i := range s.shards {
+			lo, hi := s.shardBounds(i)
+			fn(i, lo, hi)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lo, hi := s.shardBounds(i)
+				fn(i, lo, hi)
+			}
+		}()
+	}
+	for i := range s.shards {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Neighbors returns the k entities most similar to entity id under the
+// given metric ("cosine" or "dot"), excluding the query entity itself. The
+// sweep is parallel across shards with per-shard accumulators merged at
+// the end — a read-only fan-out with no locks on the hot path.
+func (s *Store) Neighbors(id, k int, metric string) ([]eval.ScoredEntity, error) {
+	if id < 0 || id >= s.numEntities {
+		return nil, fmt.Errorf("serve: entity %d out of range [0,%d)", id, s.numEntities)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: non-positive k %d", k)
+	}
+	var sim func(q, c []float32) float32
+	switch metric {
+	case "", "cosine":
+		sim = cosine
+	case "dot":
+		sim = dot
+	default:
+		return nil, fmt.Errorf("serve: unknown similarity metric %q", metric)
+	}
+	q := s.EntityRow(id)
+	accs := make([]*eval.TopKAccumulator, len(s.shards))
+	s.sweepShards(func(shard, lo, hi int) {
+		acc := eval.NewTopK(k)
+		slab := s.shards[shard]
+		for e := lo; e < hi; e++ {
+			if e == id {
+				continue
+			}
+			off := (e - lo) * s.width
+			acc.Offer(int32(e), sim(q, slab[off:off+s.width]))
+		}
+		accs[shard] = acc
+	})
+	merged := accs[0]
+	for _, a := range accs[1:] {
+		merged.Merge(a)
+	}
+	return merged.Results(), nil
+}
+
+func dot(a, b []float32) float32 {
+	var s float32
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+func cosine(a, b []float32) float32 {
+	var num, na, nb float64
+	for i, av := range a {
+		num += float64(av) * float64(b[i])
+		na += float64(av) * float64(av)
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return float32(num / (math.Sqrt(na) * math.Sqrt(nb)))
+}
