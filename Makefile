@@ -1,7 +1,10 @@
 # Build, vet, lint and test pipeline — the same targets CI runs
 # (.github/workflows/ci.yml), so `make ci` reproduces a CI run locally.
+# Run `make help` for a target summary.
 
 GO ?= go
+COMMIT := $(shell git rev-parse --short HEAD 2>/dev/null)
+BENCH_OUT ?= BENCH_$(shell date +%F).json
 
 # Packages with real concurrency (goroutine ranks, lock-free hogwild workers,
 # parameter-server shards, the trainer that drives them) get a dedicated
@@ -9,25 +12,34 @@ GO ?= go
 # the ~10-20x race slowdown; unit-level coverage stays on.
 RACE_PKGS = ./internal/hogwild/ ./internal/mpi/ ./internal/simnet/ ./internal/ps/ ./internal/core/ ./internal/tensor/
 
-.PHONY: all build vet lint test race bench faults serve ci
+# Packages with kernel micro-benchmarks (ns/op, allocs/op, triples/sec);
+# the top-level package adds the end-to-end paper-table benchmarks.
+BENCH_PKGS = ./internal/grad/ ./internal/mpi/ ./internal/model/ ./internal/pool/ ./internal/tensor/ ./internal/serve/
+
+.PHONY: all build vet lint test race bench bench-smoke faults serve ci help
 
 all: build
 
+## build: compile every package and command
 build:
 	$(GO) build ./...
 
+## vet: run go vet over the repo
 vet:
 	$(GO) vet ./...
 
 # kgelint is this repo's own analyzer suite (cmd/kgelint, internal/lint):
 # seeded randomness, divergent collectives, float equality, dropped errors,
 # non-atomic shared-row access. Zero findings is the merge bar.
+## lint: run the kgelint analyzer suite (zero findings = pass)
 lint:
 	$(GO) run ./cmd/kgelint ./...
 
+## test: run the full test suite
 test:
 	$(GO) test ./...
 
+## race: race-detector pass over the concurrent packages
 race:
 	$(GO) test -race -short -count=1 $(RACE_PKGS)
 
@@ -35,6 +47,7 @@ race:
 # recv-watchdog timeouts, shrink-and-continue recovery, checkpoint
 # corruption. The failure paths close abort channels and release blocked
 # ranks concurrently, so they get their own race-checked tier.
+## faults: fault-injection suite under the race detector
 faults:
 	$(GO) test -race -short -count=1 -run 'Fault|Shrink|Recover|Checkpoint|Panic|RecvTimeout' \
 		./internal/mpi/ ./internal/simnet/ ./internal/core/ ./internal/model/
@@ -43,10 +56,28 @@ faults:
 # concurrent HTTP handlers, the predict micro-batcher, the sharded LRU
 # cache and atomic hot checkpoint reload — including a test that hammers
 # every endpoint while the live store is swapped.
+## serve: serving suite under the race detector
 serve:
 	$(GO) test -race -count=1 ./internal/serve/
 
+# Reproducible perf capture: run the kernel micro-benchmarks, parse the
+# output with cmd/benchjson, and write a schema-versioned JSON capture
+# stamped with the current commit. Compare captures across commits as
+# documented in PERFORMANCE.md. Override the file with BENCH_OUT=....
+## bench: run micro-benchmarks and write $(BENCH_OUT)
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run '^$$' $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -commit "$(COMMIT)" -out $(BENCH_OUT)
 
-ci: build vet lint test race faults serve
+# One-iteration pass over every benchmark in the repo: proves each still
+# compiles and runs without measuring anything. CI runs this tier.
+## bench-smoke: compile-and-run check of all benchmarks (-benchtime=1x)
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./...
+
+## ci: everything CI runs (build vet lint test race faults serve bench-smoke)
+ci: build vet lint test race faults serve bench-smoke
+
+## help: list targets
+help:
+	@grep -E '^## ' $(MAKEFILE_LIST) | sed 's/^## /  /' | sort

@@ -1,0 +1,72 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// BENCH_<date>.json capture format defined by internal/benchfmt. It is the
+// back half of `make bench`:
+//
+//	go test -bench=. -benchmem ./internal/... | benchjson -out BENCH_$(date +%F).json
+//
+// With -out empty the file is written to stdout. -commit stamps the file
+// with a git hash (the Makefile passes `git rev-parse --short HEAD`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"kgedist/internal/benchfmt"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "", "output file (empty = stdout)")
+		commit = flag.String("commit", "", "git commit hash to stamp into the capture")
+	)
+	flag.Parse()
+
+	benches, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	f := &benchfmt.File{
+		Schema:     benchfmt.Schema,
+		Commit:     *commit,
+		GoVersion:  runtime.Version(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: benches,
+	}
+	if err := f.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	var file *os.File
+	if *out != "" {
+		file, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		w = file
+	}
+	if err := f.Encode(w); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if file != nil {
+		// Close errors are real here: they are where buffered writes to a
+		// full disk surface.
+		if err := file.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(benches), *out)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"kgedist/internal/core"
 	"kgedist/internal/grad"
@@ -51,8 +53,44 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 0, "snapshot the merged model every N epochs (recovery point; 0 = off)")
 		ckptPath  = flag.String("checkpoint", "", "persist snapshots crash-safely to this file (needs -checkpoint-every)")
 		recoverOn = flag.Bool("recover", false, "shrink-and-continue on rank failure instead of aborting")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC() // capture live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	d, err := loadDataset(*dataset, *dataDir, *namedDir, *seed)
 	if err != nil {

@@ -1,0 +1,161 @@
+// Package benchfmt parses `go test -bench` output and defines the published
+// JSON schema of the BENCH_<date>.json files `make bench` writes. The
+// schema is the repo's performance-tracking contract: PERFORMANCE.md
+// documents how to read and diff the files, and the round-trip test pins
+// the field names so a schema change is a deliberate, versioned act.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Schema is the identifier stamped into every file this package writes.
+// Bump the suffix when a field changes meaning; readers must check it.
+const Schema = "kgedist-bench/v1"
+
+// File is one benchmark capture: every benchmark the run printed, plus
+// enough provenance (commit, Go version, date) to compare captures across
+// time. It is the top-level object of a BENCH_<date>.json file.
+type File struct {
+	// Schema identifies the file format; always the Schema constant.
+	Schema string `json:"schema"`
+	// Commit is the git commit hash the benchmarks ran at (may be empty
+	// when the tree was dirty or git was unavailable).
+	Commit string `json:"commit,omitempty"`
+	// GoVersion is runtime.Version() of the toolchain that ran the suite.
+	GoVersion string `json:"go_version"`
+	// Date is the capture time in RFC 3339.
+	Date string `json:"date"`
+	// Benchmarks holds one entry per benchmark result line, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `BenchmarkName-P  N  x ns/op ...` result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// GOMAXPROCS suffix, e.g. "BenchmarkQuantizeInto/1bit-max-8".
+	Name string `json:"name"`
+	// Package is the import path the benchmark belongs to, from the
+	// preceding "pkg:" header line (empty if the input had none).
+	Package string `json:"package,omitempty"`
+	// Runs is the iteration count N the final timing was measured over.
+	Runs int64 `json:"runs"`
+	// NsPerOp is wall time per iteration in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per iteration (present when the
+	// benchmark reported -benchmem/ReportAllocs).
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per iteration.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics carries every other "value unit" pair the benchmark emitted
+	// (MB/s, triples/sec, ...), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads `go test -bench` text output and returns the benchmark
+// results in order. Non-benchmark lines (pkg headers aside) are ignored, so
+// the full `go test` stream can be piped in unfiltered. An input with no
+// benchmark lines yields an empty slice and no error.
+func Parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// A result line is "Name N value unit [value unit]..." — at least
+		// four fields with an integer iteration count. Anything else (e.g.
+		// a "BenchmarkX" progress line) is skipped.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Package: pkg, Runs: runs}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = val
+			case "B/op":
+				b.BytesPerOp = val
+			case "allocs/op":
+				b.AllocsPerOp = val
+			default:
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = val
+			}
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: reading input: %w", err)
+	}
+	return out, nil
+}
+
+// Validate checks that f conforms to the published schema: correct schema
+// tag, provenance fields present, and well-formed benchmark entries.
+func (f *File) Validate() error {
+	if f.Schema != Schema {
+		return fmt.Errorf("benchfmt: schema %q, want %q", f.Schema, Schema)
+	}
+	if f.GoVersion == "" {
+		return fmt.Errorf("benchfmt: missing go_version")
+	}
+	if f.Date == "" {
+		return fmt.Errorf("benchfmt: missing date")
+	}
+	for i, b := range f.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchfmt: benchmark %d has no name", i)
+		}
+		if b.Runs <= 0 {
+			return fmt.Errorf("benchfmt: %s: non-positive run count %d", b.Name, b.Runs)
+		}
+		if b.NsPerOp < 0 || b.BytesPerOp < 0 || b.AllocsPerOp < 0 {
+			return fmt.Errorf("benchfmt: %s: negative measurement", b.Name)
+		}
+	}
+	return nil
+}
+
+// Encode writes f as indented JSON.
+func (f *File) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Decode reads a File written by Encode (or any conforming JSON) and
+// validates it.
+func Decode(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("benchfmt: decoding: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

@@ -1,0 +1,154 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: kgedist/internal/grad
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkQuantizeInto/1bit-max-8         	   10000	      1234 ns/op	       0 B/op	       0 allocs/op	 663552000 values/sec
+BenchmarkUnmarshalInto-8                 	  500000	       321.5 ns/op	2952.11 MB/s	       0 B/op	       0 allocs/op
+PASS
+ok  	kgedist/internal/grad	2.345s
+pkg: kgedist/internal/mpi
+BenchmarkAllReduceSum-8                  	    5000	     39385 ns/op	 415.99 MB/s	    6612 B/op	      89 allocs/op
+PASS
+ok  	kgedist/internal/mpi	1.234s
+`
+
+func TestParse(t *testing.T) {
+	bs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(bs))
+	}
+	q := bs[0]
+	if q.Name != "BenchmarkQuantizeInto/1bit-max-8" || q.Package != "kgedist/internal/grad" {
+		t.Errorf("bad identity: %+v", q)
+	}
+	if q.Runs != 10000 || q.NsPerOp != 1234 || q.BytesPerOp != 0 || q.AllocsPerOp != 0 {
+		t.Errorf("bad measurements: %+v", q)
+	}
+	if q.Metrics["values/sec"] != 663552000 {
+		t.Errorf("custom metric not captured: %+v", q.Metrics)
+	}
+	if bs[1].NsPerOp != 321.5 || bs[1].Metrics["MB/s"] != 2952.11 {
+		t.Errorf("fractional values mishandled: %+v", bs[1])
+	}
+	if bs[2].Package != "kgedist/internal/mpi" {
+		t.Errorf("pkg header not tracked across packages: %+v", bs[2])
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := "random text\nBenchmarkInProgress\nBenchmarkBad notanumber 12 ns/op\n--- FAIL: TestX\n"
+	bs, err := Parse(strings.NewReader(noise))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 0 {
+		t.Fatalf("parsed %d benchmarks from noise, want 0", len(bs))
+	}
+}
+
+func sampleFile() *File {
+	return &File{
+		Schema:    Schema,
+		Commit:    "abc1234",
+		GoVersion: "go1.24.0",
+		Date:      "2026-08-06T12:00:00Z",
+		Benchmarks: []Benchmark{
+			{
+				Name: "BenchmarkScore/complex-8", Package: "kgedist/internal/model",
+				Runs: 100000, NsPerOp: 250.5, BytesPerOp: 0, AllocsPerOp: 0,
+				Metrics: map[string]float64{"triples/sec": 3.99e6},
+			},
+			{Name: "BenchmarkAllReduceSum-8", Package: "kgedist/internal/mpi",
+				Runs: 5000, NsPerOp: 39385, BytesPerOp: 6612, AllocsPerOp: 89},
+		},
+	}
+}
+
+// The BENCH_*.json schema is a published contract: encoding a File and
+// decoding it back must be lossless, and the JSON field names must stay
+// exactly as documented in PERFORMANCE.md.
+func TestFileRoundTrip(t *testing.T) {
+	f := sampleFile()
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Errorf("round trip changed the file:\n in: %+v\nout: %+v", f, got)
+	}
+}
+
+func TestSchemaFieldNamesPinned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleFile().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "commit", "go_version", "date", "benchmarks"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("top-level key %q missing from encoded file", key)
+		}
+	}
+	b := raw["benchmarks"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "package", "runs", "ns_per_op", "bytes_per_op", "allocs_per_op", "metrics"} {
+		if _, ok := b[key]; !ok {
+			t.Errorf("benchmark key %q missing from encoded file", key)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]func(*File){
+		"wrong schema":  func(f *File) { f.Schema = "other/v9" },
+		"no go version": func(f *File) { f.GoVersion = "" },
+		"no date":       func(f *File) { f.Date = "" },
+		"unnamed bench": func(f *File) { f.Benchmarks[0].Name = "" },
+		"zero runs":     func(f *File) { f.Benchmarks[1].Runs = 0 },
+		"negative ns":   func(f *File) { f.Benchmarks[0].NsPerOp = -1 },
+	}
+	for name, corrupt := range cases {
+		f := sampleFile()
+		corrupt(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a corrupt file", name)
+		}
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	bs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &File{Schema: Schema, GoVersion: "go1.24.0", Date: "2026-08-06T12:00:00Z", Benchmarks: bs}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("parsed output fails validation: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := f.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

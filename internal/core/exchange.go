@@ -26,18 +26,29 @@ const (
 // fail with *mpi.RankFailedError when a peer dies mid-collective; the caller
 // propagates the error out of the worker so the recovery loop can shrink the
 // world and resume.
+//
+// All scratch (dense staging, codec state, aggregate accumulators) is
+// reused across batches, so the steady-state exchange allocates only its
+// wire payloads — which must stay fresh because the all-gather ring shares
+// them across ranks (see mpi.AllGatherRows). The aggregates returned by
+// exchange alias exchanger-owned storage and are valid only until the next
+// exchange call (probes leave them untouched); the trainer applies them
+// before exchanging again.
 type exchanger struct {
-	cfg     *Config
-	comm    *mpi.Comm
-	width   int
-	numEnt  int
-	numRel  int
-	entBuf  []float32 // dense all-reduce scratch, numEnt*width
-	relBuf  []float32 // dense all-reduce scratch, numRel*width
-	qRng    *xrand.RNG
-	entRes  *grad.Residual
-	relRes  *grad.Residual
-	scratch []float32
+	cfg    *Config
+	comm   *mpi.Comm
+	width  int
+	numEnt int
+	numRel int
+	entBuf []float32 // dense all-reduce scratch, numEnt*width
+	relBuf []float32 // dense all-reduce scratch, numRel*width
+	qRng   *xrand.RNG
+	entRes *grad.Residual
+	relRes *grad.Residual
+	enc    grad.Encoded     // quantization encode scratch
+	dec    grad.Encoded     // payload decode scratch
+	entAgg *grad.SparseGrad // aggregate accumulator, reused per batch
+	relAgg *grad.SparseGrad
 }
 
 func newExchanger(cfg *Config, comm *mpi.Comm, width, numEnt, numRel int, rng *xrand.RNG) *exchanger {
@@ -53,6 +64,8 @@ func newExchanger(cfg *Config, comm *mpi.Comm, width, numEnt, numRel int, rng *x
 		x.entRes = grad.NewResidual(width)
 		x.relRes = grad.NewResidual(width)
 	}
+	x.entAgg = grad.NewSparseGrad(width)
+	x.relAgg = grad.NewSparseGrad(width)
 	return x
 }
 
@@ -71,10 +84,10 @@ func scaleRows(g *grad.SparseGrad, p int) {
 }
 
 // allReduce densifies the sparse gradient, ring-all-reduces it, and returns
-// the averaged aggregate. Full precision by construction: summing quantized
-// payloads element-wise is not defined, which is why the paper's quantized
-// exchanges ride the all-gather path.
-func (x *exchanger) allReduce(g *grad.SparseGrad, rows int, buf *[]float32, tag string) (*grad.SparseGrad, float64, error) {
+// the averaged aggregate (in agg, which is cleared first). Full precision by
+// construction: summing quantized payloads element-wise is not defined,
+// which is why the paper's quantized exchanges ride the all-gather path.
+func (x *exchanger) allReduce(g, agg *grad.SparseGrad, rows int, buf *[]float32, tag string) (*grad.SparseGrad, float64, error) {
 	if *buf == nil {
 		*buf = make([]float32, rows*x.width)
 	}
@@ -83,17 +96,20 @@ func (x *exchanger) allReduce(g *grad.SparseGrad, rows int, buf *[]float32, tag 
 	if err != nil {
 		return nil, 0, err
 	}
-	agg := grad.NewSparseGrad(x.width)
+	agg.Clear()
 	agg.AccumulateDense(*buf)
 	scaleRows(agg, x.comm.Size())
 	return agg, cost, nil
 }
 
-// allGather exchanges only non-zero rows. With quantization enabled the
+// allGather exchanges only non-zero rows, accumulating all ranks'
+// contributions into agg (cleared first). With quantization enabled the
 // rows are encoded to the configured scheme (1 or 2 bits per value plus one
-// scale per row) before hitting the wire.
-func (x *exchanger) allGather(g *grad.SparseGrad, res *grad.Residual, tag string) (*grad.SparseGrad, float64, error) {
-	agg := grad.NewSparseGrad(x.width)
+// scale per row) before hitting the wire. Encode and decode go through the
+// exchanger's Encoded scratch; only the marshaled wire payload is freshly
+// allocated, as the all-gather contract requires.
+func (x *exchanger) allGather(g, agg *grad.SparseGrad, res *grad.Residual, tag string) (*grad.SparseGrad, float64, error) {
+	agg.Clear()
 	var cost float64
 	if x.cfg.ValueSparsify > 0 {
 		vs := grad.SparsifyValues(g, x.cfg.ValueSparsify)
@@ -126,21 +142,20 @@ func (x *exchanger) allGather(g *grad.SparseGrad, res *grad.Residual, tag string
 		if res != nil {
 			res.AddInto(g)
 		}
-		enc := grad.Quantize(g, x.cfg.Quant, x.qRng)
+		grad.QuantizeInto(&x.enc, g, x.cfg.Quant, x.qRng)
 		if res != nil {
-			res.Update(g, enc)
+			res.Update(g, &x.enc)
 		}
-		payloads, c, err := x.comm.AllGatherBytes(enc.Marshal(), tag)
+		payloads, c, err := x.comm.AllGatherBytes(x.enc.Marshal(), tag)
 		if err != nil {
 			return nil, 0, err
 		}
 		cost = c
 		for _, p := range payloads {
-			dec, err := grad.Unmarshal(p)
-			if err != nil {
+			if err := grad.UnmarshalInto(&x.dec, p); err != nil {
 				panic(fmt.Sprintf("core: corrupt quantized payload: %v", err))
 			}
-			grad.Dequantize(dec, agg)
+			grad.Dequantize(&x.dec, agg)
 		}
 	}
 	scaleRows(agg, x.comm.Size())
@@ -149,13 +164,15 @@ func (x *exchanger) allGather(g *grad.SparseGrad, res *grad.Residual, tag string
 
 // exchange aggregates the entity and relation gradients under the given
 // mode ("allreduce" or "allgather"). Under relation partition the relation
-// gradient is returned as-is: rank-local, full precision, zero cost.
+// gradient is returned as-is: rank-local, full precision, zero cost. The
+// returned aggregates alias exchanger-owned scratch (or relG itself) and
+// are valid only until the next exchange call.
 func (x *exchanger) exchange(entG, relG *grad.SparseGrad, mode string) (entAgg, relAgg *grad.SparseGrad, cost float64, err error) {
 	switch mode {
 	case "allreduce":
-		entAgg, cost, err = x.allReduce(entG, x.numEnt, &x.entBuf, tagEntity)
+		entAgg, cost, err = x.allReduce(entG, x.entAgg, x.numEnt, &x.entBuf, tagEntity)
 	case "allgather":
-		entAgg, cost, err = x.allGather(entG, x.entRes, tagEntity)
+		entAgg, cost, err = x.allGather(entG, x.entAgg, x.entRes, tagEntity)
 	default:
 		panic("core: unknown exchange mode " + mode)
 	}
@@ -169,9 +186,9 @@ func (x *exchanger) exchange(entG, relG *grad.SparseGrad, mode string) (entAgg, 
 	var relCost float64
 	switch mode {
 	case "allreduce":
-		relAgg, relCost, err = x.allReduce(relG, x.numRel, &x.relBuf, tagRelation)
+		relAgg, relCost, err = x.allReduce(relG, x.relAgg, x.numRel, &x.relBuf, tagRelation)
 	case "allgather":
-		relAgg, relCost, err = x.allGather(relG, x.relRes, tagRelation)
+		relAgg, relCost, err = x.allGather(relG, x.relAgg, x.relRes, tagRelation)
 	}
 	if err != nil {
 		return nil, nil, 0, err
@@ -189,8 +206,8 @@ func (x *exchanger) probeAllGather(entG, relG *grad.SparseGrad) (float64, error)
 			_, _, c, err := x.comm.AllGatherRows(idx, flat, tagProbe)
 			return c, err
 		}
-		enc := grad.Quantize(g, x.cfg.Quant, x.qRng)
-		_, c, err := x.comm.AllGatherBytes(enc.Marshal(), tagProbe)
+		grad.QuantizeInto(&x.enc, g, x.cfg.Quant, x.qRng)
+		_, c, err := x.comm.AllGatherBytes(x.enc.Marshal(), tagProbe)
 		return c, err
 	}
 	cost, err := probe(entG)

@@ -319,6 +319,7 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 	entG := grad.NewSparseGrad(t.width)
 	relG := grad.NewSparseGrad(t.width)
 	negBuf := make([]kg.Triple, 0, cfg.NegSamples)
+	var dropBuf []int32 // dropZeroRows scratch, reused across batches
 	order := make([]int, len(shard))
 	for i := range order {
 		order[i] = i
@@ -374,8 +375,8 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 			}
 			// Drop numerically-zero rows (saturated triples contribute
 			// vanishing gradients as training converges — Figure 2).
-			flops += dropZeroRows(entG)
-			flops += dropZeroRows(relG)
+			flops += dropZeroRows(entG, &dropBuf)
+			flops += dropZeroRows(relG, &dropBuf)
 			nnzSum += float64(entG.Len())
 
 			// Random selection of gradient vectors (§4.2) applies to the
@@ -612,9 +613,11 @@ func (t *trainRun) accumulateTriple(p *model.Params, tr kg.Triple, y float32, en
 }
 
 // dropZeroRows removes rows with negligible norm, returning the flops spent
-// scanning.
-func dropZeroRows(g *grad.SparseGrad) float64 {
-	var drop []int32
+// scanning. scratch is the calling worker's reusable id buffer (rows cannot
+// be dropped while iterating, so candidates are collected first); its grown
+// capacity is handed back through the pointer.
+func dropZeroRows(g *grad.SparseGrad, scratch *[]int32) float64 {
+	drop := (*scratch)[:0]
 	g.ForEach(func(id int32, row []float32) {
 		if tensor.Nrm2(row) <= zeroRowEps {
 			drop = append(drop, id)
@@ -623,6 +626,7 @@ func dropZeroRows(g *grad.SparseGrad) float64 {
 	for _, id := range drop {
 		g.Drop(id)
 	}
+	*scratch = drop
 	return float64(g.Len()+len(drop)) * float64(g.Width()) * 2
 }
 

@@ -1,0 +1,108 @@
+package grad
+
+import (
+	"testing"
+
+	"kgedist/internal/xrand"
+)
+
+// Micro-benchmarks for the gradient codec hot path. Shapes mirror one
+// training batch of the default config: 256 touched rows, width 32.
+// Run via `make bench`; results land in BENCH_<date>.json.
+
+const (
+	benchRows  = 256
+	benchWidth = 32
+)
+
+func benchGrad(rng *xrand.RNG) *SparseGrad {
+	g := NewSparseGrad(benchWidth)
+	fillGrad(g, benchRows, rng)
+	return g
+}
+
+func BenchmarkQuantizeInto(b *testing.B) {
+	for _, s := range []Scheme{OneBitMax, TwoBitTernary} {
+		b.Run(s.String(), func(b *testing.B) {
+			rng := xrand.New(1)
+			g := benchGrad(rng)
+			e := new(Encoded)
+			QuantizeInto(e, g, s, rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				QuantizeInto(e, g, s, rng)
+			}
+			b.ReportMetric(float64(benchRows*benchWidth)*float64(b.N)/b.Elapsed().Seconds(), "values/sec")
+		})
+	}
+}
+
+func BenchmarkDequantize(b *testing.B) {
+	rng := xrand.New(1)
+	g := benchGrad(rng)
+	e := Quantize(g, OneBitMax, rng)
+	dst := NewSparseGrad(benchWidth)
+	Dequantize(e, dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Clear()
+		Dequantize(e, dst)
+	}
+}
+
+func BenchmarkUnmarshalInto(b *testing.B) {
+	g := benchGrad(xrand.New(1))
+	buf := Quantize(g, OneBitMax, nil).Marshal()
+	e := new(Encoded)
+	if err := UnmarshalInto(e, buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := UnmarshalInto(e, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	g := benchGrad(xrand.New(1))
+	e := Quantize(g, OneBitMax, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := e.Marshal() // wire payload: deliberately fresh per call
+		_ = buf
+	}
+}
+
+// The per-batch accumulator cycle core/trainer.go runs: Clear, touch rows,
+// read sorted indices.
+func BenchmarkSparseGradCycle(b *testing.B) {
+	g := NewSparseGrad(benchWidth)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Clear()
+		for r := 0; r < benchRows; r++ {
+			g.Row(int32(r))[0] = 1
+		}
+		_ = g.Indices()
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	rng := xrand.New(1)
+	g := benchGrad(rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fillGrad(g, benchRows, rng)
+		b.StartTimer()
+		Select(g, SelectBernoulli, rng)
+	}
+}

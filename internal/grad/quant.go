@@ -136,15 +136,21 @@ func scale(s Scheme, row []float32) float32 {
 
 // Encoded is a quantized sparse gradient ready for the wire: row indices,
 // one scale per row, and the packed sign/ternary payload.
+//
+// An Encoded owns its three slices. QuantizeInto and UnmarshalInto reuse
+// them across calls, so one Encoded per worker makes the encode and decode
+// sides of every exchange allocation-free after warm-up; the contents are
+// valid until the next *Into call on the same value. Not safe for
+// concurrent use.
 type Encoded struct {
 	Scheme  Scheme
-	Width   int
-	Indices []int32
-	Scales  []float32
-	Bits    []byte
+	Width   int       // floats per row
+	Indices []int32   // ascending row ids, one per encoded row
+	Scales  []float32 // per-row scale (unused by NoQuant)
+	Bits    []byte    // packed payload, payloadBytesPerRow bytes per row
 }
 
-// payloadBytesPerRow returns the packed payload size of one row.
+// payloadBytesPerRow returns the packed payload size of one row in bytes.
 func payloadBytesPerRow(s Scheme, width int) int {
 	switch s {
 	case NoQuant:
@@ -156,8 +162,8 @@ func payloadBytesPerRow(s Scheme, width int) int {
 	}
 }
 
-// WireBytes returns the total on-wire size of the encoding, including
-// indices and scales.
+// WireBytes returns the total on-wire size of the encoding in bytes,
+// including indices and scales.
 func (e *Encoded) WireBytes() int {
 	per := payloadBytesPerRow(e.Scheme, e.Width)
 	scales := 4 * len(e.Scales)
@@ -167,34 +173,55 @@ func (e *Encoded) WireBytes() int {
 	return 4*len(e.Indices) + scales + per*len(e.Indices)
 }
 
-// Quantize encodes the sparse gradient under the scheme. The rng is used
-// only by TwoBitTernary's stochastic zeroing; it may be nil for the other
-// schemes. The input gradient is not modified.
+// Quantize encodes the sparse gradient under the scheme into a freshly
+// allocated Encoded. The rng is used only by TwoBitTernary's stochastic
+// zeroing; it may be nil for the other schemes. The input gradient is not
+// modified or retained. Hot paths should hold one Encoded and call
+// QuantizeInto instead.
 func Quantize(g *SparseGrad, s Scheme, rng *xrand.RNG) *Encoded {
+	e := new(Encoded)
+	QuantizeInto(e, g, s, rng)
+	return e
+}
+
+// QuantizeInto encodes g under scheme s into e, reusing e's Indices, Scales
+// and Bits storage (growing it only when a larger batch arrives). Any
+// slices previously obtained from e are invalidated. g is only read; the
+// rng is consumed exactly as by Quantize, so for a fixed seed the two
+// produce bit-identical encodings.
+func QuantizeInto(e *Encoded, g *SparseGrad, s Scheme, rng *xrand.RNG) {
 	idx := g.Indices()
 	w := g.Width()
-	e := &Encoded{
-		Scheme:  s,
-		Width:   w,
-		Indices: idx,
-		Scales:  make([]float32, 0, len(idx)),
-		Bits:    make([]byte, 0, len(idx)*payloadBytesPerRow(s, w)),
-	}
+	n := len(idx)
 	per := payloadBytesPerRow(s, w)
-	for _, id := range idx {
+
+	e.Scheme = s
+	e.Width = w
+	e.Indices = append(e.Indices[:0], idx...)
+	if cap(e.Scales) < n {
+		e.Scales = make([]float32, 0, n)
+	}
+	e.Scales = e.Scales[:0]
+	if cap(e.Bits) < n*per {
+		e.Bits = make([]byte, n*per)
+	}
+	e.Bits = e.Bits[:n*per]
+
+	for r, id := range e.Indices {
 		row, _ := g.Get(id)
+		buf := e.Bits[r*per : (r+1)*per]
 		switch s {
 		case NoQuant:
 			e.Scales = append(e.Scales, 0)
-			buf := make([]byte, 4*w)
 			for i, v := range row {
 				binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
 			}
-			e.Bits = append(e.Bits, buf...)
 		case TwoBitTernary:
+			for i := range buf {
+				buf[i] = 0
+			}
 			mean := scale(OneBitAvg, row)
 			e.Scales = append(e.Scales, mean)
-			buf := make([]byte, per)
 			if mean > 0 {
 				for i, v := range row {
 					var code byte // 0 = zero, 1 = +scale, 2 = -scale
@@ -212,24 +239,25 @@ func Quantize(g *SparseGrad, s Scheme, rng *xrand.RNG) *Encoded {
 					buf[i/4] |= code << uint((i%4)*2)
 				}
 			}
-			e.Bits = append(e.Bits, buf...)
 		default: // 1-bit family
+			for i := range buf {
+				buf[i] = 0
+			}
 			sc := scale(s, row)
 			e.Scales = append(e.Scales, sc)
-			buf := make([]byte, per)
 			for i, v := range row {
 				if v >= 0 {
 					buf[i/8] |= 1 << uint(i%8)
 				}
 			}
-			e.Bits = append(e.Bits, buf...)
 		}
 	}
-	return e
 }
 
 // Dequantize reconstructs the gradient rows and accumulates them into dst
-// (which must share the encoded width).
+// (which must share the encoded width). e is only read; dst provides the
+// storage, so a caller holding dst across batches decodes without
+// allocating once dst's row working set is warm.
 func Dequantize(e *Encoded, dst *SparseGrad) {
 	if dst.Width() != e.Width {
 		panic("grad: Dequantize width mismatch")
@@ -267,47 +295,74 @@ func Dequantize(e *Encoded, dst *SparseGrad) {
 	}
 }
 
-// Marshal serializes the encoding into one byte slice for AllGatherBytes.
-// Layout: scheme(1) width(4) nrows(4) | indices | scales | bits.
+// Marshal serializes the encoding into one freshly allocated byte slice for
+// AllGatherBytes. Layout: scheme(1) width(4) nrows(4) | indices | scales |
+// bits. The result is safe to hand to a collective: every rank may retain
+// it, which is exactly why this path does not reuse buffers (DESIGN.md §10
+// — wire payloads are never recycled).
 func (e *Encoded) Marshal() []byte {
-	n := len(e.Indices)
-	out := make([]byte, 0, 9+4*n+4*len(e.Scales)+len(e.Bits))
-	out = append(out, byte(e.Scheme))
-	out = binary.LittleEndian.AppendUint32(out, uint32(e.Width))
-	out = binary.LittleEndian.AppendUint32(out, uint32(n))
-	for _, id := range e.Indices {
-		out = binary.LittleEndian.AppendUint32(out, uint32(id))
-	}
-	for _, s := range e.Scales {
-		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(s))
-	}
-	out = append(out, e.Bits...)
-	return out
+	return e.AppendTo(make([]byte, 0, 9+4*len(e.Indices)+4*len(e.Scales)+len(e.Bits)))
 }
 
-// Unmarshal parses a buffer produced by Marshal.
-func Unmarshal(buf []byte) (*Encoded, error) {
-	if len(buf) < 9 {
-		return nil, fmt.Errorf("grad: encoded buffer too short: %d bytes", len(buf))
+// AppendTo appends the Marshal encoding to dst and returns the extended
+// slice. Only use a recycled dst for process-local serialization; a buffer
+// that will cross a collective must come from a fresh Marshal call.
+func (e *Encoded) AppendTo(dst []byte) []byte {
+	dst = append(dst, byte(e.Scheme))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Width))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Indices)))
+	for _, id := range e.Indices {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
 	}
-	e := &Encoded{Scheme: Scheme(buf[0])}
+	for _, s := range e.Scales {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(s))
+	}
+	return append(dst, e.Bits...)
+}
+
+// Unmarshal parses a buffer produced by Marshal into a freshly allocated
+// Encoded. buf is only read. Hot paths should hold one Encoded and call
+// UnmarshalInto instead.
+func Unmarshal(buf []byte) (*Encoded, error) {
+	e := new(Encoded)
+	if err := UnmarshalInto(e, buf); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// UnmarshalInto parses a buffer produced by Marshal into e, reusing e's
+// storage; the decoded contents never alias buf, so buf may be recycled or
+// owned by another rank. On error e is left in an unspecified state. Any
+// slices previously obtained from e are invalidated.
+func UnmarshalInto(e *Encoded, buf []byte) error {
+	if len(buf) < 9 {
+		return fmt.Errorf("grad: encoded buffer too short: %d bytes", len(buf))
+	}
+	e.Scheme = Scheme(buf[0])
 	e.Width = int(binary.LittleEndian.Uint32(buf[1:]))
 	n := int(binary.LittleEndian.Uint32(buf[5:]))
 	off := 9
 	need := off + 4*n + 4*n + n*payloadBytesPerRow(e.Scheme, e.Width)
 	if e.Width <= 0 || n < 0 || len(buf) != need {
-		return nil, fmt.Errorf("grad: encoded buffer size %d does not match header (want %d)", len(buf), need)
+		return fmt.Errorf("grad: encoded buffer size %d does not match header (want %d)", len(buf), need)
 	}
-	e.Indices = make([]int32, n)
+	if cap(e.Indices) < n {
+		e.Indices = make([]int32, n)
+	}
+	e.Indices = e.Indices[:n]
 	for i := range e.Indices {
 		e.Indices[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
 	}
-	e.Scales = make([]float32, n)
+	if cap(e.Scales) < n {
+		e.Scales = make([]float32, n)
+	}
+	e.Scales = e.Scales[:n]
 	for i := range e.Scales {
 		e.Scales[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
 	}
-	e.Bits = append([]byte(nil), buf[off:]...)
-	return e, nil
+	e.Bits = append(e.Bits[:0], buf[off:]...)
+	return nil
 }

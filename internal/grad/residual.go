@@ -9,9 +9,15 @@ import "kgedist/internal/tensor"
 //
 // This is an optional extension: the paper's main pipeline communicates the
 // quantized gradient without feedback. The ablation benches compare both.
+//
+// A Residual recycles its row storage and decode scratch internally, so the
+// per-step AddInto/Update cycle is allocation-free once the row working set
+// is warm. Not safe for concurrent use; each worker owns its own.
 type Residual struct {
-	width int
-	rows  map[int32][]float32
+	width   int
+	rows    map[int32][]float32
+	free    [][]float32 // recycled residual rows: AddInto pushes, Update pops
+	decoded *SparseGrad // Update's dequantize scratch, reused across steps
 }
 
 // NewResidual returns an empty residual store for rows of the given width.
@@ -27,7 +33,8 @@ func (r *Residual) Len() int { return len(r.rows) }
 
 // AddInto adds the stored residual into every matching row of g, consuming
 // it. Rows with residual but no gradient this step keep their residual for
-// a later step (they are not communicated now anyway).
+// a later step (they are not communicated now anyway). g's rows are
+// mutated in place.
 func (r *Residual) AddInto(g *SparseGrad) {
 	if g.Width() != r.width {
 		panic("grad: residual width mismatch")
@@ -36,6 +43,7 @@ func (r *Residual) AddInto(g *SparseGrad) {
 		if res, ok := r.rows[id]; ok {
 			tensor.Add(res, row)
 			delete(r.rows, id)
+			r.free = append(r.free, res)
 		}
 	})
 }
@@ -43,22 +51,36 @@ func (r *Residual) AddInto(g *SparseGrad) {
 // Update records the quantization error for the rows of g: for each row
 // present in g, the stored residual becomes g_row - decoded_row, where
 // decoded is the dequantized representation the other ranks will apply.
+// g and e are only read.
 func (r *Residual) Update(g *SparseGrad, e *Encoded) {
 	if g.Width() != r.width {
 		panic("grad: residual width mismatch")
 	}
-	decoded := NewSparseGrad(r.width)
-	Dequantize(e, decoded)
+	if r.decoded == nil {
+		r.decoded = NewSparseGrad(r.width)
+	} else {
+		r.decoded.Clear()
+	}
+	Dequantize(e, r.decoded)
 	g.ForEach(func(id int32, row []float32) {
-		dec, ok := decoded.Get(id)
+		dec, ok := r.decoded.Get(id)
 		if !ok {
 			return
 		}
-		res := make([]float32, r.width)
+		res, ok := r.rows[id]
+		if !ok {
+			if n := len(r.free); n > 0 {
+				res = r.free[n-1]
+				r.free[n-1] = nil
+				r.free = r.free[:n-1]
+			} else {
+				res = make([]float32, r.width)
+			}
+			r.rows[id] = res
+		}
 		for i := range res {
 			res[i] = row[i] - dec[i]
 		}
-		r.rows[id] = res
 	})
 }
 

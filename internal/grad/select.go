@@ -88,6 +88,9 @@ func Select(g *SparseGrad, mode SelectMode, rng *xrand.RNG) SelectStats {
 	if mode == SelectTopQuarter {
 		thresh = quantileNorm(norms, 0.75)
 	}
+	// In-package exception to the Indices aliasing rule: Drop only
+	// invalidates the cached-index flag, never the backing array, so
+	// dropping while ranging over the snapshot is safe here.
 	for _, id := range g.Indices() {
 		n := norms[id]
 		keep := false

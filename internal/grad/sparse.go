@@ -2,10 +2,22 @@
 // gradient accumulation, random selection of gradient vectors (§4.2), 1-bit
 // and 2-bit gradient quantization with wire encoding (§4.3), and the
 // error-feedback residual extension discussed in the related work (§2).
+//
+// # Buffer ownership
+//
+// The hot-path types recycle their internal storage (see DESIGN.md §10):
+// SparseGrad keeps dropped rows on a free list and caches its sorted index
+// slice, so a Clear/Row/Indices batch cycle is allocation-free after
+// warm-up. The price is aliasing discipline: slices returned by Row, Get,
+// Indices and ForEach are views into the accumulator, valid only until the
+// next mutating call (Row of a new id, Drop, Clear), and must never be
+// retained across batches or sent to another goroutine. Flatten is the one
+// deliberate exception — it returns fresh allocations precisely because its
+// output is handed to collectives and retained by every rank.
 package grad
 
 import (
-	"sort"
+	"slices"
 
 	"kgedist/internal/tensor"
 )
@@ -14,12 +26,21 @@ import (
 // by row id. Only rows touched by the current batch are materialized — the
 // object that the all-gather path communicates and the all-reduce path
 // scatters into a dense buffer.
+//
+// A SparseGrad is not safe for concurrent use; each training worker owns
+// its own. Cleared and dropped rows are recycled internally, so reusing one
+// accumulator across batches (Clear, then refill) allocates nothing once
+// the row working set has been seen.
 type SparseGrad struct {
 	width int
 	rows  map[int32][]float32
+	free  [][]float32 // recycled row storage: Drop/Clear push, Row pops
+	idx   []int32     // cached sorted ids, valid while idxOK
+	idxOK bool
 }
 
-// NewSparseGrad returns an empty accumulator for rows of the given width.
+// NewSparseGrad returns an empty accumulator for rows of the given width
+// (floats per row).
 func NewSparseGrad(width int) *SparseGrad {
 	if width <= 0 {
 		panic("grad: non-positive width")
@@ -27,50 +48,81 @@ func NewSparseGrad(width int) *SparseGrad {
 	return &SparseGrad{width: width, rows: make(map[int32][]float32)}
 }
 
-// Width returns the row width.
+// Width returns the row width in floats.
 func (g *SparseGrad) Width() int { return g.width }
 
 // Len returns the number of materialized rows.
 func (g *SparseGrad) Len() int { return len(g.rows) }
 
 // Row returns the gradient row for id, materializing a zero row on first
-// touch.
+// touch (from the internal free list when possible). The slice aliases the
+// accumulator's storage: it is valid until id is dropped or the accumulator
+// is cleared, and must not be retained beyond that.
 func (g *SparseGrad) Row(id int32) []float32 {
 	r, ok := g.rows[id]
 	if !ok {
-		r = make([]float32, g.width)
+		if n := len(g.free); n > 0 {
+			r = g.free[n-1]
+			g.free[n-1] = nil
+			g.free = g.free[:n-1]
+			tensor.Zero(r)
+		} else {
+			r = make([]float32, g.width)
+		}
 		g.rows[id] = r
+		g.idxOK = false
 	}
 	return r
 }
 
-// Get returns the row for id without materializing it.
+// Get returns the row for id without materializing it. The slice follows
+// the same aliasing rule as Row.
 func (g *SparseGrad) Get(id int32) ([]float32, bool) {
 	r, ok := g.rows[id]
 	return r, ok
 }
 
-// Drop removes a row (used by the selection strategies).
-func (g *SparseGrad) Drop(id int32) { delete(g.rows, id) }
+// Drop removes a row (used by the selection strategies), recycling its
+// storage. Any slice previously returned for id becomes invalid.
+func (g *SparseGrad) Drop(id int32) {
+	r, ok := g.rows[id]
+	if !ok {
+		return
+	}
+	g.free = append(g.free, r)
+	delete(g.rows, id)
+	g.idxOK = false
+}
 
-// Clear removes all rows, retaining the map for reuse.
+// Clear removes all rows, retaining both the map and the row storage for
+// reuse. Every slice previously returned by Row/Get/Indices is invalidated.
 func (g *SparseGrad) Clear() {
-	for k := range g.rows {
+	for k, r := range g.rows {
+		g.free = append(g.free, r)
 		delete(g.rows, k)
 	}
+	g.idxOK = false
 }
 
-// Indices returns the materialized row ids in ascending order.
+// Indices returns the materialized row ids in ascending order. The slice is
+// owned by the accumulator: it is valid until the next mutating call (Row
+// of a new id, Drop, Clear) and must not be modified or retained. Callers
+// that need a stable copy must append it into their own storage.
 func (g *SparseGrad) Indices() []int32 {
-	idx := make([]int32, 0, len(g.rows))
-	for id := range g.rows {
-		idx = append(idx, id)
+	if g.idxOK {
+		return g.idx
 	}
-	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
-	return idx
+	g.idx = g.idx[:0]
+	for id := range g.rows {
+		g.idx = append(g.idx, id)
+	}
+	slices.Sort(g.idx)
+	g.idxOK = true
+	return g.idx
 }
 
-// ForEach calls f for every materialized row in ascending id order.
+// ForEach calls f for every materialized row in ascending id order. f may
+// mutate row values in place but must not add or drop rows of g.
 func (g *SparseGrad) ForEach(f func(id int32, row []float32)) {
 	for _, id := range g.Indices() {
 		f(id, g.rows[id])
@@ -78,9 +130,12 @@ func (g *SparseGrad) ForEach(f func(id int32, row []float32)) {
 }
 
 // Flatten returns sorted indices and the concatenated row values in the
-// same order — the payload of the sparse all-gather exchange.
+// same order — the payload of the sparse all-gather exchange. Both slices
+// are freshly allocated on every call: the caller may hand them to a
+// collective, where every rank retains them, so they are deliberately NOT
+// recycled storage (see the package comment on ownership).
 func (g *SparseGrad) Flatten() ([]int32, []float32) {
-	idx := g.Indices()
+	idx := append([]int32(nil), g.Indices()...)
 	flat := make([]float32, len(idx)*g.width)
 	for i, id := range idx {
 		copy(flat[i*g.width:(i+1)*g.width], g.rows[id])
@@ -88,7 +143,8 @@ func (g *SparseGrad) Flatten() ([]int32, []float32) {
 	return idx, flat
 }
 
-// AddFlat accumulates flattened rows (as produced by Flatten) into g.
+// AddFlat accumulates flattened rows (as produced by Flatten) into g. The
+// input slices are only read.
 func (g *SparseGrad) AddFlat(idx []int32, flat []float32) {
 	if len(flat) != len(idx)*g.width {
 		panic("grad: AddFlat size mismatch")
@@ -100,7 +156,7 @@ func (g *SparseGrad) AddFlat(idx []int32, flat []float32) {
 
 // ScatterDense writes the rows into a dense matrix-shaped buffer of
 // rows*width floats (zeroing it first) — the payload of the dense
-// all-reduce exchange.
+// all-reduce exchange. buf is caller-owned scratch; g is only read.
 func (g *SparseGrad) ScatterDense(buf []float32) {
 	tensor.Zero(buf)
 	for id, row := range g.rows {
@@ -110,6 +166,7 @@ func (g *SparseGrad) ScatterDense(buf []float32) {
 }
 
 // AccumulateDense adds a dense matrix-shaped buffer's non-zero rows into g.
+// buf is only read.
 func (g *SparseGrad) AccumulateDense(buf []float32) {
 	for off := 0; off+g.width <= len(buf); off += g.width {
 		row := buf[off : off+g.width]
@@ -120,7 +177,8 @@ func (g *SparseGrad) AccumulateDense(buf []float32) {
 }
 
 // NormStats summarizes the 2-norms of the rows: the mean norm is the
-// threshold constant C of the paper's random-selection strategy.
+// threshold constant C of the paper's random-selection strategy. The
+// returned map is freshly allocated and owned by the caller.
 func (g *SparseGrad) NormStats() (mean float32, norms map[int32]float32) {
 	norms = make(map[int32]float32, len(g.rows))
 	if len(g.rows) == 0 {
@@ -135,8 +193,8 @@ func (g *SparseGrad) NormStats() (mean float32, norms map[int32]float32) {
 	return float32(sum / float64(len(g.rows))), norms
 }
 
-// PayloadBytes returns the wire size of the uncompressed sparse exchange:
-// 4 bytes per index plus 4 bytes per value.
+// PayloadBytes returns the wire size in bytes of the uncompressed sparse
+// exchange: 4 bytes per index plus 4 bytes per value.
 func (g *SparseGrad) PayloadBytes() int {
 	return 4*len(g.rows) + 4*len(g.rows)*g.width
 }

@@ -110,6 +110,13 @@ func Train(cfg Config, d *kg.Dataset) (*Result, *model.Params, error) {
 	// Static shard per thread; each thread re-shuffles its shard per epoch.
 	shards := kg.UniformPartition(d.Train, threads)
 
+	// One scratch per worker for the whole run: each is owned by exactly one
+	// tID across epochs, so the per-triple inner loop never allocates.
+	scratches := make([]*model.Scratch, threads)
+	for i := range scratches {
+		scratches[i] = model.NewScratch(w)
+	}
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		var wg sync.WaitGroup
 		for tID := 0; tID < threads; tID++ {
@@ -120,7 +127,7 @@ func Train(cfg Config, d *kg.Dataset) (*Result, *model.Params, error) {
 				sampler := model.NewNegSampler(d.NumEntities, rng.Split(1))
 				shard := shards[tID]
 				order := rng.Perm(len(shard))
-				ws := newWorkspace(w)
+				ws := scratches[tID]
 				for _, i := range order {
 					pos := shard[i]
 					step(m, params, pos, 1, lr, ws)
@@ -145,36 +152,22 @@ func Train(cfg Config, d *kg.Dataset) (*Result, *model.Params, error) {
 	}, params, nil
 }
 
-// workspace holds one worker's thread-local row snapshots and gradient
-// scratch, allocated once per worker per epoch.
-type workspace struct {
-	h, r, t    []float32 // row snapshots
-	gh, gr, gt []float32 // gradient accumulators
-}
-
-func newWorkspace(w int) *workspace {
-	return &workspace{
-		h: make([]float32, w), r: make([]float32, w), t: make([]float32, w),
-		gh: make([]float32, w), gr: make([]float32, w), gt: make([]float32, w),
-	}
-}
-
 // step applies one lock-free SGD update for a labeled triple: atomic row
 // snapshots in, gradient on the thread-local copies, CAS-axpy updates out.
 // Another thread may update a row between our snapshot and our axpy; the
 // axpy still lands atomically on the then-current values, which is exactly
-// the stale-gradient tolerance the Hogwild analysis relies on.
-func step(m model.Model, p *model.Params, tr kg.Triple, y float32, lr float32, ws *workspace) {
-	p.Entity.AtomicRowLoad(int(tr.H), ws.h)
-	p.Relation.AtomicRowLoad(int(tr.R), ws.r)
-	p.Entity.AtomicRowLoad(int(tr.T), ws.t)
-	for i := range ws.gh {
-		ws.gh[i], ws.gr[i], ws.gt[i] = 0, 0, 0
-	}
-	score := m.ScoreRows(ws.h, ws.r, ws.t)
+// the stale-gradient tolerance the Hogwild analysis relies on. ws is the
+// calling worker's exclusively-owned scratch; step itself is
+// allocation-free.
+func step(m model.Model, p *model.Params, tr kg.Triple, y float32, lr float32, ws *model.Scratch) {
+	p.Entity.AtomicRowLoad(int(tr.H), ws.H)
+	p.Relation.AtomicRowLoad(int(tr.R), ws.R)
+	p.Entity.AtomicRowLoad(int(tr.T), ws.T)
+	ws.ZeroGrads()
+	score := m.ScoreRows(ws.H, ws.R, ws.T)
 	coef := model.LogisticLossGrad(score, y)
-	m.AccumulateScoreGradRows(ws.h, ws.r, ws.t, coef, ws.gh, ws.gr, ws.gt)
-	p.Entity.AtomicRowAxpy(int(tr.H), -lr, ws.gh)
-	p.Relation.AtomicRowAxpy(int(tr.R), -lr, ws.gr)
-	p.Entity.AtomicRowAxpy(int(tr.T), -lr, ws.gt)
+	m.AccumulateScoreGradRows(ws.H, ws.R, ws.T, coef, ws.GH, ws.GR, ws.GT)
+	p.Entity.AtomicRowAxpy(int(tr.H), -lr, ws.GH)
+	p.Relation.AtomicRowAxpy(int(tr.R), -lr, ws.GR)
+	p.Entity.AtomicRowAxpy(int(tr.T), -lr, ws.GT)
 }

@@ -1,0 +1,48 @@
+package model
+
+import (
+	"testing"
+
+	"kgedist/internal/xrand"
+)
+
+// Per-model kernel benchmarks: one scored triple and one score+grad step
+// through a warm Scratch, the inner loop of training and serving. The
+// triples/sec metric is what the paper's throughput plots are built from.
+
+func benchSetup(name string) (Model, *Params, *Scratch) {
+	m := New(name, 64)
+	p := NewParams(m, 1000, 20)
+	p.Init(m, xrand.New(1))
+	return m, p, NewScratch(m.Width())
+}
+
+func BenchmarkScore(b *testing.B) {
+	for _, name := range []string{"complex", "distmult", "transe"} {
+		b.Run(name, func(b *testing.B) {
+			m, p, s := benchSetup(name)
+			b.ReportAllocs()
+			var sink float32
+			for i := 0; i < b.N; i++ {
+				sink += s.Score(m, p, int32(i%1000), int32(i%20), int32((i+7)%1000))
+			}
+			_ = sink
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "triples/sec")
+		})
+	}
+}
+
+func BenchmarkScoreGradStep(b *testing.B) {
+	for _, name := range []string{"complex", "distmult", "transe"} {
+		b.Run(name, func(b *testing.B) {
+			m, p, s := benchSetup(name)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc := s.Score(m, p, int32(i%1000), int32(i%20), int32((i+7)%1000))
+				s.ZeroGrads()
+				m.AccumulateScoreGradRows(s.H, s.R, s.T, LogisticLossGrad(sc, 1), s.GH, s.GR, s.GT)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "triples/sec")
+		})
+	}
+}

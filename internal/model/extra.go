@@ -163,23 +163,28 @@ func (m *TransH) AccumulateScoreGradRows(hRow, rel, tRow []float32, coef float32
 	wh := tensor.Dot(w, h)
 	wt := tensor.Dot(w, tt)
 
-	// diff = proj(h) + d - proj(t); score = -||diff||^2.
-	diff := make([]float32, d)
-	for i := 0; i < d; i++ {
-		diff[i] = (h[i] - wh*w[i]) + dvec[i] - (tt[i] - wt*w[i])
+	// diff = proj(h) + d - proj(t); score = -||diff||^2. diff_i is cheap
+	// enough to recompute that two passes beat a scratch slice — this keeps
+	// the kernel allocation-free for any caller.
+	diffAt := func(i int) float32 {
+		return (h[i] - wh*w[i]) + dvec[i] - (tt[i] - wt*w[i])
 	}
-	diffW := tensor.Dot(diff, w)
+	var diffW float32
+	for i := 0; i < d; i++ {
+		diffW += diffAt(i) * w[i]
+	}
 	c := -2 * coef
 	ghv, gtv := gh[:d], gt[:d]
 	grw, grd := gr[:d], gr[d:]
 	for i := 0; i < d; i++ {
+		diff := diffAt(i)
 		// d diff/d h_i = e_i - w_i w  => contribution diff_i - (diff.w) w_i.
-		ghv[i] += c * (diff[i] - diffW*w[i])
-		gtv[i] += c * (-(diff[i] - diffW*w[i]))
+		ghv[i] += c * (diff - diffW*w[i])
+		gtv[i] += c * (-(diff - diffW*w[i]))
 		// d diff/d d_i = e_i.
-		grd[i] += c * diff[i]
+		grd[i] += c * diff
 		// d diff/d w_i: -(w.h) diff_i - (diff.w) h_i + (w.t) diff_i + (diff.w) t_i.
-		grw[i] += c * (-(wh)*diff[i] - diffW*h[i] + wt*diff[i] + diffW*tt[i])
+		grw[i] += c * (-(wh)*diff - diffW*h[i] + wt*diff + diffW*tt[i])
 	}
 }
 

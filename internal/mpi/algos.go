@@ -1,5 +1,7 @@
 package mpi
 
+import "kgedist/internal/pool"
+
 // This file carries the alternative collective algorithms used by the
 // DESIGN.md §5 ablations: recursive-doubling all-reduce (latency-optimal for
 // small payloads, vs the bandwidth-optimal ring) and a Bruck-style
@@ -13,7 +15,8 @@ package mpi
 //
 // For non-power-of-two worlds the standard pre/post folding is applied:
 // the first P-2^m ranks fold into partners, the power-of-two core runs
-// recursive doubling, and the result is copied back out.
+// recursive doubling, and the result is copied back out. buf is
+// caller-owned; exchange staging copies are pooled as in AllReduceSum.
 func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 	if err := c.enter(); err != nil {
 		return 0, err
@@ -32,7 +35,7 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 		// Pre-fold: ranks [m, p) send their buffer to r-m, which adds.
 		inCore := true
 		if r >= m {
-			out := make([]float32, n)
+			out := pool.GetF32Uninit(n)
 			copy(out, buf)
 			if err := c.send(r-m, message{f32: out}); err != nil {
 				return 0, err
@@ -46,12 +49,13 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 			for i, v := range msg.f32 {
 				buf[i] += v
 			}
+			pool.PutF32(msg.f32)
 		}
 
 		if inCore {
 			for k := 1; k < m; k <<= 1 {
 				partner := r ^ k
-				out := make([]float32, n)
+				out := pool.GetF32Uninit(n)
 				copy(out, buf)
 				if err := c.send(partner, message{f32: out}); err != nil {
 					return 0, err
@@ -63,12 +67,13 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 				for i, v := range msg.f32 {
 					buf[i] += v
 				}
+				pool.PutF32(msg.f32)
 			}
 		}
 
 		// Post-fold: core ranks send the final result back out.
 		if r < rem {
-			out := make([]float32, n)
+			out := pool.GetF32Uninit(n)
 			copy(out, buf)
 			if err := c.send(r+m, message{f32: out}); err != nil {
 				return 0, err
@@ -79,6 +84,7 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 				return 0, err
 			}
 			copy(buf, msg.f32)
+			pool.PutF32(msg.f32)
 		}
 	}
 	if err := c.finish(cost, moved, msgs, tag); err != nil {

@@ -1,5 +1,7 @@
 package mpi
 
+import "kgedist/internal/pool"
+
 // Additional collectives rounding out the substrate: reduce-scatter (the
 // first half of the ring all-reduce, exposed standalone), gather and
 // scatter. The trainer itself only needs all-reduce/all-gather; these
@@ -16,6 +18,7 @@ package mpi
 // cost. Chunk boundaries are i*n/P; rank r ends up owning chunk (r+1) mod P,
 // as in the ring algorithm. The rest of buf is left partially reduced,
 // mirroring MPI_Reduce_scatter's contract of only defining the local chunk.
+// buf is caller-owned; ring staging copies are pooled as in AllReduceSum.
 func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost float64, err error) {
 	if err := c.enter(); err != nil {
 		return 0, 0, 0, err
@@ -33,18 +36,15 @@ func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost flo
 		msgs = steps * int64(p)
 
 		r := c.rank
-		bound := make([]int, p+1)
-		for i := 0; i <= p; i++ {
-			bound[i] = i * n / p
-		}
-		chunk := func(i int) []float32 { return buf[bound[i]:bound[i+1]] }
+		chunk := func(i int) []float32 { return buf[i*n/p : (i+1)*n/p] }
 		right := (r + 1) % p
 		left := (r - 1 + p) % p
 		for s := 0; s < p-1; s++ {
 			sendIdx := ((r-s)%p + p) % p
 			recvIdx := ((r-s-1)%p + p) % p
-			out := make([]float32, len(chunk(sendIdx)))
-			copy(out, chunk(sendIdx))
+			src := chunk(sendIdx)
+			out := pool.GetF32Uninit(len(src))
+			copy(out, src)
 			if err := c.send(right, message{f32: out}); err != nil {
 				return 0, 0, 0, err
 			}
@@ -56,9 +56,10 @@ func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost flo
 			for i, v := range m.f32 {
 				dst[i] += v
 			}
+			pool.PutF32(m.f32)
 		}
 		own := (r + 1) % p
-		lo, hi = bound[own], bound[own+1]
+		lo, hi = own*n/p, (own+1)*n/p
 	}
 	if err := c.finish(cost, moved, msgs, tag); err != nil {
 		return 0, 0, 0, err
@@ -68,6 +69,8 @@ func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost flo
 
 // Gather collects every rank's payload at root, indexed by source rank;
 // non-root ranks return nil. Payload sizes may differ per rank.
+// Ownership: payload transfers to the root (it is retained in the result
+// without copying), so senders must pass freshly allocated slices.
 func (c *Comm) Gather(payload []float32, root int, tag string) ([][]float32, error) {
 	p := c.w.p
 	var out [][]float32
@@ -111,7 +114,9 @@ func (c *Comm) Gather(payload []float32, root int, tag string) ([][]float32, err
 }
 
 // Scatter distributes root's per-rank payloads; every rank returns its own
-// part. parts is only read at the root and must have one entry per rank.
+// part. parts must have one entry per rank at the root. Ownership: each
+// part transfers to its receiving rank without copying, so the root must
+// pass freshly allocated slices and not mutate them afterwards.
 func (c *Comm) Scatter(parts [][]float32, root int, tag string) ([]float32, error) {
 	p := c.w.p
 	if p == 1 {

@@ -19,6 +19,18 @@
 // deadline expiry, or rank panic) surfaces as a *RankFailedError on every
 // survivor rather than a deadlock or a panic — see fault.go for the failure
 // model and World.Shrink for recovery.
+//
+// # Buffer ownership
+//
+// Two disciplines keep the hot path allocation-free without data races
+// (DESIGN.md §10). Point-to-point staging copies inside the dense
+// collectives (AllReduceSum, ReduceScatterSum, Broadcast, AllReduceSumRD)
+// are recycled through internal/pool: the sender gets a buffer, exactly one
+// receiver consumes it and puts it back. All-gather payloads
+// (AllGatherRows, AllGatherBytes, Gather, Scatter) are the opposite: the
+// ring rotation shares one backing array with every rank, so the payload
+// ownership transfers to the world — callers must pass freshly allocated
+// slices and treat the returned ones as immutable.
 package mpi
 
 import (
@@ -29,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"kgedist/internal/pool"
 	"kgedist/internal/simnet"
 )
 
@@ -308,7 +321,10 @@ func (c *Comm) Barrier() error {
 }
 
 // Broadcast sends root's buf to every rank's buf via a binomial tree.
-// Returns the virtual cost of the operation.
+// Returns the virtual cost of the operation. buf is caller-owned and fully
+// overwritten on non-root ranks; staging copies travel through the pool
+// (sender gets, the single receiver consumes and puts), so the steady-state
+// exchange allocates nothing.
 func (c *Comm) Broadcast(buf []float32, root int) (float64, error) {
 	if err := c.enter(); err != nil {
 		return 0, err
@@ -326,7 +342,7 @@ func (c *Comm) Broadcast(buf []float32, root int) (float64, error) {
 					panic("mpi: broadcast tree order violated")
 				}
 				dst := (vr + k + root) % p
-				out := make([]float32, len(buf))
+				out := pool.GetF32Uninit(len(buf))
 				copy(out, buf)
 				if err := c.send(dst, message{f32: out}); err != nil {
 					return 0, err
@@ -338,6 +354,7 @@ func (c *Comm) Broadcast(buf []float32, root int) (float64, error) {
 					return 0, err
 				}
 				copy(buf, m.f32)
+				pool.PutF32(m.f32)
 				received = true
 			}
 		}
@@ -353,6 +370,11 @@ func (c *Comm) Broadcast(buf []float32, root int) (float64, error) {
 // all-gather — the dense "all-reduce" path of the paper's baseline. All
 // ranks must pass equal-length buffers. Returns the virtual cost. On
 // failure, buf is left in an unspecified partially-reduced state.
+//
+// buf is caller-owned and never retained. Ring staging copies are recycled
+// through the pool: the sender stages into a pooled buffer, the single
+// receiving rank folds it into its chunk and releases it, so the per-round
+// exchange is allocation-free after warm-up.
 func (c *Comm) AllReduceSum(buf []float32, tag string) (float64, error) {
 	if err := c.enter(); err != nil {
 		return 0, err
@@ -362,12 +384,9 @@ func (c *Comm) AllReduceSum(buf []float32, tag string) (float64, error) {
 	cost, moved, msgs := c.w.cluster.RingAllReduceCost(int64(4 * n))
 	if p > 1 && n > 0 {
 		r := c.rank
-		// Chunk boundaries: chunk i covers [bound[i], bound[i+1]).
-		bound := make([]int, p+1)
-		for i := 0; i <= p; i++ {
-			bound[i] = i * n / p
-		}
-		chunk := func(i int) []float32 { return buf[bound[i]:bound[i+1]] }
+		// Chunk i covers [i*n/p, (i+1)*n/p) — computed arithmetically so the
+		// boundaries need no per-call slice.
+		chunk := func(i int) []float32 { return buf[i*n/p : (i+1)*n/p] }
 		right := (r + 1) % p
 		left := (r - 1 + p) % p
 		// Phase 1: reduce-scatter. After step s, each rank has accumulated
@@ -375,8 +394,9 @@ func (c *Comm) AllReduceSum(buf []float32, tag string) (float64, error) {
 		for s := 0; s < p-1; s++ {
 			sendIdx := ((r-s)%p + p) % p
 			recvIdx := ((r-s-1)%p + p) % p
-			out := make([]float32, len(chunk(sendIdx)))
-			copy(out, chunk(sendIdx))
+			src := chunk(sendIdx)
+			out := pool.GetF32Uninit(len(src))
+			copy(out, src)
 			if err := c.send(right, message{f32: out}); err != nil {
 				return 0, err
 			}
@@ -388,13 +408,15 @@ func (c *Comm) AllReduceSum(buf []float32, tag string) (float64, error) {
 			for i, v := range m.f32 {
 				dst[i] += v
 			}
+			pool.PutF32(m.f32)
 		}
 		// Phase 2: all-gather the reduced chunks.
 		for s := 0; s < p-1; s++ {
 			sendIdx := ((r+1-s)%p + p) % p
 			recvIdx := ((r-s)%p + p) % p
-			out := make([]float32, len(chunk(sendIdx)))
-			copy(out, chunk(sendIdx))
+			src := chunk(sendIdx)
+			out := pool.GetF32Uninit(len(src))
+			copy(out, src)
 			if err := c.send(right, message{f32: out}); err != nil {
 				return 0, err
 			}
@@ -403,6 +425,7 @@ func (c *Comm) AllReduceSum(buf []float32, tag string) (float64, error) {
 				return 0, err
 			}
 			copy(chunk(recvIdx), m.f32)
+			pool.PutF32(m.f32)
 		}
 	}
 	if err := c.finish(cost, moved, msgs, tag); err != nil {
@@ -454,6 +477,13 @@ func (c *Comm) ringAllGather(own block) ([]block, error) {
 // indices and a flat values buffer (len(idx)*dim values). Every rank
 // receives all contributions, indexed by source rank. This is the paper's
 // "all-gather" (sparse) exchange. Returns the virtual cost.
+//
+// Ownership: calling this transfers idx and vals to the world — the ring
+// rotation hands the same backing arrays to every rank, and peers may still
+// be reading them after this rank returns. The caller must pass freshly
+// allocated slices (never pooled or recycled scratch) and must not mutate
+// them afterwards. The returned per-source slices follow the same rule:
+// read-only, shared with all other ranks.
 func (c *Comm) AllGatherRows(idx []int32, vals []float32, tag string) (allIdx [][]int32, allVals [][]float32, cost float64, err error) {
 	if err := c.enter(); err != nil {
 		return nil, nil, 0, err
@@ -481,6 +511,9 @@ func (c *Comm) AllGatherRows(idx []int32, vals []float32, tag string) (allIdx []
 
 // AllGatherBytes gathers one opaque byte payload per rank (used for
 // bit-packed quantized gradients). Returns per-source payloads and cost.
+// Ownership follows AllGatherRows: payload transfers to the world and must
+// be freshly allocated; the returned payloads are read-only and shared
+// across ranks.
 func (c *Comm) AllGatherBytes(payload []byte, tag string) ([][]byte, float64, error) {
 	if err := c.enter(); err != nil {
 		return nil, 0, err

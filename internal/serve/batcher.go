@@ -48,6 +48,11 @@ type Batcher struct {
 	done    chan struct{}
 	mu      sync.RWMutex // guards stopped against in-flight Submit sends
 	stopped bool
+
+	// Dispatcher-goroutine-only scratch, reused across batches so the
+	// steady-state dispatch path allocates nothing per batch.
+	batchBuf []*batchReq
+	qsBuf    []PredictQuery
 }
 
 type batchReq struct {
@@ -56,8 +61,10 @@ type batchReq struct {
 }
 
 // NewBatcher starts a batcher. exec receives 1..maxBatch queries and must
-// return exactly one result per query, in order. window <= 0 flushes as
-// soon as the queue drains; maxBatch is clamped to at least 1.
+// return exactly one result per query, in order. The query slice is
+// batcher-owned scratch, valid only for the duration of the call — exec
+// must not retain it. window <= 0 flushes as soon as the queue drains;
+// maxBatch is clamped to at least 1.
 func NewBatcher(maxBatch int, window time.Duration, sizes *metrics.Histogram, exec func([]PredictQuery) []PredictResult) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
@@ -113,7 +120,7 @@ func (b *Batcher) dispatch() {
 			b.drain()
 			return
 		}
-		batch := append(make([]*batchReq, 0, b.max), first)
+		batch := append(b.batchBuf[:0], first)
 		if b.window > 0 {
 			timer := time.NewTimer(b.window)
 		collect:
@@ -139,6 +146,7 @@ func (b *Batcher) dispatch() {
 			}
 		}
 	run:
+		b.batchBuf = batch // hand grown capacity back for the next batch
 		b.run(batch)
 	}
 }
@@ -147,7 +155,7 @@ func (b *Batcher) dispatch() {
 // chunks, so no Submit is left blocked.
 func (b *Batcher) drain() {
 	for {
-		batch := make([]*batchReq, 0, b.max)
+		batch := b.batchBuf[:0]
 		for len(batch) < b.max {
 			select {
 			case r := <-b.reqs:
@@ -169,7 +177,10 @@ func (b *Batcher) run(batch []*batchReq) {
 	if b.sizes != nil {
 		b.sizes.Observe(float64(len(batch)))
 	}
-	qs := make([]PredictQuery, len(batch))
+	if cap(b.qsBuf) < len(batch) {
+		b.qsBuf = make([]PredictQuery, len(batch))
+	}
+	qs := b.qsBuf[:len(batch)]
 	for i, r := range batch {
 		qs[i] = r.q
 	}
@@ -180,5 +191,6 @@ func (b *Batcher) run(batch []*batchReq) {
 		} else {
 			r.out <- PredictResult{Err: errors.New("serve: batch exec returned short result set")}
 		}
+		batch[i] = nil // drop the request reference; batch is recycled
 	}
 }

@@ -6,6 +6,13 @@
 // BLAS-1 style kernels over rows. Everything here is allocation-free unless
 // documented otherwise, so hot loops in training stay off the garbage
 // collector.
+//
+// Ownership and concurrency: the free-function kernels (Dot, Axpy, ...)
+// only read their inputs and write their named outputs; they never retain a
+// slice past the call. None of them are synchronized — a slice shared
+// between goroutines must be accessed through the Atomic* accessors in
+// atomic.go, which is how the hogwild trainer uses a shared Matrix; the
+// plain kernels are for exclusively-owned rows and scratch.
 package tensor
 
 import "math"
@@ -153,6 +160,10 @@ func Fill(x []float32, v float32) {
 // Matrix is a dense row-major matrix of float32 whose rows are embedding
 // vectors. Data is a single backing slice of Rows*Cols elements, so a whole
 // matrix can be communicated or checkpointed as one contiguous buffer.
+//
+// A Matrix has no internal synchronization. Concurrent access to rows that
+// may be written (the hogwild parameter store) must go through AtomicRow*;
+// read-only sharing of a frozen matrix (the serving store) is safe as-is.
 type Matrix struct {
 	Rows, Cols int
 	Data       []float32
@@ -166,7 +177,9 @@ func NewMatrix(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
 }
 
-// Row returns row i as a mutable slice view into the backing array.
+// Row returns row i as a mutable slice view into the backing array — no
+// copy is made, so writes through the view are writes to the matrix, and
+// the view stays valid (and aliased) for the life of the Matrix.
 func (m *Matrix) Row(i int) []float32 {
 	if i < 0 || i >= m.Rows {
 		panic("tensor: Matrix row out of range")
