@@ -10,13 +10,14 @@ BENCH_OUT ?= BENCH_$(shell date +%F).json
 # parameter-server shards, the trainer that drives them) get a dedicated
 # race-detector tier. -short keeps the long end-to-end learning runs out of
 # the ~10-20x race slowdown; unit-level coverage stays on.
-RACE_PKGS = ./internal/hogwild/ ./internal/mpi/ ./internal/simnet/ ./internal/ps/ ./internal/core/ ./internal/tensor/
+RACE_PKGS = ./internal/hogwild/ ./internal/mpi/ ./internal/simnet/ ./internal/ps/ ./internal/core/ ./internal/tensor/ ./internal/testkit/
 
 # Packages with kernel micro-benchmarks (ns/op, allocs/op, triples/sec);
 # the top-level package adds the end-to-end paper-table benchmarks.
 BENCH_PKGS = ./internal/grad/ ./internal/mpi/ ./internal/model/ ./internal/pool/ ./internal/tensor/ ./internal/serve/
 
-.PHONY: all build vet lint test race bench bench-smoke faults serve ci help
+.PHONY: all build vet lint test race bench bench-smoke faults serve \
+	verify-stats soak coverage coverage-update ci help
 
 all: build
 
@@ -75,8 +76,49 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./...
 
-## ci: everything CI runs (build vet lint test race faults serve bench-smoke)
-ci: build vet lint test race faults serve bench-smoke
+# Statistical verification (internal/testkit via cmd/kgeverify): golden-run
+# convergence regression over every strategy combination, diffed against the
+# committed reference with first-diverging-epoch diagnosis, plus the CLT-
+# bounded property checks (quantizer/selection unbiasedness, RP invariants,
+# DRS switch permanence, SS ordering). Deterministic: same build, same
+# verdict. See TESTING.md for how to read failures and update goldens.
+## verify-stats: golden-run regression + statistical property checks
+verify-stats:
+	$(GO) run ./cmd/kgeverify
+
+# Chaos soak under the race detector: randomized-but-seeded
+# train -> crash -> shrink -> recover -> checkpoint -> serve-reload cycles
+# asserting MRR within tolerance of a fault-free baseline, a gap-free epoch
+# ledger, bit-exact checkpoint round-trips, and correct serving before and
+# after hot reload. Nightly CI runs this; it is minutes, not seconds.
+## soak: chaos soak (train/crash/recover/serve loops) under -race
+soak:
+	$(GO) run -race ./cmd/kgeverify -soak -seed 1 -iters 5 -v
+
+# Per-package coverage, compared against the checked-in baseline
+# (COVERAGE_BASELINE.txt). A package may drop at most COVERAGE_TOL points
+# before the target fails; refresh the baseline deliberately with
+# `make coverage-update` when coverage legitimately moves.
+COVERAGE_TOL ?= 3.0
+
+## coverage: per-package coverage summary vs COVERAGE_BASELINE.txt
+coverage:
+	$(GO) test -count=1 -cover ./... \
+		| awk '/coverage:/ { pkg = ($$1=="ok") ? $$2 : $$1; pct=""; for (i=1;i<=NF;i++) if ($$i=="coverage:") pct=$$(i+1); if (pct !~ /%$$/) next; gsub(/%/,"",pct); printf "%-40s %s\n", pkg, pct }' \
+		| sort > coverage.txt
+	@cat coverage.txt
+	@awk -v tol=$(COVERAGE_TOL) \
+		'NR==FNR { base[$$1]=$$2; next } \
+		 ($$1 in base) && $$2+0 < base[$$1]-tol { printf "coverage regression: %s at %.1f%%, baseline %.1f%% (tolerance %.1f pts)\n", $$1, $$2, base[$$1], tol; bad=1 } \
+		 END { exit bad }' COVERAGE_BASELINE.txt coverage.txt
+	@echo "coverage: OK within $(COVERAGE_TOL) points of COVERAGE_BASELINE.txt"
+
+## coverage-update: refresh COVERAGE_BASELINE.txt from a fresh coverage run
+coverage-update: coverage
+	cp coverage.txt COVERAGE_BASELINE.txt
+
+## ci: everything CI runs (build vet lint test race faults serve verify-stats coverage bench-smoke)
+ci: build vet lint test race faults serve verify-stats coverage bench-smoke
 
 ## help: list targets
 help:

@@ -83,7 +83,9 @@ func Parse(r io.Reader) ([]Benchmark, error) {
 			continue
 		}
 		runs, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
+		if err != nil || runs < 0 {
+			// Not an iteration count (go test never prints a negative N), so
+			// this is not a result line.
 			continue
 		}
 		b := Benchmark{Name: fields[0], Package: pkg, Runs: runs}

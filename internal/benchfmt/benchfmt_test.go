@@ -23,6 +23,7 @@ ok  	kgedist/internal/mpi	1.234s
 `
 
 func TestParse(t *testing.T) {
+	t.Parallel()
 	bs, err := Parse(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
@@ -49,6 +50,7 @@ func TestParse(t *testing.T) {
 }
 
 func TestParseIgnoresNoise(t *testing.T) {
+	t.Parallel()
 	noise := "random text\nBenchmarkInProgress\nBenchmarkBad notanumber 12 ns/op\n--- FAIL: TestX\n"
 	bs, err := Parse(strings.NewReader(noise))
 	if err != nil {
@@ -81,6 +83,7 @@ func sampleFile() *File {
 // decoding it back must be lossless, and the JSON field names must stay
 // exactly as documented in PERFORMANCE.md.
 func TestFileRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := sampleFile()
 	var buf bytes.Buffer
 	if err := f.Encode(&buf); err != nil {
@@ -96,6 +99,7 @@ func TestFileRoundTrip(t *testing.T) {
 }
 
 func TestSchemaFieldNamesPinned(t *testing.T) {
+	t.Parallel()
 	var buf bytes.Buffer
 	if err := sampleFile().Encode(&buf); err != nil {
 		t.Fatal(err)
@@ -118,6 +122,7 @@ func TestSchemaFieldNamesPinned(t *testing.T) {
 }
 
 func TestValidateRejects(t *testing.T) {
+	t.Parallel()
 	cases := map[string]func(*File){
 		"wrong schema":  func(f *File) { f.Schema = "other/v9" },
 		"no go version": func(f *File) { f.GoVersion = "" },
@@ -136,6 +141,7 @@ func TestValidateRejects(t *testing.T) {
 }
 
 func TestEndToEnd(t *testing.T) {
+	t.Parallel()
 	bs, err := Parse(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)

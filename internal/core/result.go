@@ -16,6 +16,12 @@ type EpochStats struct {
 	// ValAccuracy is the validation pairwise-ranking accuracy in percent
 	// (the convergence metric driving the LR schedule and early stop).
 	ValAccuracy float64
+	// TrainLoss is rank 0's mean per-example training loss this epoch
+	// (logistic or hinge, per the configured objective). It is a rank-local
+	// observable — no collective is spent on it — but with a fixed seed it
+	// is fully deterministic, which is what the golden-run convergence
+	// regression harness (internal/testkit) pins.
+	TrainLoss float64
 	// ValTCA is the validation triple-classification accuracy in percent
 	// (recorded when TrackEpochStats; used by the TCA-vs-epoch figures).
 	ValTCA float64

@@ -353,6 +353,8 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 		epochRng.ShuffleInts(order)
 
 		var nnzSum float64
+		var lossSum float64
+		var lossN int
 		var selBefore, selDropped int
 		probed := false
 		lr := float32(plateau.LR())
@@ -370,7 +372,10 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 				}
 				for i := 0; i < nIter; i++ {
 					pos := shard[order[(b*cfg.BatchSize+i)%len(shard)]]
-					flops += t.trainExample(params, pos, sampler, entG, relG, negBuf)
+					f, loss, n := t.trainExample(params, pos, sampler, entG, relG, negBuf)
+					flops += f
+					lossSum += loss
+					lossN += n
 				}
 			}
 			// Drop numerically-zero rows (saturated triples contribute
@@ -481,6 +486,9 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 			if t.batchesPerEpoch > 0 {
 				es.NonZeroGradRows = nnzSum / float64(t.batchesPerEpoch)
 			}
+			if lossN > 0 {
+				es.TrainLoss = lossSum / float64(lossN)
+			}
 			if selBefore > 0 {
 				es.Sparsity = float64(selDropped) / float64(selBefore)
 			}
@@ -569,10 +577,11 @@ func (t *trainRun) checkpointEpoch(c *mpi.Comm, epoch int) error {
 }
 
 // trainExample processes one positive triple and its negatives under the
-// configured objective and sampling scheme, returning the flops spent.
-func (t *trainRun) trainExample(p *model.Params, pos kg.Triple, sampler model.Corrupter, entG, relG *grad.SparseGrad, negBuf []kg.Triple) float64 {
+// configured objective and sampling scheme. It returns the flops spent, the
+// summed per-example loss, and the number of loss terms contributing (so the
+// caller can track a mean training loss per epoch).
+func (t *trainRun) trainExample(p *model.Params, pos kg.Triple, sampler model.Corrupter, entG, relG *grad.SparseGrad, negBuf []kg.Triple) (flops, lossSum float64, lossN int) {
 	cfg := t.cfg
-	var flops float64
 	var negs []kg.Triple
 	if cfg.NegSelect {
 		neg, extra := model.SelectHardest(t.m, p, sampler, pos, cfg.NegSamples, negBuf)
@@ -588,28 +597,36 @@ func (t *trainRun) trainExample(p *model.Params, pos kg.Triple, sampler model.Co
 		for _, neg := range negs {
 			sNeg := t.m.Score(p, neg)
 			flops += t.m.ScoreFlops()
-			if float32(cfg.Margin)-sPos+sNeg > 0 {
+			if hinge := float32(cfg.Margin) - sPos + sNeg; hinge > 0 {
+				lossSum += float64(hinge)
 				t.m.AccumulateScoreGrad(p, pos, -1, entG.Row(pos.H), relG.Row(pos.R), entG.Row(pos.T))
 				t.m.AccumulateScoreGrad(p, neg, 1, entG.Row(neg.H), relG.Row(neg.R), entG.Row(neg.T))
 				flops += 2 * t.m.GradFlops()
 			}
+			lossN++
 		}
-		return flops
+		return flops, lossSum, lossN
 	}
-	flops += t.accumulateTriple(p, pos, 1, entG, relG)
+	f, l := t.accumulateTriple(p, pos, 1, entG, relG)
+	flops += f
+	lossSum += l
+	lossN++
 	for _, neg := range negs {
-		flops += t.accumulateTriple(p, neg, -1, entG, relG)
+		f, l = t.accumulateTriple(p, neg, -1, entG, relG)
+		flops += f
+		lossSum += l
+		lossN++
 	}
-	return flops
+	return flops, lossSum, lossN
 }
 
 // accumulateTriple adds the loss gradient of one labeled triple into the
-// sparse gradients and returns the flops spent.
-func (t *trainRun) accumulateTriple(p *model.Params, tr kg.Triple, y float32, entG, relG *grad.SparseGrad) float64 {
+// sparse gradients and returns the flops spent plus the triple's loss value.
+func (t *trainRun) accumulateTriple(p *model.Params, tr kg.Triple, y float32, entG, relG *grad.SparseGrad) (float64, float64) {
 	score := t.m.Score(p, tr)
 	coef := model.LogisticLossGrad(score, y)
 	t.m.AccumulateScoreGrad(p, tr, coef, entG.Row(tr.H), relG.Row(tr.R), entG.Row(tr.T))
-	return t.m.ScoreFlops() + t.m.GradFlops()
+	return t.m.ScoreFlops() + t.m.GradFlops(), float64(model.LogisticLoss(score, y))
 }
 
 // dropZeroRows removes rows with negligible norm, returning the flops spent

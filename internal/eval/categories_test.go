@@ -10,6 +10,7 @@ import (
 )
 
 func TestCategorizeRelations(t *testing.T) {
+	t.Parallel()
 	// Relation 0: one head, one tail per pair (1-1).
 	// Relation 1: one head fanning to many tails (1-N).
 	// Relation 2: many heads converging on one tail (N-1).
@@ -36,6 +37,7 @@ func TestCategorizeRelations(t *testing.T) {
 }
 
 func TestCategoryStrings(t *testing.T) {
+	t.Parallel()
 	names := map[RelationCategory]string{
 		Cat1To1: "1-1", Cat1ToN: "1-N", CatNTo1: "N-1", CatNToN: "N-N",
 		CatUnknown: "unknown",
@@ -48,6 +50,7 @@ func TestCategoryStrings(t *testing.T) {
 }
 
 func TestDetailedLinkPredictionPerfectModel(t *testing.T) {
+	t.Parallel()
 	d := &kg.Dataset{
 		NumEntities:  5,
 		NumRelations: 1,
@@ -69,6 +72,7 @@ func TestDetailedLinkPredictionPerfectModel(t *testing.T) {
 }
 
 func TestDetailedLinkPredictionSidesDiffer(t *testing.T) {
+	t.Parallel()
 	// A tail corruption outranks the truth but no head corruption does:
 	// tail MRR must be 1/2, head MRR 1.
 	d := &kg.Dataset{
@@ -91,6 +95,7 @@ func TestDetailedLinkPredictionSidesDiffer(t *testing.T) {
 }
 
 func TestDetailedAgreesWithLinkPrediction(t *testing.T) {
+	t.Parallel()
 	// (head+tail)/2 of the detailed result equals the filtered MRR of the
 	// plain evaluator on the same (unsampled) test set.
 	d := kg.Generate(kg.GenConfig{Entities: 150, Relations: 10, Triples: 2500, Seed: 7})
@@ -115,6 +120,7 @@ func TestDetailedAgreesWithLinkPrediction(t *testing.T) {
 }
 
 func TestDetailedSubsample(t *testing.T) {
+	t.Parallel()
 	d := kg.Generate(kg.GenConfig{Entities: 100, Relations: 8, Triples: 2000, Seed: 3})
 	f := kg.NewFilterIndex(d)
 	m := model.NewComplEx(4)

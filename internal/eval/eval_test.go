@@ -33,6 +33,7 @@ func (f *fixedModel) ScoreFlops() float64                                       
 func (f *fixedModel) GradFlops() float64                                                      { return 1 }
 
 func TestLinkPredictionPerfectModel(t *testing.T) {
+	t.Parallel()
 	// 4 entities; the test triple outscores every corruption -> MRR 1.
 	d := &kg.Dataset{
 		NumEntities:  4,
@@ -54,6 +55,7 @@ func TestLinkPredictionPerfectModel(t *testing.T) {
 }
 
 func TestLinkPredictionHandComputedRank(t *testing.T) {
+	t.Parallel()
 	// Entity 2 outranks the true tail 1; entity 3 ties (counted at rank 1,
 	// strictly-greater convention). So tail rank = 2, head rank = 1.
 	d := &kg.Dataset{
@@ -74,6 +76,7 @@ func TestLinkPredictionHandComputedRank(t *testing.T) {
 }
 
 func TestFilteredSkipsKnownTriples(t *testing.T) {
+	t.Parallel()
 	// The higher-scoring corruption is itself a training fact, so the
 	// filtered rank ignores it while the raw rank counts it.
 	d := &kg.Dataset{
@@ -97,6 +100,7 @@ func TestFilteredSkipsKnownTriples(t *testing.T) {
 }
 
 func TestFilteredAtLeastRaw(t *testing.T) {
+	t.Parallel()
 	// Property on a trained-ish random setup: filtered MRR >= raw MRR.
 	cfg := kg.GenConfig{Entities: 120, Relations: 8, Triples: 2000, Seed: 3}
 	d := kg.Generate(cfg)
@@ -117,6 +121,7 @@ func TestFilteredAtLeastRaw(t *testing.T) {
 }
 
 func TestLinkPredictionEmptyTest(t *testing.T) {
+	t.Parallel()
 	d := &kg.Dataset{NumEntities: 3, NumRelations: 1}
 	f := kg.NewFilterIndex(d)
 	res := LinkPrediction(&fixedModel{def: 0}, nil, d, f, 0, xrand.New(1))
@@ -126,6 +131,7 @@ func TestLinkPredictionEmptyTest(t *testing.T) {
 }
 
 func TestBestThresholdSeparable(t *testing.T) {
+	t.Parallel()
 	samples := []scored{
 		{s: -2, pos: false}, {s: -1, pos: false},
 		{s: 1, pos: true}, {s: 2, pos: true},
@@ -137,6 +143,7 @@ func TestBestThresholdSeparable(t *testing.T) {
 }
 
 func TestBestThresholdAllPositive(t *testing.T) {
+	t.Parallel()
 	samples := []scored{{s: 1, pos: true}, {s: 2, pos: true}}
 	thr := bestThreshold(samples)
 	if thr > 1 {
@@ -148,6 +155,7 @@ func TestBestThresholdAllPositive(t *testing.T) {
 }
 
 func TestTripleClassificationPerfectlySeparable(t *testing.T) {
+	t.Parallel()
 	// Model scores known facts high and everything else low -> TCA 100%.
 	d := kg.Generate(kg.GenConfig{Entities: 60, Relations: 5, Triples: 800, Seed: 9})
 	f := kg.NewFilterIndex(d)
@@ -167,6 +175,7 @@ func TestTripleClassificationPerfectlySeparable(t *testing.T) {
 }
 
 func TestTripleClassificationRandomModelNearChance(t *testing.T) {
+	t.Parallel()
 	d := kg.Generate(kg.GenConfig{Entities: 100, Relations: 6, Triples: 3000, Seed: 13})
 	f := kg.NewFilterIndex(d)
 	m := model.NewComplEx(4)
@@ -181,6 +190,7 @@ func TestTripleClassificationRandomModelNearChance(t *testing.T) {
 }
 
 func TestTripleClassificationEmptyTest(t *testing.T) {
+	t.Parallel()
 	d := &kg.Dataset{NumEntities: 5, NumRelations: 1}
 	f := kg.NewFilterIndex(d)
 	res := TripleClassification(&fixedModel{def: 0}, nil, d, f, xrand.New(1))
@@ -190,6 +200,7 @@ func TestTripleClassificationEmptyTest(t *testing.T) {
 }
 
 func TestCorruptAvoidsKnownFacts(t *testing.T) {
+	t.Parallel()
 	d := kg.Generate(kg.GenConfig{Entities: 50, Relations: 4, Triples: 500, Seed: 21})
 	f := kg.NewFilterIndex(d)
 	rng := xrand.New(23)
@@ -218,6 +229,7 @@ func BenchmarkLinkPrediction(b *testing.B) {
 }
 
 func TestAUCPerfectModel(t *testing.T) {
+	t.Parallel()
 	d := kg.Generate(kg.GenConfig{Entities: 60, Relations: 5, Triples: 800, Seed: 31})
 	f := kg.NewFilterIndex(d)
 	m := &fixedModel{scores: map[kg.Triple]float32{}, def: -5}
@@ -232,6 +244,7 @@ func TestAUCPerfectModel(t *testing.T) {
 }
 
 func TestAUCConstantModelIsHalf(t *testing.T) {
+	t.Parallel()
 	// All scores equal: midrank ties give AUC exactly 0.5.
 	d := kg.Generate(kg.GenConfig{Entities: 50, Relations: 4, Triples: 600, Seed: 33})
 	f := kg.NewFilterIndex(d)
@@ -242,6 +255,7 @@ func TestAUCConstantModelIsHalf(t *testing.T) {
 }
 
 func TestAUCRandomModelNearHalf(t *testing.T) {
+	t.Parallel()
 	d := kg.Generate(kg.GenConfig{Entities: 150, Relations: 8, Triples: 3000, Seed: 35})
 	f := kg.NewFilterIndex(d)
 	m := model.NewComplEx(4)
@@ -254,6 +268,7 @@ func TestAUCRandomModelNearHalf(t *testing.T) {
 }
 
 func TestAUCEmptyTest(t *testing.T) {
+	t.Parallel()
 	d := &kg.Dataset{NumEntities: 5, NumRelations: 1}
 	f := kg.NewFilterIndex(d)
 	if got := AUC(&fixedModel{def: 0}, nil, d, f, xrand.New(1)); got != 0 {
@@ -262,6 +277,7 @@ func TestAUCEmptyTest(t *testing.T) {
 }
 
 func TestMeanRank(t *testing.T) {
+	t.Parallel()
 	// Perfect model: MR exactly 1.
 	d := &kg.Dataset{
 		NumEntities:  4,
@@ -288,6 +304,7 @@ func TestMeanRank(t *testing.T) {
 // Property: AUC equals the brute-force fraction of correctly ordered
 // (positive, negative) pairs, counting ties as half.
 func TestQuickAUCMatchesBruteForce(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64) bool {
 		rng := xrand.New(seed)
 		d := &kg.Dataset{NumEntities: 12, NumRelations: 2}

@@ -9,6 +9,7 @@ import (
 )
 
 func TestTopKOrderingAndTies(t *testing.T) {
+	t.Parallel()
 	// Entities 2 and 4 tie at 5.0: the lower id must rank first.
 	scores := []float32{1, 3, 5, 2, 5, 0}
 	got := TopK(len(scores), 3, func(e int32) float32 { return scores[e] }, nil)
@@ -24,6 +25,7 @@ func TestTopKOrderingAndTies(t *testing.T) {
 }
 
 func TestTopKSkip(t *testing.T) {
+	t.Parallel()
 	scores := []float32{9, 8, 7, 6}
 	skip := func(e int32) bool { return e == 0 || e == 2 }
 	got := TopK(len(scores), 10, func(e int32) float32 { return scores[e] }, skip)
@@ -34,6 +36,7 @@ func TestTopKSkip(t *testing.T) {
 }
 
 func TestTopKAccumulatorMatchesFullSort(t *testing.T) {
+	t.Parallel()
 	// Against a brute-force oracle over random scores, including ties: the
 	// accumulator must select exactly the same ranked prefix.
 	rng := xrand.New(11)
@@ -57,6 +60,7 @@ func TestTopKAccumulatorMatchesFullSort(t *testing.T) {
 }
 
 func TestTopKAccumulatorMerge(t *testing.T) {
+	t.Parallel()
 	scores := []float32{4, 1, 9, 3, 7, 2, 8, 5}
 	// Split the id space into two shard accumulators, then merge.
 	a, b := NewTopK(3), NewTopK(3)
@@ -77,6 +81,7 @@ func TestTopKAccumulatorMerge(t *testing.T) {
 }
 
 func TestTopKSmallerThanK(t *testing.T) {
+	t.Parallel()
 	got := TopK(2, 10, func(e int32) float32 { return float32(e) }, nil)
 	if len(got) != 2 || got[0].Entity != 1 || got[1].Entity != 0 {
 		t.Fatalf("got %v", got)
@@ -88,6 +93,7 @@ func TestTopKSmallerThanK(t *testing.T) {
 // entity do NOT push its rank down (strictly-greater comparison), so a
 // constant model ranks everything at 1.
 func TestLinkPredictionExactTies(t *testing.T) {
+	t.Parallel()
 	d := &kg.Dataset{
 		NumEntities:  5,
 		NumRelations: 1,
@@ -110,6 +116,7 @@ func TestLinkPredictionExactTies(t *testing.T) {
 // TestLinkPredictionPartialTies: one candidate strictly above the truth,
 // one exactly tied. The strict candidate costs a rank, the tie does not.
 func TestLinkPredictionPartialTies(t *testing.T) {
+	t.Parallel()
 	tr := kg.Triple{H: 0, R: 0, T: 1}
 	d := &kg.Dataset{
 		NumEntities:  4,
@@ -134,6 +141,7 @@ func TestLinkPredictionPartialTies(t *testing.T) {
 }
 
 func TestCategorizeRelationsEmptySplit(t *testing.T) {
+	t.Parallel()
 	d := &kg.Dataset{NumEntities: 10, NumRelations: 3}
 	got := CategorizeRelations(d)
 	if len(got) != 3 {
@@ -151,6 +159,7 @@ func TestCategorizeRelationsEmptySplit(t *testing.T) {
 }
 
 func TestCategorizeRelationsSingleRelation(t *testing.T) {
+	t.Parallel()
 	// A single triple is trivially 1-1 regardless of dataset size.
 	d := &kg.Dataset{
 		NumEntities:  2,

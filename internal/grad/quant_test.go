@@ -20,6 +20,7 @@ func randGrad(rng *xrand.RNG, rows, width int) *SparseGrad {
 }
 
 func TestOneBitMaxRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := xrand.New(1)
 	g := randGrad(rng, 10, 16)
 	e := Quantize(g, OneBitMax, nil)
@@ -50,6 +51,7 @@ func TestOneBitMaxRoundTrip(t *testing.T) {
 }
 
 func TestOneBitVariantsScales(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(4)
 	copy(g.Row(0), []float32{-4, -2, 1, 3})
 	check := func(s Scheme, want float32) {
@@ -68,6 +70,7 @@ func TestOneBitVariantsScales(t *testing.T) {
 }
 
 func TestOneBitSignRestrictedFallback(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(3)
 	copy(g.Row(0), []float32{1, 2, 3}) // no negative values
 	e := Quantize(g, OneBitNegMax, nil)
@@ -77,6 +80,7 @@ func TestOneBitSignRestrictedFallback(t *testing.T) {
 }
 
 func TestTwoBitTernaryProperties(t *testing.T) {
+	t.Parallel()
 	rng := xrand.New(3)
 	g := randGrad(rng, 20, 32)
 	e := Quantize(g, TwoBitTernary, rng)
@@ -108,6 +112,7 @@ func TestTwoBitTernaryProperties(t *testing.T) {
 }
 
 func TestTwoBitTernaryUnbiasedExpectation(t *testing.T) {
+	t.Parallel()
 	// E[q_i] = sign(v) * mean * min(1,|v|/mean) = v for |v| <= mean.
 	rng := xrand.New(5)
 	g := NewSparseGrad(2)
@@ -132,6 +137,7 @@ func TestTwoBitTernaryUnbiasedExpectation(t *testing.T) {
 }
 
 func TestNoQuantRoundTripExact(t *testing.T) {
+	t.Parallel()
 	rng := xrand.New(7)
 	g := randGrad(rng, 8, 10)
 	e := Quantize(g, NoQuant, nil)
@@ -148,6 +154,7 @@ func TestNoQuantRoundTripExact(t *testing.T) {
 }
 
 func TestWireBytesCompression(t *testing.T) {
+	t.Parallel()
 	rng := xrand.New(9)
 	g := randGrad(rng, 50, 64)
 	full := Quantize(g, NoQuant, nil).WireBytes()
@@ -164,6 +171,7 @@ func TestWireBytesCompression(t *testing.T) {
 }
 
 func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := xrand.New(11)
 	for _, s := range []Scheme{NoQuant, OneBitMax, OneBitAvg, TwoBitTernary} {
 		g := randGrad(rng, 6, 9) // odd width exercises bit padding
@@ -193,6 +201,7 @@ func TestMarshalUnmarshalRoundTrip(t *testing.T) {
 }
 
 func TestUnmarshalErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := Unmarshal(nil); err == nil {
 		t.Fatal("nil buffer accepted")
 	}
@@ -208,6 +217,7 @@ func TestUnmarshalErrors(t *testing.T) {
 }
 
 func TestSchemeStringsAndBits(t *testing.T) {
+	t.Parallel()
 	if NoQuant.BitsPerValue() != 32 || OneBitMax.BitsPerValue() != 1 || TwoBitTernary.BitsPerValue() != 2 {
 		t.Fatal("BitsPerValue wrong")
 	}
@@ -225,6 +235,7 @@ func TestSchemeStringsAndBits(t *testing.T) {
 }
 
 func TestEmptyGradientQuantize(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(8)
 	e := Quantize(g, OneBitMax, nil)
 	if len(e.Indices) != 0 || e.WireBytes() != 0 {
@@ -240,6 +251,7 @@ func TestEmptyGradientQuantize(t *testing.T) {
 // Property: for the whole 1-bit family, |decoded| is constant per row and
 // signs match the input; Marshal/Unmarshal is the identity.
 func TestQuickOneBitFamily(t *testing.T) {
+	t.Parallel()
 	schemes := []Scheme{OneBitMax, OneBitAvg, OneBitPosMax, OneBitNegMax, OneBitPosAvg, OneBitNegAvg}
 	f := func(seed uint64, widthRaw uint8, schemeIdx uint8) bool {
 		width := int(widthRaw%31) + 1
@@ -297,6 +309,7 @@ func BenchmarkDequantizeOneBit(b *testing.B) {
 // Property: the encoded wire size follows the documented formula for every
 // scheme — 4 bytes index + 4 bytes scale per row plus the packed payload.
 func TestQuickWireBytesFormula(t *testing.T) {
+	t.Parallel()
 	schemes := []Scheme{NoQuant, OneBitMax, OneBitAvg, TwoBitTernary}
 	f := func(seed uint64, rowsRaw, widthRaw, si uint8) bool {
 		rows := int(rowsRaw % 20)
@@ -332,6 +345,7 @@ func TestQuickWireBytesFormula(t *testing.T) {
 // Property: dequantized 1-bit payloads reconstruct rows whose sign pattern
 // matches the packed bits regardless of row content.
 func TestQuickOneBitIdempotentEncode(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, widthRaw uint8) bool {
 		width := int(widthRaw%16) + 1
 		rng := xrand.New(seed)

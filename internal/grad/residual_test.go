@@ -8,6 +8,7 @@ import (
 )
 
 func TestResidualLifecycle(t *testing.T) {
+	t.Parallel()
 	r := NewResidual(4)
 	if r.Len() != 0 {
 		t.Fatal("fresh residual not empty")
@@ -43,6 +44,7 @@ func TestResidualLifecycle(t *testing.T) {
 }
 
 func TestResidualKeepsRowsNotInGradient(t *testing.T) {
+	t.Parallel()
 	r := NewResidual(2)
 	g := NewSparseGrad(2)
 	copy(g.Row(5), []float32{1, -1})
@@ -59,6 +61,7 @@ func TestResidualKeepsRowsNotInGradient(t *testing.T) {
 }
 
 func TestResidualWidthMismatchPanics(t *testing.T) {
+	t.Parallel()
 	r := NewResidual(2)
 	g := NewSparseGrad(3)
 	defer func() {
@@ -70,6 +73,7 @@ func TestResidualWidthMismatchPanics(t *testing.T) {
 }
 
 func TestResidualReducesLongRunError(t *testing.T) {
+	t.Parallel()
 	// Error feedback should track a constant gradient better than plain
 	// sign compression: the accumulated applied update approaches the true
 	// sum. Simulate T steps of gradient [0.1, -1] with OneBitMax.
@@ -112,6 +116,7 @@ func TestResidualReducesLongRunError(t *testing.T) {
 }
 
 func TestResidualStableUnderRandomGradients(t *testing.T) {
+	t.Parallel()
 	// With error feedback, the residual norm must stay bounded (it does not
 	// blow up over many steps).
 	rng := xrand.New(13)

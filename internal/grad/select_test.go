@@ -19,6 +19,7 @@ func mkGrad(width int, norms []float32) *SparseGrad {
 }
 
 func TestSelectAllKeepsEverything(t *testing.T) {
+	t.Parallel()
 	g := mkGrad(4, []float32{1, 2, 3})
 	st := Select(g, SelectAll, nil)
 	if st.Kept != 3 || st.Dropped != 0 || g.Len() != 3 {
@@ -30,6 +31,7 @@ func TestSelectAllKeepsEverything(t *testing.T) {
 }
 
 func TestSelectAvgThreshold(t *testing.T) {
+	t.Parallel()
 	// Norms 1,2,3,6 -> mean 3; rows with norm >= 3 survive (ids 2,3).
 	g := mkGrad(4, []float32{1, 2, 3, 6})
 	st := Select(g, SelectAvgThreshold, nil)
@@ -45,6 +47,7 @@ func TestSelectAvgThreshold(t *testing.T) {
 }
 
 func TestSelectAvgTenthThreshold(t *testing.T) {
+	t.Parallel()
 	// Mean 3; 0.1x mean = 0.3; only the 0.1-norm row drops.
 	g := mkGrad(4, []float32{0.1, 2.9, 3, 6})
 	st := Select(g, SelectAvgTenthThreshold, nil)
@@ -57,6 +60,7 @@ func TestSelectAvgTenthThreshold(t *testing.T) {
 }
 
 func TestSelectBernoulliKeepsLargeRowsAlways(t *testing.T) {
+	t.Parallel()
 	// Rows with norm >= mean have keep probability 1.
 	rng := xrand.New(1)
 	for trial := 0; trial < 50; trial++ {
@@ -69,6 +73,7 @@ func TestSelectBernoulliKeepsLargeRowsAlways(t *testing.T) {
 }
 
 func TestSelectBernoulliEmpiricalRate(t *testing.T) {
+	t.Parallel()
 	// A row with norm = mean/2 must survive about half the time.
 	rng := xrand.New(2)
 	kept := 0
@@ -88,6 +93,7 @@ func TestSelectBernoulliEmpiricalRate(t *testing.T) {
 }
 
 func TestSelectZeroGradientKeepsAll(t *testing.T) {
+	t.Parallel()
 	g := mkGrad(4, []float32{0, 0})
 	st := Select(g, SelectBernoulli, xrand.New(1))
 	if st.Dropped != 0 {
@@ -96,6 +102,7 @@ func TestSelectZeroGradientKeepsAll(t *testing.T) {
 }
 
 func TestSelectEmptyGradient(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(4)
 	st := Select(g, SelectBernoulli, xrand.New(1))
 	if st.Before != 0 || st.Kept != 0 {
@@ -104,6 +111,7 @@ func TestSelectEmptyGradient(t *testing.T) {
 }
 
 func TestSelectModeString(t *testing.T) {
+	t.Parallel()
 	cases := map[SelectMode]string{
 		SelectAll:               "none",
 		SelectAvgThreshold:      "average",
@@ -119,6 +127,7 @@ func TestSelectModeString(t *testing.T) {
 }
 
 func TestSelectSparsityOrdering(t *testing.T) {
+	t.Parallel()
 	// Figure 3b of the paper: averaging threshold is the most aggressive,
 	// averagex0.1 the least, Bernoulli in between, on a heavy-tailed norm
 	// distribution.
@@ -143,6 +152,7 @@ func TestSelectSparsityOrdering(t *testing.T) {
 }
 
 func TestSelectTopQuarter(t *testing.T) {
+	t.Parallel()
 	// 8 rows with norms 1..8: the top quarter (norms 7, 8) survives; the
 	// quantile boundary row itself is kept.
 	norms := []float32{1, 2, 3, 4, 5, 6, 7, 8}
@@ -160,6 +170,7 @@ func TestSelectTopQuarter(t *testing.T) {
 }
 
 func TestSelectUnbiasedExpectation(t *testing.T) {
+	t.Parallel()
 	// E[selected row] must equal the original row: keep prob p = n/C and
 	// kept rows scaled 1/p. Row 0 has norm 1, row 1 norm 3 => C = 2,
 	// p0 = 0.5 with scale 2.
@@ -180,6 +191,7 @@ func TestSelectUnbiasedExpectation(t *testing.T) {
 }
 
 func TestSelectUnbiasedLargeRowsUnscaled(t *testing.T) {
+	t.Parallel()
 	// Rows with norm >= C have p = 1 and must keep their exact values.
 	g := mkGrad(2, []float32{1, 3})
 	Select(g, SelectUnbiased, xrand.New(7))
@@ -193,6 +205,7 @@ func TestSelectUnbiasedLargeRowsUnscaled(t *testing.T) {
 }
 
 func TestNewModeStrings(t *testing.T) {
+	t.Parallel()
 	if SelectTopQuarter.String() != "top-25%" || SelectUnbiased.String() != "unbiased-selection" {
 		t.Fatal("new mode strings wrong")
 	}

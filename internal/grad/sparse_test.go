@@ -7,6 +7,7 @@ import (
 )
 
 func TestSparseGradBasics(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(3)
 	if g.Len() != 0 || g.Width() != 3 {
 		t.Fatalf("fresh grad: len %d width %d", g.Len(), g.Width())
@@ -30,6 +31,7 @@ func TestSparseGradBasics(t *testing.T) {
 }
 
 func TestSparseGradPanicsOnBadWidth(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -39,6 +41,7 @@ func TestSparseGradPanicsOnBadWidth(t *testing.T) {
 }
 
 func TestIndicesSorted(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(2)
 	for _, id := range []int32{9, 1, 5, 3} {
 		g.Row(id)[0] = float32(id)
@@ -53,6 +56,7 @@ func TestIndicesSorted(t *testing.T) {
 }
 
 func TestFlattenAddFlatRoundTrip(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(2)
 	g.Row(3)[0] = 1
 	g.Row(3)[1] = 2
@@ -71,6 +75,7 @@ func TestFlattenAddFlatRoundTrip(t *testing.T) {
 }
 
 func TestAddFlatPanicsOnMismatch(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(2)
 	defer func() {
 		if recover() == nil {
@@ -81,6 +86,7 @@ func TestAddFlatPanicsOnMismatch(t *testing.T) {
 }
 
 func TestScatterAccumulateDense(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(2)
 	g.Row(1)[0] = 5
 	g.Row(2)[1] = 7
@@ -102,6 +108,7 @@ func TestScatterAccumulateDense(t *testing.T) {
 }
 
 func TestNormStats(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(2)
 	copy(g.Row(0), []float32{3, 4}) // norm 5
 	copy(g.Row(1), []float32{0, 1}) // norm 1
@@ -119,6 +126,7 @@ func TestNormStats(t *testing.T) {
 }
 
 func TestPayloadBytes(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(4)
 	g.Row(0)
 	g.Row(1)
@@ -129,6 +137,7 @@ func TestPayloadBytes(t *testing.T) {
 }
 
 func TestClearRetainsNothing(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(2)
 	g.Row(1)[0] = 3
 	g.Clear()
@@ -141,6 +150,7 @@ func TestClearRetainsNothing(t *testing.T) {
 }
 
 func TestForEachOrdered(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(1)
 	for _, id := range []int32{4, 2, 8} {
 		g.Row(id)

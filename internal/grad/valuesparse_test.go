@@ -8,6 +8,7 @@ import (
 )
 
 func TestSparsifyValuesKeepsLargest(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(4)
 	copy(g.Row(0), []float32{10, -1, 0.5, 0})
 	copy(g.Row(1), []float32{-20, 2, 0, 0})
@@ -28,6 +29,7 @@ func TestSparsifyValuesKeepsLargest(t *testing.T) {
 }
 
 func TestSparsifyValuesFullFraction(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(3)
 	copy(g.Row(2), []float32{1, 2, 3})
 	vs := SparsifyValues(g, 1)
@@ -45,6 +47,7 @@ func TestSparsifyValuesFullFraction(t *testing.T) {
 }
 
 func TestSparsifyValuesPanicsOnBadFraction(t *testing.T) {
+	t.Parallel()
 	g := NewSparseGrad(2)
 	for _, f := range []float64{0, -0.1, 1.5} {
 		func() {
@@ -59,6 +62,7 @@ func TestSparsifyValuesPanicsOnBadFraction(t *testing.T) {
 }
 
 func TestValueSparseWireOverhead(t *testing.T) {
+	t.Parallel()
 	// The paper's point: per-value indices triple the wire cost per
 	// surviving value versus a dense float, so a 25% keep rate saves
 	// LESS than 25% of bytes (12 bytes/value vs 4).
@@ -83,6 +87,7 @@ func TestValueSparseWireOverhead(t *testing.T) {
 }
 
 func TestValueSparseMarshalRoundTrip(t *testing.T) {
+	t.Parallel()
 	rng := xrand.New(5)
 	g := randGrad(rng, 7, 9)
 	vs := SparsifyValues(g, 0.5)
@@ -101,6 +106,7 @@ func TestValueSparseMarshalRoundTrip(t *testing.T) {
 }
 
 func TestUnmarshalValueSparseErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := UnmarshalValueSparse(nil); err == nil {
 		t.Fatal("nil accepted")
 	}
@@ -116,6 +122,7 @@ func TestUnmarshalValueSparseErrors(t *testing.T) {
 }
 
 func TestSparsifyValuesDeterministic(t *testing.T) {
+	t.Parallel()
 	rng := xrand.New(6)
 	g := randGrad(rng, 10, 8)
 	a := SparsifyValues(g, 0.3)
@@ -131,6 +138,7 @@ func TestSparsifyValuesDeterministic(t *testing.T) {
 }
 
 func TestSparsifyValuesApproximation(t *testing.T) {
+	t.Parallel()
 	// Keeping 60% of values must retain most of the gradient energy.
 	rng := xrand.New(7)
 	g := randGrad(rng, 20, 16)

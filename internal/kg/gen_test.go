@@ -6,6 +6,7 @@ import (
 )
 
 func TestGenerateBasics(t *testing.T) {
+	t.Parallel()
 	cfg := GenConfig{Name: "t", Entities: 800, Relations: 50, Triples: 10000, Seed: 7}
 	d := Generate(cfg)
 	if d.Name != "t" || d.NumEntities != 800 || d.NumRelations != 50 {
@@ -26,6 +27,7 @@ func TestGenerateBasics(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
+	t.Parallel()
 	a := Generate(GenConfig{Entities: 200, Relations: 10, Triples: 1000, Seed: 5})
 	b := Generate(GenConfig{Entities: 200, Relations: 10, Triples: 1000, Seed: 5})
 	if len(a.Train) != len(b.Train) {
@@ -49,6 +51,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateNoDuplicatesNoSelfLoops(t *testing.T) {
+	t.Parallel()
 	d := Generate(GenConfig{Entities: 300, Relations: 20, Triples: 5000, Seed: 3})
 	seen := map[Triple]bool{}
 	for _, split := range [][]Triple{d.Train, d.Valid, d.Test} {
@@ -65,6 +68,7 @@ func TestGenerateNoDuplicatesNoSelfLoops(t *testing.T) {
 }
 
 func TestGenerateZipfSkew(t *testing.T) {
+	t.Parallel()
 	d := Generate(GenConfig{Entities: 1000, Relations: 100, Triples: 20000, Seed: 9})
 	h := d.RelationHistogram()
 	// The most frequent relation should dominate the median one decisively.
@@ -86,6 +90,7 @@ func TestGenerateZipfSkew(t *testing.T) {
 }
 
 func TestGenerateCommunityStructure(t *testing.T) {
+	t.Parallel()
 	// With low noise, heads of a given relation should concentrate in one
 	// community (entities congruent mod Communities).
 	cfg := GenConfig{Entities: 600, Relations: 30, Triples: 10000,
@@ -121,6 +126,7 @@ func TestGenerateCommunityStructure(t *testing.T) {
 }
 
 func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -130,6 +136,7 @@ func TestGeneratePanicsOnBadConfig(t *testing.T) {
 }
 
 func TestPresets(t *testing.T) {
+	t.Parallel()
 	for _, cfg := range []GenConfig{FB15KMini(1), FB250KMini(1)} {
 		if cfg.Entities == 0 || cfg.Relations == 0 || cfg.Triples == 0 {
 			t.Fatalf("preset %q incomplete", cfg.Name)
@@ -144,6 +151,7 @@ func TestPresets(t *testing.T) {
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {
+	t.Parallel()
 	dir := filepath.Join(t.TempDir(), "ds")
 	d := Generate(GenConfig{Name: "rt", Entities: 150, Relations: 12, Triples: 900, Seed: 4})
 	if err := SaveDir(d, dir); err != nil {
@@ -167,6 +175,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadDirErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := LoadDir(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("expected error for missing dir")
 	}

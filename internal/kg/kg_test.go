@@ -22,6 +22,7 @@ func smallDataset() *Dataset {
 }
 
 func TestDatasetSizeAndValidate(t *testing.T) {
+	t.Parallel()
 	d := smallDataset()
 	if d.Size() != 7 {
 		t.Fatalf("Size = %d", d.Size())
@@ -41,6 +42,7 @@ func TestDatasetSizeAndValidate(t *testing.T) {
 }
 
 func TestRelationHistogram(t *testing.T) {
+	t.Parallel()
 	d := smallDataset()
 	h := d.RelationHistogram()
 	want := []int{0, 2, 1, 2}
@@ -52,6 +54,7 @@ func TestRelationHistogram(t *testing.T) {
 }
 
 func TestFilterIndex(t *testing.T) {
+	t.Parallel()
 	d := smallDataset()
 	f := NewFilterIndex(d)
 	if f.Len() != 7 {
@@ -69,6 +72,7 @@ func TestFilterIndex(t *testing.T) {
 }
 
 func TestUniformPartition(t *testing.T) {
+	t.Parallel()
 	ts := make([]Triple, 10)
 	for i := range ts {
 		ts[i].H = int32(i)
@@ -96,6 +100,7 @@ func TestUniformPartition(t *testing.T) {
 // triples over three relations split across two processors with no relation
 // overlap — triples 1,2 (relation 1) on one rank, the rest on the other.
 func TestRelationPartitionPaperExample(t *testing.T) {
+	t.Parallel()
 	triples := []Triple{
 		{H: 1, R: 1, T: 2},
 		{H: 2, R: 1, T: 10},
@@ -118,6 +123,7 @@ func TestRelationPartitionPaperExample(t *testing.T) {
 }
 
 func TestRelationPartitionInvariants(t *testing.T) {
+	t.Parallel()
 	d := Generate(GenConfig{Name: "g", Entities: 500, Relations: 60, Triples: 8000, Seed: 1})
 	for _, p := range []int{1, 2, 3, 4, 8, 16} {
 		parts := RelationPartition(d.Train, d.NumRelations, p)
@@ -153,6 +159,7 @@ func TestRelationPartitionInvariants(t *testing.T) {
 }
 
 func TestRelationPartitionBalance(t *testing.T) {
+	t.Parallel()
 	// With many comparable relations the prefix-sum split must be close to
 	// balanced (the paper's motivation for binary-searching split points).
 	d := Generate(GenConfig{Name: "g", Entities: 2000, Relations: 300, Triples: 30000,
@@ -166,6 +173,7 @@ func TestRelationPartitionBalance(t *testing.T) {
 }
 
 func TestRelationPartitionMoreRanksThanRelations(t *testing.T) {
+	t.Parallel()
 	triples := []Triple{{H: 0, R: 0, T: 1}, {H: 1, R: 0, T: 2}}
 	parts := RelationPartition(triples, 1, 4)
 	if bad := PartitionRelationsDisjoint(parts); bad != -1 {
@@ -181,6 +189,7 @@ func TestRelationPartitionMoreRanksThanRelations(t *testing.T) {
 }
 
 func TestRelationPartitionEmptyInput(t *testing.T) {
+	t.Parallel()
 	parts := RelationPartition(nil, 5, 3)
 	if len(parts) != 3 {
 		t.Fatalf("parts = %d", len(parts))
@@ -193,6 +202,7 @@ func TestRelationPartitionEmptyInput(t *testing.T) {
 }
 
 func TestPartitionImbalanceValues(t *testing.T) {
+	t.Parallel()
 	equal := [][]Triple{make([]Triple, 5), make([]Triple, 5)}
 	if got := PartitionImbalance(equal); got != 1 {
 		t.Fatalf("balanced imbalance = %v", got)
@@ -207,6 +217,7 @@ func TestPartitionImbalanceValues(t *testing.T) {
 }
 
 func TestRelationsOf(t *testing.T) {
+	t.Parallel()
 	rs := RelationsOf([]Triple{{R: 3}, {R: 1}, {R: 3}, {R: 0}})
 	want := []int32{0, 1, 3}
 	if len(rs) != len(want) {
@@ -222,6 +233,7 @@ func TestRelationsOf(t *testing.T) {
 // Property: relation partition never splits a relation and never loses
 // triples, for arbitrary random triple sets and rank counts.
 func TestQuickRelationPartition(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, pRaw, nRelRaw uint8, nRaw uint16) bool {
 		p := int(pRaw%16) + 1
 		nRel := int(nRelRaw%50) + 1
@@ -251,6 +263,7 @@ func TestQuickRelationPartition(t *testing.T) {
 }
 
 func TestRelationPartitionLPTInvariants(t *testing.T) {
+	t.Parallel()
 	d := Generate(GenConfig{Name: "g", Entities: 500, Relations: 60, Triples: 8000, Seed: 1})
 	for _, p := range []int{1, 2, 4, 8, 16} {
 		parts := RelationPartitionLPT(d.Train, d.NumRelations, p)
@@ -271,6 +284,7 @@ func TestRelationPartitionLPTInvariants(t *testing.T) {
 }
 
 func TestRelationPartitionLPTBalancesSkew(t *testing.T) {
+	t.Parallel()
 	// Under a heavily skewed histogram LPT must balance at least as well
 	// as the contiguous prefix-sum split.
 	d := Generate(GenConfig{Name: "g", Entities: 2000, Relations: 200, Triples: 30000,
@@ -288,6 +302,7 @@ func TestRelationPartitionLPTBalancesSkew(t *testing.T) {
 }
 
 func TestRelationPartitionLPTDeterministic(t *testing.T) {
+	t.Parallel()
 	d := Generate(GenConfig{Name: "g", Entities: 300, Relations: 40, Triples: 4000, Seed: 9})
 	a := RelationPartitionLPT(d.Train, d.NumRelations, 4)
 	b := RelationPartitionLPT(d.Train, d.NumRelations, 4)
@@ -304,6 +319,7 @@ func TestRelationPartitionLPTDeterministic(t *testing.T) {
 }
 
 func TestAugmentInverses(t *testing.T) {
+	t.Parallel()
 	d := smallDataset()
 	aug := AugmentInverses(d)
 	if aug.NumRelations != 2*d.NumRelations {
@@ -336,6 +352,7 @@ func TestAugmentInverses(t *testing.T) {
 }
 
 func TestComputeStats(t *testing.T) {
+	t.Parallel()
 	d := smallDataset()
 	s := ComputeStats(d)
 	if s.Entities != 11 || s.Relations != 4 || s.Train != 5 || s.Valid != 1 || s.Test != 1 {

@@ -14,6 +14,7 @@ func writeNamed(t *testing.T, dir, file, content string) {
 }
 
 func TestLoadNamedDir(t *testing.T) {
+	t.Parallel()
 	dir := t.TempDir()
 	writeNamed(t, dir, "train.txt",
 		"/m/delhi\t/location/capital_of\t/m/india\n"+
@@ -53,6 +54,7 @@ func TestLoadNamedDir(t *testing.T) {
 }
 
 func TestLoadNamedDirSpaceSeparatedFallback(t *testing.T) {
+	t.Parallel()
 	dir := t.TempDir()
 	writeNamed(t, dir, "train.txt", "a r1 b\nb r1 c\n")
 	writeNamed(t, dir, "valid.txt", "a r1 c\n")
@@ -67,6 +69,7 @@ func TestLoadNamedDirSpaceSeparatedFallback(t *testing.T) {
 }
 
 func TestLoadNamedDirErrors(t *testing.T) {
+	t.Parallel()
 	if _, _, err := LoadNamedDir(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("missing dir accepted")
 	}
@@ -80,6 +83,7 @@ func TestLoadNamedDirErrors(t *testing.T) {
 }
 
 func TestLoadNamedDirRoundTripThroughSave(t *testing.T) {
+	t.Parallel()
 	// Named data can be re-saved in OpenKE id layout and reloaded.
 	dir := t.TempDir()
 	writeNamed(t, dir, "train.txt", "a r b\nb r c\nc s a\n")

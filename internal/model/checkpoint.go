@@ -162,9 +162,30 @@ func LoadCheckpoint(path string) (Model, *Params, error) {
 		return nil, nil, truncated("dims", err)
 	}
 	dim, entities, relations, width := int(dims[0]), int(dims[1]), int(dims[2]), int(dims[3])
-	m := New(string(nameBuf), dim)
+	// A corrupt header must never reach New or NewParams: New panics on an
+	// unknown name or a non-positive dimension, and unvalidated row counts
+	// would size an arbitrarily large allocation from four attacker-chosen
+	// bytes. Validate the name, require positive geometry, and cross-check
+	// the declared payload length against the actual body size before
+	// constructing anything.
+	name := string(nameBuf)
+	if !IsKnownModel(name) {
+		return nil, nil, fmt.Errorf("%w: %s names unknown model %q", ErrCorruptCheckpoint, path, name)
+	}
+	if dim <= 0 || width <= 0 || entities < 0 || relations < 0 {
+		return nil, nil, fmt.Errorf("%w: %s declares impossible geometry dim=%d width=%d entities=%d relations=%d",
+			ErrCorruptCheckpoint, path, dim, width, entities, relations)
+	}
+	headerLen := int64(len(checkpointMagic)) + 4 + int64(nameLen) + 16
+	payload := 4 * int64(width) * (int64(entities) + int64(relations))
+	if headerLen+payload != bodyLen {
+		return nil, nil, fmt.Errorf("%w: %s declares %d payload bytes but body holds %d",
+			ErrCorruptCheckpoint, path, payload, bodyLen-headerLen)
+	}
+	m := New(name, dim)
 	if m.Width() != width {
-		return nil, nil, fmt.Errorf("model: checkpoint width %d does not match %s dim %d", width, m.Name(), dim)
+		return nil, nil, fmt.Errorf("%w: %s checkpoint width %d does not match %s dim %d",
+			ErrCorruptCheckpoint, path, width, m.Name(), dim)
 	}
 	p := NewParams(m, entities, relations)
 	if err := readF32(r, p.Entity.Data); err != nil {

@@ -101,6 +101,17 @@ func New(name string, dim int) Model {
 	panic("model: unknown model " + name)
 }
 
+// IsKnownModel reports whether New accepts the name. Callers that receive a
+// model name from untrusted bytes (checkpoint headers, request payloads)
+// must check it here instead of letting New panic.
+func IsKnownModel(name string) bool {
+	switch name {
+	case "complex", "distmult", "transe", "rotate", "transh", "simple":
+		return true
+	}
+	return false
+}
+
 // Sigmoid is the logistic function, exposed for loss computations.
 func Sigmoid(x float32) float32 {
 	return float32(1.0 / (1.0 + math.Exp(-float64(x))))

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBatcherStopShutdownOrdering is the shutdown contract under contention:
+// with many goroutines submitting while Stop fires mid-stream, every single
+// Submit must resolve — either with a real result (the query was enqueued
+// before the stop and must be drained) or with ErrBatcherStopped — and
+// nothing may be both executed and rejected, double-delivered, or leaked
+// blocked forever. Run under -race this also proves the stopped-flag /
+// channel-send ordering is data-race free.
+func TestBatcherStopShutdownOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shutdown stress skipped in -short mode")
+	}
+	const (
+		rounds     = 20
+		submitters = 16
+		perWorker  = 50
+	)
+	for round := 0; round < rounds; round++ {
+		var executed atomic.Int64
+		exec := func(qs []PredictQuery) []PredictResult {
+			executed.Add(int64(len(qs)))
+			return make([]PredictResult, len(qs))
+		}
+		b := NewBatcher(4, 50*time.Microsecond, nil, exec)
+
+		var delivered, rejected atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < submitters; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < perWorker; i++ {
+					res := b.Submit(PredictQuery{Side: "tail", K: i})
+					switch {
+					case res.Err == nil:
+						delivered.Add(1)
+					case errors.Is(res.Err, ErrBatcherStopped):
+						rejected.Add(1)
+					default:
+						t.Errorf("unexpected submit error: %v", res.Err)
+					}
+				}
+			}()
+		}
+		// Stop from a racing goroutine partway into the stream, plus a
+		// concurrent second Stop to pin idempotency.
+		stopDone := make(chan struct{})
+		go func() {
+			defer close(stopDone)
+			<-start
+			time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+			var inner sync.WaitGroup
+			for s := 0; s < 2; s++ {
+				inner.Add(1)
+				go func() { defer inner.Done(); b.Stop() }()
+			}
+			inner.Wait()
+		}()
+		close(start)
+
+		waitDone := make(chan struct{})
+		go func() { wg.Wait(); close(waitDone) }()
+		select {
+		case <-waitDone:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: submits leaked: %d delivered, %d rejected of %d total",
+				round, delivered.Load(), rejected.Load(), submitters*perWorker)
+		}
+		<-stopDone
+
+		// Conservation: every submit resolved exactly one way, and exec saw
+		// exactly the delivered ones.
+		total := delivered.Load() + rejected.Load()
+		if want := int64(submitters * perWorker); total != want {
+			t.Fatalf("round %d: %d submits resolved, want %d", round, total, want)
+		}
+		if executed.Load() != delivered.Load() {
+			t.Fatalf("round %d: exec processed %d queries but %d were delivered",
+				round, executed.Load(), delivered.Load())
+		}
+
+		// After Stop everything fails fast, including from fresh goroutines.
+		if res := b.Submit(PredictQuery{Side: "head"}); !errors.Is(res.Err, ErrBatcherStopped) {
+			t.Fatalf("round %d: post-stop submit returned %v", round, res.Err)
+		}
+		b.Stop() // third stop: still safe
+	}
+}
+
+// TestBatcherStopWithSlowExec pins the drain path when Stop arrives while
+// exec is busy and the request buffer is full: the blocked Submits must all
+// drain through exec rather than erroring or hanging.
+func TestBatcherStopWithSlowExec(t *testing.T) {
+	var executed atomic.Int64
+	gate := make(chan struct{})
+	exec := func(qs []PredictQuery) []PredictResult {
+		<-gate // hold the first batch until Stop is pending
+		executed.Add(int64(len(qs)))
+		return make([]PredictResult, len(qs))
+	}
+	b := NewBatcher(2, 0, nil, exec)
+
+	const n = 24
+	var wg sync.WaitGroup
+	var delivered, rejected atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := b.Submit(PredictQuery{Side: "tail"})
+			switch {
+			case res.Err == nil:
+				delivered.Add(1)
+			case errors.Is(res.Err, ErrBatcherStopped):
+				rejected.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", res.Err)
+			}
+		}()
+	}
+	// Give the submitters time to pile into the buffer behind the gated
+	// exec, then release the gate only after Stop is already waiting.
+	time.Sleep(5 * time.Millisecond)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(gate)
+	}()
+	b.Stop()
+	wg.Wait()
+	if got := delivered.Load() + rejected.Load(); got != n {
+		t.Fatalf("%d of %d submits resolved", got, n)
+	}
+	if executed.Load() != delivered.Load() {
+		t.Fatalf("exec processed %d, delivered %d", executed.Load(), delivered.Load())
+	}
+	if delivered.Load() == 0 {
+		t.Fatal("drain delivered nothing; enqueued work was dropped")
+	}
+}

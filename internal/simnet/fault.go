@@ -22,6 +22,7 @@ package simnet
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -81,17 +82,22 @@ func (fp *FaultPlan) Validate(p int) error {
 		if f.Rank < 0 || f.Rank >= p {
 			return fmt.Errorf("simnet: fault %d targets rank %d, world has %d", i, f.Rank, p)
 		}
-		if f.At < 0 {
-			return fmt.Errorf("simnet: fault %d has negative trigger time %v", i, f.At)
+		// NaN compares false against every bound, so the checks below must
+		// reject non-finite values explicitly: a NaN trigger time would
+		// otherwise validate and then never fire (clock >= NaN is false) — a
+		// silent no-op fault, which is the worst failure mode a test plan
+		// can have.
+		if f.At < 0 || math.IsNaN(f.At) || math.IsInf(f.At, 0) {
+			return fmt.Errorf("simnet: fault %d has negative or non-finite trigger time %v", i, f.At)
 		}
 		switch f.Kind {
 		case FaultCrash:
 		case FaultSlow, FaultDelay:
-			if f.Duration <= 0 {
-				return fmt.Errorf("simnet: %s fault %d needs a positive duration, got %v", f.Kind, i, f.Duration)
+			if !(f.Duration > 0) || math.IsInf(f.Duration, 0) {
+				return fmt.Errorf("simnet: %s fault %d needs a positive finite duration, got %v", f.Kind, i, f.Duration)
 			}
-			if f.Factor < 1 {
-				return fmt.Errorf("simnet: %s fault %d needs factor >= 1, got %v", f.Kind, i, f.Factor)
+			if !(f.Factor >= 1) || math.IsInf(f.Factor, 0) {
+				return fmt.Errorf("simnet: %s fault %d needs a finite factor >= 1, got %v", f.Kind, i, f.Factor)
 			}
 		default:
 			return fmt.Errorf("simnet: fault %d has unknown kind %d", i, int(f.Kind))

@@ -1,0 +1,315 @@
+package testkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"kgedist/internal/core"
+)
+
+// GoldenSchema versions the golden-file format. Bump it when a field changes
+// meaning; Compare refuses to diff across schema versions.
+const GoldenSchema = "kgedist-golden/v1"
+
+// GoldenEpoch is one point of a recorded convergence curve.
+type GoldenEpoch struct {
+	Epoch int `json:"epoch"`
+	// TrainLoss is rank 0's mean per-example training loss (the curve the
+	// tolerance bands apply to).
+	TrainLoss float64 `json:"train_loss"`
+	// ValAccuracy is the global validation pairwise-ranking accuracy (%).
+	ValAccuracy float64 `json:"val_accuracy"`
+	// Mode is the exchange collective used that epoch ("allreduce" or
+	// "allgather") — drift diagnosis reports when this differs, which
+	// localizes a regression to the dynamic-strategy decision rather than
+	// the numerics.
+	Mode string `json:"mode"`
+}
+
+// GoldenRun records one scenario's reference trajectory and outcome.
+type GoldenRun struct {
+	Name            string        `json:"name"`
+	Strategy        string        `json:"strategy"`
+	Nodes           int           `json:"nodes"`
+	Seed            uint64        `json:"seed"`
+	Epochs          int           `json:"epochs"`
+	SwitchedAtEpoch int           `json:"switched_at_epoch"`
+	FinalLoss       float64       `json:"final_loss"`
+	MRR             float64       `json:"mrr"`
+	TCA             float64       `json:"tca"`
+	CommBytes       int64         `json:"comm_bytes"`
+	Curve           []GoldenEpoch `json:"curve"`
+}
+
+// GoldenFile is the committed reference: every scenario's golden run plus
+// provenance.
+type GoldenFile struct {
+	Schema  string      `json:"schema"`
+	Dataset string      `json:"dataset"`
+	Runs    []GoldenRun `json:"runs"`
+}
+
+// Tolerance is the band applied when comparing a fresh run against a golden.
+// The runs are deterministic for a fixed build, so the bands exist to absorb
+// cross-platform floating-point variation (libm differences in exp/log), not
+// algorithmic drift; they are deliberately tight.
+type Tolerance struct {
+	// TrainLoss is the absolute band on each curve point and the final loss.
+	TrainLoss float64
+	// ValAccuracy is the absolute band on validation accuracy (percentage
+	// points).
+	ValAccuracy float64
+	// MRR is the absolute band on the final filtered MRR.
+	MRR float64
+	// TCA is the absolute band on triple-classification accuracy (points).
+	TCA float64
+	// CommBytesFrac is the allowed relative deviation of total communicated
+	// bytes (selection is seeded, so volumes are exactly reproducible; the
+	// band covers payload-layout changes that are declared intentional by
+	// updating goldens).
+	CommBytesFrac float64
+}
+
+// DefaultTolerance returns the bands `make verify-stats` enforces.
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		TrainLoss:     0.02,
+		ValAccuracy:   1.5,
+		MRR:           0.02,
+		TCA:           2.0,
+		CommBytesFrac: 0.01,
+	}
+}
+
+// GoldenFromResult converts a training result into its golden record.
+func GoldenFromResult(name string, seed uint64, nodes int, res *core.Result) GoldenRun {
+	g := GoldenRun{
+		Name:            name,
+		Strategy:        res.Strategy,
+		Nodes:           nodes,
+		Seed:            seed,
+		Epochs:          res.Epochs,
+		SwitchedAtEpoch: res.SwitchedAtEpoch,
+		MRR:             res.MRR,
+		TCA:             res.TCA,
+		CommBytes:       res.CommBytes,
+	}
+	for _, e := range res.PerEpoch {
+		g.Curve = append(g.Curve, GoldenEpoch{
+			Epoch:       e.Epoch,
+			TrainLoss:   e.TrainLoss,
+			ValAccuracy: e.ValAccuracy,
+			Mode:        e.Mode,
+		})
+	}
+	if n := len(g.Curve); n > 0 {
+		g.FinalLoss = g.Curve[n-1].TrainLoss
+	}
+	return g
+}
+
+// Drift is one diagnosed divergence between a fresh run and its golden.
+type Drift struct {
+	Run    string  // scenario name
+	Field  string  // which observable diverged
+	Epoch  int     // first diverging epoch (0 = run-level field)
+	Got    float64 // fresh value
+	Want   float64 // golden value
+	Band   float64 // tolerance applied
+	Detail string  // extra context (e.g. the collective that differed)
+}
+
+// String renders the drift for reports.
+func (d Drift) String() string {
+	s := fmt.Sprintf("[%s] %s", d.Run, d.Field)
+	if d.Epoch > 0 {
+		s += fmt.Sprintf(" first diverged at epoch %d", d.Epoch)
+	}
+	s += fmt.Sprintf(": got %.6g, golden %.6g (band %.3g)", d.Got, d.Want, d.Band)
+	if d.Detail != "" {
+		s += " — " + d.Detail
+	}
+	return s
+}
+
+// CompareRun diffs a fresh run against its golden under the tolerance and
+// returns every drift found (empty = within bands). The curve comparison
+// reports only the FIRST diverging epoch per field: later points diverge as
+// a consequence, and the first one is the debugging anchor.
+func CompareRun(got, want GoldenRun, tol Tolerance) []Drift {
+	var drifts []Drift
+	runLevel := func(field string, g, w, band float64, detail string) {
+		if math.Abs(g-w) > band {
+			drifts = append(drifts, Drift{Run: want.Name, Field: field, Got: g, Want: w, Band: band, Detail: detail})
+		}
+	}
+	if got.Epochs != want.Epochs {
+		runLevel("epochs", float64(got.Epochs), float64(want.Epochs), 0,
+			"epoch count changed: early stopping fired differently")
+	}
+	if got.SwitchedAtEpoch != want.SwitchedAtEpoch {
+		runLevel("switched_at_epoch", float64(got.SwitchedAtEpoch), float64(want.SwitchedAtEpoch), 0,
+			"the dynamic strategy's all-gather switch moved")
+	}
+	runLevel("final_loss", got.FinalLoss, want.FinalLoss, tol.TrainLoss, "")
+	runLevel("mrr", got.MRR, want.MRR, tol.MRR, "")
+	runLevel("tca", got.TCA, want.TCA, tol.TCA, "")
+	if want.CommBytes > 0 {
+		frac := math.Abs(float64(got.CommBytes-want.CommBytes)) / float64(want.CommBytes)
+		if frac > tol.CommBytesFrac {
+			drifts = append(drifts, Drift{
+				Run: want.Name, Field: "comm_bytes",
+				Got: float64(got.CommBytes), Want: float64(want.CommBytes), Band: tol.CommBytesFrac,
+				Detail: "wire volume changed: a payload layout or selection change",
+			})
+		}
+	}
+
+	// Curve: walk epochs in lockstep, report first divergence per field.
+	n := len(want.Curve)
+	if len(got.Curve) < n {
+		n = len(got.Curve)
+	}
+	var lossDrift, accDrift, modeDrift bool
+	for i := 0; i < n; i++ {
+		g, w := got.Curve[i], want.Curve[i]
+		if !modeDrift && g.Mode != w.Mode {
+			modeDrift = true
+			drifts = append(drifts, Drift{
+				Run: want.Name, Field: "mode", Epoch: w.Epoch,
+				Detail: fmt.Sprintf("collective differed: ran %q, golden used %q", g.Mode, w.Mode),
+			})
+		}
+		if !lossDrift && math.Abs(g.TrainLoss-w.TrainLoss) > tol.TrainLoss {
+			lossDrift = true
+			drifts = append(drifts, Drift{
+				Run: want.Name, Field: "train_loss", Epoch: w.Epoch,
+				Got: g.TrainLoss, Want: w.TrainLoss, Band: tol.TrainLoss,
+			})
+		}
+		if !accDrift && math.Abs(g.ValAccuracy-w.ValAccuracy) > tol.ValAccuracy {
+			accDrift = true
+			drifts = append(drifts, Drift{
+				Run: want.Name, Field: "val_accuracy", Epoch: w.Epoch,
+				Got: g.ValAccuracy, Want: w.ValAccuracy, Band: tol.ValAccuracy,
+			})
+		}
+	}
+	return drifts
+}
+
+// LoadGoldens reads and validates a golden file.
+func LoadGoldens(path string) (*GoldenFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("testkit: reading goldens: %w", err)
+	}
+	var gf GoldenFile
+	if err := json.Unmarshal(buf, &gf); err != nil {
+		return nil, fmt.Errorf("testkit: parsing goldens %s: %w", path, err)
+	}
+	if gf.Schema != GoldenSchema {
+		return nil, fmt.Errorf("testkit: golden schema %q, want %q (regenerate with kgeverify -update)", gf.Schema, GoldenSchema)
+	}
+	if gf.Dataset != GoldenDatasetName {
+		return nil, fmt.Errorf("testkit: goldens recorded on dataset %q, harness uses %q (regenerate with kgeverify -update)", gf.Dataset, GoldenDatasetName)
+	}
+	return &gf, nil
+}
+
+// SaveGoldens writes the golden file (indented, trailing newline) with a
+// tmp+rename so a crash never leaves a half-written reference.
+func SaveGoldens(path string, gf *GoldenFile) error {
+	buf, err := json.MarshalIndent(gf, "", "  ")
+	if err != nil {
+		return fmt.Errorf("testkit: encoding goldens: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("testkit: creating golden dir: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("testkit: writing goldens: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("testkit: publishing goldens: %w", err)
+	}
+	return nil
+}
+
+// Run finds the named golden run, or nil.
+func (gf *GoldenFile) Run(name string) *GoldenRun {
+	for i := range gf.Runs {
+		if gf.Runs[i].Name == name {
+			return &gf.Runs[i]
+		}
+	}
+	return nil
+}
+
+// RecordGoldens runs every scenario and assembles a fresh golden file.
+// report, when non-nil, receives one line per finished scenario.
+func RecordGoldens(report func(format string, args ...any)) (*GoldenFile, error) {
+	d := GoldenDataset()
+	gf := &GoldenFile{Schema: GoldenSchema, Dataset: GoldenDatasetName}
+	for _, sc := range Scenarios() {
+		res, err := RunScenario(sc, d)
+		if err != nil {
+			return nil, fmt.Errorf("testkit: scenario %s: %w", sc.Name, err)
+		}
+		cfg := GoldenBaseConfig()
+		gf.Runs = append(gf.Runs, GoldenFromResult(sc.Name, cfg.Seed, sc.Nodes, res))
+		if report != nil {
+			report("recorded %-10s strategy=%-22s epochs=%d mrr=%.4f final_loss=%.4f",
+				sc.Name, res.Strategy, res.Epochs, res.MRR, gf.Runs[len(gf.Runs)-1].FinalLoss)
+		}
+	}
+	return gf, nil
+}
+
+// VerifyGoldens re-runs every scenario present in the golden file and diffs
+// it under the tolerance. Scenarios in the code but missing from the file
+// (or vice versa) are reported as drifts, so the matrix cannot silently
+// shrink. report, when non-nil, receives one line per finished scenario.
+func VerifyGoldens(gf *GoldenFile, tol Tolerance, report func(format string, args ...any)) []Drift {
+	var drifts []Drift
+	d := GoldenDataset()
+	seen := map[string]bool{}
+	for _, sc := range Scenarios() {
+		seen[sc.Name] = true
+		want := gf.Run(sc.Name)
+		if want == nil {
+			drifts = append(drifts, Drift{Run: sc.Name, Field: "missing",
+				Detail: "scenario has no golden record; run kgeverify -update"})
+			continue
+		}
+		res, err := RunScenario(sc, d)
+		if err != nil {
+			drifts = append(drifts, Drift{Run: sc.Name, Field: "error", Detail: err.Error()})
+			continue
+		}
+		cfg := GoldenBaseConfig()
+		got := GoldenFromResult(sc.Name, cfg.Seed, sc.Nodes, res)
+		ds := CompareRun(got, *want, tol)
+		drifts = append(drifts, ds...)
+		if report != nil {
+			status := "ok"
+			if len(ds) > 0 {
+				status = fmt.Sprintf("DRIFT x%d", len(ds))
+			}
+			report("golden %-10s mrr=%.4f final_loss=%.4f %s", sc.Name, got.MRR, got.FinalLoss, status)
+		}
+	}
+	for _, run := range gf.Runs {
+		if !seen[run.Name] {
+			drifts = append(drifts, Drift{Run: run.Name, Field: "orphan",
+				Detail: "golden record has no matching scenario; run kgeverify -update"})
+		}
+	}
+	return drifts
+}

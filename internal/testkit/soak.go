@@ -1,0 +1,368 @@
+package testkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"kgedist/internal/core"
+	"kgedist/internal/kg"
+	"kgedist/internal/model"
+	"kgedist/internal/serve"
+	"kgedist/internal/simnet"
+	"kgedist/internal/xrand"
+)
+
+// The chaos soak harness: each iteration runs the full lifecycle the system
+// promises to survive —
+//
+//	train (fault-free baseline)
+//	  -> train again under a randomized-but-seeded fault plan
+//	     (crash -> shrink -> recover, periodic crash-safe checkpoints)
+//	  -> persist the recovered model, reload it, serve it
+//	  -> hot-reload the serving process onto a different checkpoint
+//	     while queries are in flight
+//
+// and asserts after every stage: recovered MRR within tolerance of the
+// fault-free baseline, a gap-free epoch ledger, bit-exact persistence
+// round-trips, and a serving layer whose scores match the trained
+// parameters before and after the reload. All randomness derives from
+// SoakConfig.Seed, so a failing iteration replays exactly.
+
+// SoakConfig parameterizes a soak run.
+type SoakConfig struct {
+	// Seed drives every random choice (fault plans, node counts, probe
+	// triples). Same seed, same soak.
+	Seed uint64
+	// Iters is the number of train->crash->recover->serve cycles.
+	Iters int
+	// Dir is the scratch directory for checkpoints; it must exist. Each
+	// iteration's files are removed on success.
+	Dir string
+	// MRRTolerance is the allowed |recovered - baseline| as a fraction of
+	// the baseline MRR (0 = DefaultMRRTolerance).
+	MRRTolerance float64
+	// Report, when non-nil, receives progress lines.
+	Report func(format string, args ...any)
+}
+
+// DefaultMRRTolerance is the relative MRR band around the fault-free
+// baseline. It is wider than the 10% the fixed-plan recovery test
+// (core/fault_test.go) enforces, because the soak's randomized plans can
+// shrink the cluster by half — which legitimately changes the averaging
+// dynamics in either direction. Lost updates are caught exactly by the
+// epoch-ledger and checkpoint round-trip assertions; the MRR band bounds
+// gross divergence.
+const DefaultMRRTolerance = 0.25
+
+// soakMRRFloor is the absolute floor of the MRR band: on the small soak
+// dataset the baseline MRR is ~0.12-0.16, and cross-configuration spread
+// alone is a few hundredths, so a purely relative band would be noise-
+// dominated when the baseline is low.
+const soakMRRFloor = 0.05
+
+// SoakIteration records one cycle's observables.
+type SoakIteration struct {
+	Iter           int     `json:"iter"`
+	Nodes          int     `json:"nodes"`
+	FaultPlan      string  `json:"fault_plan"`
+	BaselineMRR    float64 `json:"baseline_mrr"`
+	RecoveredMRR   float64 `json:"recovered_mrr"`
+	Recoveries     int     `json:"recoveries"`
+	FaultsInjected int     `json:"faults_injected"`
+	Checkpoints    int     `json:"checkpoints"`
+	FinalNodes     int     `json:"final_nodes"`
+	Degraded       bool    `json:"degraded"`
+}
+
+// SoakReport aggregates a soak run.
+type SoakReport struct {
+	Seed           uint64          `json:"seed"`
+	Iters          int             `json:"iters"`
+	Recoveries     int             `json:"recoveries"`
+	FaultsInjected int             `json:"faults_injected"`
+	Iterations     []SoakIteration `json:"iterations"`
+}
+
+// soakDataset is the shared KG for soak cycles (generated once per Soak
+// call; iterations vary seeds and fault plans, not the data).
+func soakDataset() *kg.Dataset {
+	return kg.Generate(kg.GenConfig{
+		Name: "testkit-soak", Entities: 300, Relations: 30, Triples: 5000,
+		Communities: 6, Seed: 1234,
+	})
+}
+
+// soakConfig is the per-iteration training configuration. The horizon is
+// fixed (no early stop) so the baseline's virtual duration predicts where
+// in the faulty run the crashes land.
+func soakConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Dim = 8
+	cfg.BaseLR = 0.02
+	cfg.BatchSize = 500
+	cfg.MaxEpochs = 8
+	cfg.StopPatience = 50
+	cfg.ValSample = 400
+	cfg.TestSample = 100
+	cfg.Seed = seed
+	return cfg
+}
+
+// Soak runs the chaos soak and returns the report; the error is non-nil on
+// the first failed assertion (the report covers completed iterations).
+func Soak(sc SoakConfig) (*SoakReport, error) {
+	if sc.Iters <= 0 {
+		return nil, fmt.Errorf("testkit: soak needs Iters > 0")
+	}
+	tol := sc.MRRTolerance
+	if tol <= 0 {
+		tol = DefaultMRRTolerance
+	}
+	report := sc.Report
+	if report == nil {
+		report = func(string, ...any) {}
+	}
+	d := soakDataset()
+	out := &SoakReport{Seed: sc.Seed, Iters: sc.Iters}
+	for i := 0; i < sc.Iters; i++ {
+		it, err := soakIteration(sc, d, i, tol, report)
+		if it != nil {
+			out.Iterations = append(out.Iterations, *it)
+			out.Recoveries += it.Recoveries
+			out.FaultsInjected += it.FaultsInjected
+		}
+		if err != nil {
+			return out, fmt.Errorf("soak iteration %d (seed %d): %w", i, sc.Seed, err)
+		}
+	}
+	return out, nil
+}
+
+func soakIteration(sc SoakConfig, d *kg.Dataset, iter int, tol float64, report func(string, ...any)) (*SoakIteration, error) {
+	rng := xrand.New(sc.Seed).Split(uint64(iter + 1))
+	nodes := 3 + rng.Intn(2)
+	cfg := soakConfig(sc.Seed + uint64(iter))
+
+	// ---- Stage 1: fault-free baseline ----
+	base, err := core.Train(cfg, d, nodes)
+	if err != nil {
+		return nil, fmt.Errorf("baseline train: %w", err)
+	}
+	baseSeconds := base.TotalHours * 3600
+
+	// ---- Stage 2: randomized-but-seeded fault plan ----
+	plan := randomFaultPlan(rng, nodes, baseSeconds)
+	it := &SoakIteration{Iter: iter, Nodes: nodes, FaultPlan: plan.String(), BaselineMRR: base.MRR}
+
+	ckpt := filepath.Join(sc.Dir, fmt.Sprintf("soak-%d-periodic.kge2", iter))
+	faulty := cfg
+	faulty.FaultPlan = plan
+	faulty.Recover = true
+	faulty.CheckpointEvery = 2
+	faulty.CheckpointPath = ckpt
+
+	rec, err := core.Train(faulty, d, nodes)
+	if err != nil {
+		return it, fmt.Errorf("faulty train (plan %q): %w", plan, err)
+	}
+	it.RecoveredMRR = rec.MRR
+	it.Recoveries = rec.Recovery.Recoveries
+	it.FaultsInjected = rec.Recovery.FaultsInjected
+	it.Checkpoints = rec.Recovery.Checkpoints
+	it.FinalNodes = rec.Recovery.FinalNodes
+	it.Degraded = rec.Recovery.Degraded
+	report("iter %d: nodes=%d plan=%s recoveries=%d injected=%d finalNodes=%d mrr %.4f vs baseline %.4f",
+		iter, nodes, plan, it.Recoveries, it.FaultsInjected, it.FinalNodes, rec.MRR, base.MRR)
+
+	// Crashes were placed well inside the run, so at least one must fire
+	// and be survived.
+	if it.FaultsInjected == 0 {
+		return it, fmt.Errorf("no fault fired (plan %q, baseline %gs) — the chaos run degenerated to a plain run", plan, baseSeconds)
+	}
+	if it.Recoveries == 0 {
+		return it, fmt.Errorf("crash fired but no recovery happened (plan %q)", plan)
+	}
+
+	// MRR within tolerance of the fault-free baseline.
+	band := tol * base.MRR
+	if band < soakMRRFloor {
+		band = soakMRRFloor
+	}
+	if diff := math.Abs(rec.MRR - base.MRR); diff > band {
+		return it, fmt.Errorf("recovered MRR %.4f vs baseline %.4f: off by %.4f, band %.4f",
+			rec.MRR, base.MRR, diff, band)
+	}
+
+	// Gap-free epoch ledger: after rollbacks, PerEpoch must hold epochs
+	// 1..Epochs exactly once — a gap means training lost an epoch's
+	// updates, a duplicate means replayed work was double-recorded.
+	if len(rec.PerEpoch) != rec.Epochs {
+		return it, fmt.Errorf("epoch ledger has %d records for %d epochs", len(rec.PerEpoch), rec.Epochs)
+	}
+	for j, e := range rec.PerEpoch {
+		if e.Epoch != j+1 {
+			return it, fmt.Errorf("epoch ledger gap: record %d is epoch %d", j, e.Epoch)
+		}
+	}
+	if rec.Epochs != cfg.MaxEpochs {
+		return it, fmt.Errorf("recovered run finished %d epochs, want the full horizon %d", rec.Epochs, cfg.MaxEpochs)
+	}
+
+	// ---- Stage 3: persistence round-trip (no lost updates) ----
+	m := model.New(cfg.ModelName, cfg.Dim)
+	finalCkpt := filepath.Join(sc.Dir, fmt.Sprintf("soak-%d-final.kge2", iter))
+	if err := model.SaveCheckpoint(finalCkpt, m, rec.FinalParams); err != nil {
+		return it, fmt.Errorf("saving final checkpoint: %w", err)
+	}
+	_, loaded, err := model.LoadCheckpoint(finalCkpt)
+	if err != nil {
+		return it, fmt.Errorf("reloading final checkpoint: %w", err)
+	}
+	if !paramsEqual(loaded, rec.FinalParams) {
+		return it, fmt.Errorf("checkpoint round-trip lost updates: reloaded parameters differ from trained ones")
+	}
+
+	// ---- Stage 4: serve the recovered model, hot-reload to the baseline ----
+	baseCkpt := filepath.Join(sc.Dir, fmt.Sprintf("soak-%d-base.kge2", iter))
+	if err := model.SaveCheckpoint(baseCkpt, m, base.FinalParams); err != nil {
+		return it, fmt.Errorf("saving baseline checkpoint: %w", err)
+	}
+	if err := soakServe(finalCkpt, baseCkpt, m, rec.FinalParams, base.FinalParams, d, rng); err != nil {
+		return it, err
+	}
+
+	for _, p := range []string{ckpt, finalCkpt, baseCkpt} {
+		_ = os.Remove(p)
+	}
+	return it, nil
+}
+
+// randomFaultPlan draws 1-2 rank crashes inside [0.15, 0.6] of the
+// baseline's virtual duration (so they fire mid-training and are always
+// survivable) and, half the time, a slowdown window on rank 0.
+func randomFaultPlan(rng *xrand.RNG, nodes int, baseSeconds float64) *simnet.FaultPlan {
+	plan := &simnet.FaultPlan{}
+	nCrash := 1 + rng.Intn(2)
+	if nCrash > nodes-1 {
+		nCrash = nodes - 1
+	}
+	perm := rng.Perm(nodes)
+	for c := 0; c < nCrash; c++ {
+		at := (0.15 + 0.45*rng.Float64()) * baseSeconds
+		plan.Faults = append(plan.Faults, simnet.Fault{Kind: simnet.FaultCrash, Rank: perm[c], At: at})
+	}
+	if rng.Bernoulli(0.5) {
+		plan.Faults = append(plan.Faults, simnet.Fault{
+			Kind: simnet.FaultSlow, Rank: 0,
+			At:       0.1 * baseSeconds,
+			Duration: 0.2 * baseSeconds,
+			Factor:   1 + 3*rng.Float64(),
+		})
+	}
+	return plan
+}
+
+// soakServe opens a serving stack on the recovered checkpoint, verifies
+// scores against the in-memory parameters, then hot-reloads onto the
+// baseline checkpoint while predict queries are in flight and verifies the
+// swap took effect.
+func soakServe(recCkpt, baseCkpt string, m model.Model, recParams, baseParams *model.Params, d *kg.Dataset, rng *xrand.RNG) error {
+	srv, err := serve.New(serve.Config{CheckpointPath: recCkpt, CacheSize: 256, MaxBatch: 8})
+	if err != nil {
+		return fmt.Errorf("opening server on recovered checkpoint: %w", err)
+	}
+	defer srv.Close()
+
+	probes := make([]kg.Triple, 8)
+	for i := range probes {
+		probes[i] = d.Test[rng.Intn(len(d.Test))]
+	}
+	check := func(stage string, p *model.Params) error {
+		st := srv.Store()
+		for _, tr := range probes {
+			got := st.Score(int(tr.H), int(tr.R), int(tr.T))
+			want := m.Score(p, tr)
+			if math.Abs(float64(got-want)) > 1e-6 {
+				return fmt.Errorf("%s: served score %.6g != trained score %.6g for %+v", stage, got, want, tr)
+			}
+		}
+		return nil
+	}
+	if err := check("serving recovered model", recParams); err != nil {
+		return err
+	}
+
+	// Hot reload under concurrent predict load: queries must all resolve
+	// (against either generation) and the swap must land.
+	handler := srv.Handler()
+	var wg sync.WaitGroup
+	qErr := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		h := int(probes[w].H)
+		r := int(probes[w].R)
+		go func() {
+			defer wg.Done()
+			for q := 0; q < 8; q++ {
+				body, _ := json.Marshal(map[string]any{"head": h, "relation": r, "k": 3})
+				req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+				rw := httptest.NewRecorder()
+				handler.ServeHTTP(rw, req)
+				if rw.Code != http.StatusOK {
+					select {
+					case qErr <- fmt.Errorf("predict during reload: HTTP %d: %s", rw.Code, rw.Body.String()):
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	if err := srv.Reload(baseCkpt); err != nil {
+		wg.Wait()
+		return fmt.Errorf("hot reload onto baseline checkpoint: %w", err)
+	}
+	wg.Wait()
+	select {
+	case err := <-qErr:
+		return err
+	default:
+	}
+	if err := check("serving after hot reload", baseParams); err != nil {
+		return err
+	}
+	info, err := model.ReadCheckpointInfo(baseCkpt)
+	if err != nil {
+		return fmt.Errorf("reading baseline checkpoint info: %w", err)
+	}
+	if got := srv.Store().Info().CRC; got != fmt.Sprintf("%08x", info.CRC) {
+		return fmt.Errorf("reload identity mismatch: store CRC %s, checkpoint CRC %08x", got, info.CRC)
+	}
+	return nil
+}
+
+// paramsEqual compares two parameter sets bit-for-bit.
+func paramsEqual(a, b *model.Params) bool {
+	if a.Entity.Rows != b.Entity.Rows || a.Relation.Rows != b.Relation.Rows ||
+		a.Entity.Cols != b.Entity.Cols || a.Relation.Cols != b.Relation.Cols {
+		return false
+	}
+	for i, v := range a.Entity.Data {
+		if math.Float32bits(v) != math.Float32bits(b.Entity.Data[i]) {
+			return false
+		}
+	}
+	for i, v := range a.Relation.Data {
+		if math.Float32bits(v) != math.Float32bits(b.Relation.Data[i]) {
+			return false
+		}
+	}
+	return true
+}

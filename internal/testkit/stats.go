@@ -1,0 +1,95 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+)
+
+// The confidence-bound discipline of the property checks: every stochastic
+// contract is tested as "empirical mean within z standard errors of the
+// claimed expectation" with z = CheckZ. The trial counts are fixed and the
+// RNG is seeded, so a check's verdict is deterministic — but the bound is
+// *derived* (CLT), not tuned: if the underlying estimator were biased by
+// more than the bound, the check would fail for almost every seed, and a
+// passing seed certifies the bias is below the detectable floor.
+
+// CheckZ is the number of standard errors allowed around a claimed
+// expectation. 4.75 puts the per-comparison false-alarm probability near
+// 1e-6; with a few hundred comparisons per sweep the harness-level false
+// alarm stays below 1e-3 — and since the seeds are fixed, a re-run cannot
+// flake either way.
+const CheckZ = 4.75
+
+// MeanWithin reports whether the empirical mean of n samples with the given
+// sample standard deviation is within CheckZ standard errors of want.
+// It returns the margin actually allowed.
+func MeanWithin(mean, want, sd float64, n int) (ok bool, margin float64) {
+	if n <= 1 {
+		return false, 0
+	}
+	margin = CheckZ * sd / math.Sqrt(float64(n))
+	return math.Abs(mean-want) <= margin, margin
+}
+
+// BernoulliWithin reports whether an observed frequency k/n is within CheckZ
+// binomial standard errors of probability p, returning the allowed margin.
+// A small continuity allowance (1/n) keeps the check meaningful at p near 0
+// or 1, where the normal approximation is thin.
+func BernoulliWithin(k, n int, p float64) (ok bool, margin float64) {
+	if n <= 0 {
+		return false, 0
+	}
+	freq := float64(k) / float64(n)
+	margin = CheckZ*math.Sqrt(p*(1-p)/float64(n)) + 1/float64(n)
+	return math.Abs(freq-p) <= margin, margin
+}
+
+// RunningMean accumulates a sample mean and variance (Welford) so checks can
+// derive their own standard errors without retaining samples.
+type RunningMean struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample in.
+func (r *RunningMean) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the sample count.
+func (r *RunningMean) N() int { return r.n }
+
+// Mean returns the sample mean.
+func (r *RunningMean) Mean() float64 { return r.mean }
+
+// SD returns the sample standard deviation.
+func (r *RunningMean) SD() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n-1))
+}
+
+// PropResult is one property check's verdict.
+type PropResult struct {
+	// Name identifies the check ("quant-ternary-unbiased", ...).
+	Name string
+	// OK reports whether the contract held.
+	OK bool
+	// Detail explains a failure (the first violated comparison) or
+	// summarizes what a pass covered.
+	Detail string
+}
+
+// String renders the verdict for reports.
+func (p PropResult) String() string {
+	status := "ok  "
+	if !p.OK {
+		status = "FAIL"
+	}
+	return fmt.Sprintf("%s %-28s %s", status, p.Name, p.Detail)
+}

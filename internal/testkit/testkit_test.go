@@ -1,0 +1,210 @@
+package testkit
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMeanWithin(t *testing.T) {
+	t.Parallel()
+	if ok, _ := MeanWithin(0.5, 0.5, 1.0, 100); !ok {
+		t.Error("exact mean rejected")
+	}
+	// Margin at n=100, sd=1 is 0.475; a gap of 1.0 must fail.
+	if ok, _ := MeanWithin(1.5, 0.5, 1.0, 100); ok {
+		t.Error("mean 1.0 outside the band accepted")
+	}
+	if ok, _ := MeanWithin(0.5, 0.5, 1.0, 1); ok {
+		t.Error("n=1 must be rejected: no standard error exists")
+	}
+	_, margin := MeanWithin(0, 0, 2.0, 400)
+	if want := CheckZ * 2.0 / 20.0; math.Abs(margin-want) > 1e-12 {
+		t.Errorf("margin = %g, want %g", margin, want)
+	}
+}
+
+func TestBernoulliWithin(t *testing.T) {
+	t.Parallel()
+	if ok, _ := BernoulliWithin(500, 1000, 0.5); !ok {
+		t.Error("exact frequency rejected")
+	}
+	if ok, _ := BernoulliWithin(700, 1000, 0.5); ok {
+		t.Error("frequency 0.2 off accepted")
+	}
+	// Degenerate p: the 1/n continuity allowance must admit k=n at p=1.
+	if ok, _ := BernoulliWithin(1000, 1000, 1.0); !ok {
+		t.Error("k=n at p=1 rejected")
+	}
+	if ok, _ := BernoulliWithin(990, 1000, 1.0); ok {
+		t.Error("misses at p=1 accepted")
+	}
+	if ok, _ := BernoulliWithin(0, 0, 0.5); ok {
+		t.Error("n=0 accepted")
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	t.Parallel()
+	var r RunningMean
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d, want 8", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", r.Mean())
+	}
+	// Sample SD of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(r.SD()-want) > 1e-12 {
+		t.Errorf("sd = %g, want %g", r.SD(), want)
+	}
+}
+
+// golden returns a small reference run for compare tests.
+func goldenFixture() GoldenRun {
+	return GoldenRun{
+		Name: "fix", Strategy: "allreduce", Nodes: 2, Seed: 7,
+		Epochs: 3, FinalLoss: 0.50, MRR: 0.15, TCA: 60, CommBytes: 1000,
+		Curve: []GoldenEpoch{
+			{Epoch: 1, TrainLoss: 0.70, ValAccuracy: 55, Mode: "allreduce"},
+			{Epoch: 2, TrainLoss: 0.60, ValAccuracy: 58, Mode: "allreduce"},
+			{Epoch: 3, TrainLoss: 0.50, ValAccuracy: 60, Mode: "allreduce"},
+		},
+	}
+}
+
+func TestCompareRunIdentical(t *testing.T) {
+	t.Parallel()
+	if drifts := CompareRun(goldenFixture(), goldenFixture(), DefaultTolerance()); len(drifts) != 0 {
+		t.Fatalf("identical runs drifted: %v", drifts)
+	}
+}
+
+func TestCompareRunFirstDivergingEpoch(t *testing.T) {
+	t.Parallel()
+	got := goldenFixture()
+	// Perturb epochs 2 and 3; only epoch 2 must be reported.
+	got.Curve[1].TrainLoss += 0.10
+	got.Curve[2].TrainLoss += 0.10
+	got.FinalLoss += 0.10
+	drifts := CompareRun(got, goldenFixture(), DefaultTolerance())
+	var curveDrift *Drift
+	for i := range drifts {
+		if drifts[i].Field == "train_loss" && drifts[i].Epoch > 0 {
+			if curveDrift != nil {
+				t.Fatalf("multiple curve drifts reported for one field: %v", drifts)
+			}
+			curveDrift = &drifts[i]
+		}
+	}
+	if curveDrift == nil {
+		t.Fatalf("no curve drift reported: %v", drifts)
+	}
+	if curveDrift.Epoch != 2 {
+		t.Errorf("first diverging epoch = %d, want 2", curveDrift.Epoch)
+	}
+}
+
+func TestCompareRunModeDrift(t *testing.T) {
+	t.Parallel()
+	got := goldenFixture()
+	got.Curve[2].Mode = "allgather"
+	drifts := CompareRun(got, goldenFixture(), DefaultTolerance())
+	if len(drifts) != 1 || drifts[0].Field != "mode" || drifts[0].Epoch != 3 {
+		t.Fatalf("want a single mode drift at epoch 3, got %v", drifts)
+	}
+	if !strings.Contains(drifts[0].String(), "allgather") {
+		t.Errorf("drift detail should name the differing collective: %s", drifts[0])
+	}
+}
+
+func TestCompareRunCommBytes(t *testing.T) {
+	t.Parallel()
+	got := goldenFixture()
+	got.CommBytes = 1020 // 2% off, band is 1%
+	drifts := CompareRun(got, goldenFixture(), DefaultTolerance())
+	if len(drifts) != 1 || drifts[0].Field != "comm_bytes" {
+		t.Fatalf("want a single comm_bytes drift, got %v", drifts)
+	}
+}
+
+func TestGoldenSaveLoadRoundTrip(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "sub", "goldens.json")
+	gf := &GoldenFile{Schema: GoldenSchema, Dataset: GoldenDatasetName,
+		Runs: []GoldenRun{goldenFixture()}}
+	if err := SaveGoldens(path, gf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGoldens(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != 1 || back.Runs[0].Name != "fix" {
+		t.Fatalf("round trip lost runs: %+v", back)
+	}
+	if back.Run("fix") == nil || back.Run("nope") != nil {
+		t.Error("Run lookup broken")
+	}
+}
+
+func TestLoadGoldensRejectsWrongSchema(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "goldens.json")
+	if err := SaveGoldens(path, &GoldenFile{Schema: "other/v9", Dataset: GoldenDatasetName}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGoldens(path); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if err := SaveGoldens(path, &GoldenFile{Schema: GoldenSchema, Dataset: "other-data"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGoldens(path); err == nil {
+		t.Error("wrong dataset accepted")
+	}
+}
+
+// TestGoldenRegression is the committed-reference gate: every scenario
+// re-run must land inside the tolerance bands of testdata/goldens.json.
+// This is the same sweep `make verify-stats` runs via kgeverify.
+func TestGoldenRegression(t *testing.T) {
+	gf, err := LoadGoldens(filepath.Join("testdata", "goldens.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifts := VerifyGoldens(gf, DefaultTolerance(), t.Logf)
+	for _, d := range drifts {
+		t.Errorf("drift: %s", d)
+	}
+}
+
+// TestPropertyChecks runs the full statistical sweep at the default seed.
+func TestPropertyChecks(t *testing.T) {
+	for _, r := range AllPropertyChecks(1) {
+		if !r.OK {
+			t.Errorf("property failed: %s", r)
+		} else {
+			t.Log(r.String())
+		}
+	}
+}
+
+// TestSoakSmoke runs two chaos iterations; the full five-iteration soak is
+// `make soak` / the nightly CI job.
+func TestSoakSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak smoke skipped in -short mode")
+	}
+	rep, err := Soak(SoakConfig{Seed: 1, Iters: 2, Dir: t.TempDir(), Report: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultsInjected == 0 || rep.Recoveries == 0 {
+		t.Fatalf("soak injected %d faults, %d recoveries; want both > 0",
+			rep.FaultsInjected, rep.Recoveries)
+	}
+}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
+	t.Parallel()
 	a := New(42)
 	b := New(42)
 	for i := 0; i < 1000; i++ {
@@ -17,6 +18,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestDifferentSeedsDiffer(t *testing.T) {
+	t.Parallel()
 	a := New(1)
 	b := New(2)
 	same := 0
@@ -31,6 +33,7 @@ func TestDifferentSeedsDiffer(t *testing.T) {
 }
 
 func TestSplitStability(t *testing.T) {
+	t.Parallel()
 	parent := New(7)
 	c1 := parent.Split(3)
 	// Drawing from the parent must not change what Split(3) yields.
@@ -46,6 +49,7 @@ func TestSplitStability(t *testing.T) {
 }
 
 func TestSplitIndependence(t *testing.T) {
+	t.Parallel()
 	parent := New(7)
 	c1 := parent.Split(1)
 	c2 := parent.Split(2)
@@ -61,6 +65,7 @@ func TestSplitIndependence(t *testing.T) {
 }
 
 func TestIntnBounds(t *testing.T) {
+	t.Parallel()
 	r := New(9)
 	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
 		for i := 0; i < 200; i++ {
@@ -73,6 +78,7 @@ func TestIntnBounds(t *testing.T) {
 }
 
 func TestIntnPanicsOnNonPositive(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for Intn(0)")
@@ -82,6 +88,7 @@ func TestIntnPanicsOnNonPositive(t *testing.T) {
 }
 
 func TestIntnUniformity(t *testing.T) {
+	t.Parallel()
 	r := New(11)
 	const n = 10
 	const draws = 100000
@@ -98,6 +105,7 @@ func TestIntnUniformity(t *testing.T) {
 }
 
 func TestFloat64Range(t *testing.T) {
+	t.Parallel()
 	r := New(13)
 	sum := 0.0
 	for i := 0; i < 100000; i++ {
@@ -114,6 +122,7 @@ func TestFloat64Range(t *testing.T) {
 }
 
 func TestFloat32Range(t *testing.T) {
+	t.Parallel()
 	r := New(14)
 	for i := 0; i < 10000; i++ {
 		v := r.Float32()
@@ -124,6 +133,7 @@ func TestFloat32Range(t *testing.T) {
 }
 
 func TestBernoulliEdges(t *testing.T) {
+	t.Parallel()
 	r := New(15)
 	for i := 0; i < 100; i++ {
 		if r.Bernoulli(0) {
@@ -142,6 +152,7 @@ func TestBernoulliEdges(t *testing.T) {
 }
 
 func TestBernoulliRate(t *testing.T) {
+	t.Parallel()
 	r := New(16)
 	const p = 0.3
 	const draws = 200000
@@ -158,6 +169,7 @@ func TestBernoulliRate(t *testing.T) {
 }
 
 func TestNormFloat64Moments(t *testing.T) {
+	t.Parallel()
 	r := New(17)
 	const draws = 200000
 	sum, sumSq := 0.0, 0.0
@@ -177,6 +189,7 @@ func TestNormFloat64Moments(t *testing.T) {
 }
 
 func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
 	r := New(19)
 	for _, n := range []int{0, 1, 2, 10, 100} {
 		p := r.Perm(n)
@@ -194,6 +207,7 @@ func TestPermIsPermutation(t *testing.T) {
 }
 
 func TestShufflePreservesMultiset(t *testing.T) {
+	t.Parallel()
 	r := New(20)
 	s := []int{5, 5, 1, 2, 3, 3, 3}
 	orig := map[int]int{}
@@ -213,6 +227,7 @@ func TestShufflePreservesMultiset(t *testing.T) {
 }
 
 func TestZipfBounds(t *testing.T) {
+	t.Parallel()
 	r := New(21)
 	z := NewZipf(r, 50, 1.1)
 	for i := 0; i < 10000; i++ {
@@ -224,6 +239,7 @@ func TestZipfBounds(t *testing.T) {
 }
 
 func TestZipfMonotoneFrequencies(t *testing.T) {
+	t.Parallel()
 	r := New(22)
 	const n = 20
 	z := NewZipf(r, n, 1.0)
@@ -246,6 +262,7 @@ func TestZipfMonotoneFrequencies(t *testing.T) {
 }
 
 func TestZipfN(t *testing.T) {
+	t.Parallel()
 	z := NewZipf(New(1), 17, 1.0)
 	if z.N() != 17 {
 		t.Fatalf("N() = %d", z.N())
@@ -254,6 +271,7 @@ func TestZipfN(t *testing.T) {
 
 // Property: Intn always lies in range for arbitrary seeds and sizes.
 func TestQuickIntnInRange(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, nRaw uint16) bool {
 		n := int(nRaw%1000) + 1
 		r := New(seed)
@@ -272,6 +290,7 @@ func TestQuickIntnInRange(t *testing.T) {
 
 // Property: identical seeds give identical Float64 streams.
 func TestQuickDeterministicFloat(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64) bool {
 		a, b := New(seed), New(seed)
 		for i := 0; i < 16; i++ {
@@ -306,6 +325,7 @@ func BenchmarkZipfDraw(b *testing.B) {
 }
 
 func TestShuffleSwapFunc(t *testing.T) {
+	t.Parallel()
 	r := New(23)
 	s := []string{"a", "b", "c", "d", "e"}
 	orig := append([]string(nil), s...)
