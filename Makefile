@@ -30,8 +30,11 @@ vet:
 	$(GO) vet ./...
 
 # kgelint is this repo's own analyzer suite (cmd/kgelint, internal/lint):
-# seeded randomness, divergent collectives, float equality, dropped errors,
-# non-atomic shared-row access. Zero findings is the merge bar.
+# six per-node matchers (seeded randomness, divergent collectives, float
+# equality, dropped errors, collective error handling, non-atomic shared-row
+# access) plus the CFG/dataflow tier (pooluse buffer lifecycle, scratchhold
+# borrow retention, hotpathalloc zero-alloc proof) and the stale
+# //kgelint:ignore audit. Zero unsuppressed findings is the merge bar.
 ## lint: run the kgelint analyzer suite (zero findings = pass)
 lint:
 	$(GO) run ./cmd/kgelint ./...

@@ -4,12 +4,16 @@
 //
 // Usage:
 //
-//	kgelint [-only name[,name]] [-list] [packages]
+//	kgelint [-only name[,name]] [-list] [-json] [-diff] [-audit] [packages]
 //
 // Packages default to ./.... Findings print as file:line:col: message
-// (analyzer) and a non-zero exit reports their presence. Suppress an
-// individual finding with a trailing or preceding
-// //kgelint:ignore <analyzer> <rationale> comment.
+// (analyzer), or as a JSON array with -json (file/line/col/analyzer/message
+// records, schema pinned by internal/lint's TestJSONSchema); a non-zero
+// exit reports their presence. -diff prints a unified-diff-style
+// suppression suggestion per finding. Suppress an individual finding with a
+// trailing or preceding //kgelint:ignore <analyzer> <rationale> comment;
+// -audit (on by default) reports directives that no longer suppress
+// anything, so accepted findings cannot rot into dead annotations.
 package main
 
 import (
@@ -24,6 +28,9 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	diffOut := flag.Bool("diff", false, "print a suppression-suggestion diff per finding")
+	audit := flag.Bool("audit", true, "report stale //kgelint:ignore directives")
 	flag.Parse()
 
 	analyzers := lint.All()
@@ -66,13 +73,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kgelint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	diags, err := lint.RunAnalyzersAudited(pkgs, analyzers, *audit)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kgelint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	switch {
+	case *jsonOut:
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "kgelint: %v\n", err)
+			os.Exit(2)
+		}
+	case *diffOut:
+		if err := lint.WriteSuppressionDiffs(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "kgelint: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "kgelint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -167,6 +167,8 @@ func (x *exchanger) allGather(g, agg *grad.SparseGrad, res *grad.Residual, tag s
 // gradient is returned as-is: rank-local, full precision, zero cost. The
 // returned aggregates alias exchanger-owned scratch (or relG itself) and
 // are valid only until the next exchange call.
+//
+//kgelint:hotpath
 func (x *exchanger) exchange(entG, relG *grad.SparseGrad, mode string) (entAgg, relAgg *grad.SparseGrad, cost float64, err error) {
 	switch mode {
 	case "allreduce":
@@ -199,6 +201,8 @@ func (x *exchanger) exchange(entG, relG *grad.SparseGrad, mode string) (entAgg, 
 // probeAllGather performs a throwaway all-gather of the same payloads to
 // measure its cost for the dynamic strategy's §4.1 probe. The results are
 // discarded; error-feedback residuals are left untouched.
+//
+//kgelint:hotpath
 func (x *exchanger) probeAllGather(entG, relG *grad.SparseGrad) (float64, error) {
 	probe := func(g *grad.SparseGrad) (float64, error) {
 		if x.cfg.Quant == grad.NoQuant {

@@ -189,6 +189,8 @@ func Quantize(g *SparseGrad, s Scheme, rng *xrand.RNG) *Encoded {
 // slices previously obtained from e are invalidated. g is only read; the
 // rng is consumed exactly as by Quantize, so for a fixed seed the two
 // produce bit-identical encodings.
+//
+//kgelint:hotpath
 func QuantizeInto(e *Encoded, g *SparseGrad, s Scheme, rng *xrand.RNG) {
 	idx := g.Indices()
 	w := g.Width()
@@ -258,6 +260,8 @@ func QuantizeInto(e *Encoded, g *SparseGrad, s Scheme, rng *xrand.RNG) {
 // (which must share the encoded width). e is only read; dst provides the
 // storage, so a caller holding dst across batches decodes without
 // allocating once dst's row working set is warm.
+//
+//kgelint:hotpath
 func Dequantize(e *Encoded, dst *SparseGrad) {
 	if dst.Width() != e.Width {
 		panic("grad: Dequantize width mismatch")
@@ -335,8 +339,11 @@ func Unmarshal(buf []byte) (*Encoded, error) {
 // storage; the decoded contents never alias buf, so buf may be recycled or
 // owned by another rank. On error e is left in an unspecified state. Any
 // slices previously obtained from e are invalidated.
+//
+//kgelint:hotpath
 func UnmarshalInto(e *Encoded, buf []byte) error {
 	if len(buf) < 9 {
+		//kgelint:ignore hotpathalloc corrupt-payload error path, never taken per batch
 		return fmt.Errorf("grad: encoded buffer too short: %d bytes", len(buf))
 	}
 	e.Scheme = Scheme(buf[0])
@@ -345,6 +352,7 @@ func UnmarshalInto(e *Encoded, buf []byte) error {
 	off := 9
 	need := off + 4*n + 4*n + n*payloadBytesPerRow(e.Scheme, e.Width)
 	if e.Width <= 0 || n < 0 || len(buf) != need {
+		//kgelint:ignore hotpathalloc corrupt-payload error path, never taken per batch
 		return fmt.Errorf("grad: encoded buffer size %d does not match header (want %d)", len(buf), need)
 	}
 	if cap(e.Indices) < n {

@@ -159,6 +159,8 @@ func Train(cfg Config, d *kg.Dataset) (*Result, *model.Params, error) {
 // the stale-gradient tolerance the Hogwild analysis relies on. ws is the
 // calling worker's exclusively-owned scratch; step itself is
 // allocation-free.
+//
+//kgelint:hotpath
 func step(m model.Model, p *model.Params, tr kg.Triple, y float32, lr float32, ws *model.Scratch) {
 	p.Entity.AtomicRowLoad(int(tr.H), ws.H)
 	p.Relation.AtomicRowLoad(int(tr.R), ws.R)

@@ -1,0 +1,476 @@
+package lint
+
+// Intra-procedural control-flow graph over go/ast function bodies — the
+// substrate the dataflow-capable analyzers (pooluse, scratchhold) run on.
+// Each function body becomes a graph of basic blocks; a block holds the
+// statements and condition expressions that execute straight-line, in
+// order, and edges carry control into successor blocks.
+//
+// The builder covers the full statement grammar the repo uses: if/else,
+// for (all three clauses, back edges), range, switch/type-switch with
+// fallthrough, select, labeled statements with labeled break/continue,
+// goto, and early returns. Two deliberate approximations keep the graph
+// simple without costing the analyzers precision they need:
+//
+//   - Deferred statements are modeled as running once, in reverse
+//     registration order, in the synthetic Exit block that every return
+//     edge feeds. That is exactly when `defer pool.Put(buf)` releases its
+//     buffer, which is the case the pooluse analyzer must get right.
+//   - A panic call terminates its block with an edge to Exit, like a
+//     return. Recover-based resumption is not modeled; no analyzer here
+//     needs it.
+//
+// Function literals are NOT inlined into the enclosing graph: their bodies
+// run under their caller's schedule, not this function's. Analyzers that
+// care about closures (goroutine capture, escapes) inspect FuncLit nodes
+// where they appear as ordinary expressions inside a block's nodes.
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Block is one basic block: nodes that execute consecutively with no
+// internal branching. Nodes are statements and bare condition/tag
+// expressions (ast.Expr), in execution order.
+type Block struct {
+	Index int
+	// Kind labels the block's syntactic origin for diagnostics and the
+	// CFG-shape tests: "entry", "exit", "if.then", "for.head", ...
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	// Exit is the synthetic sink every return/panic/fallthrough-off-the-end
+	// edge reaches. Its Nodes are the function's deferred statements in
+	// reverse registration order (LIFO, as the runtime executes them).
+	Exit *Block
+}
+
+// String renders the graph one block per line ("i:kind -> j k") for tests
+// and debugging.
+func (g *CFG) String() string {
+	var b strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "%d:%s ->", blk.Index, blk.Kind)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, " %d", s.Index)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+type loopFrame struct {
+	label string
+	brk   *Block // break target
+	cont  *Block // continue target; nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	g   *CFG
+	cur *Block // nil while the current point is unreachable
+
+	frames []loopFrame
+	// pendingLabel is the label naming the next loop/switch/select built,
+	// consumed by the statement it precedes.
+	pendingLabel string
+	// labelBlocks maps label names to their target blocks (goto landing
+	// sites and labeled-statement heads).
+	labelBlocks map[string]*Block
+	// fallthroughTo is the next case-body block while building a switch
+	// clause.
+	fallthroughTo *Block
+
+	deferred []ast.Stmt
+}
+
+// buildCFG constructs the CFG of a function body.
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		g:           &CFG{},
+		labelBlocks: map[string]*Block{},
+	}
+	b.g.Entry = b.newBlock("entry")
+	b.cur = b.g.Entry
+	exit := b.newBlock("exit")
+	b.g.Exit = exit
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, exit)
+	}
+	// Deferred statements run on every exit path, last registered first.
+	for i := len(b.deferred) - 1; i >= 0; i-- {
+		exit.Nodes = append(exit.Nodes, b.deferred[i])
+	}
+	b.renumber()
+	return b.g
+}
+
+// renumber re-indexes blocks so Entry is 0, Exit is last, and the rest keep
+// construction order — stable for the shape tests.
+func (b *cfgBuilder) renumber() {
+	blocks := b.g.Blocks
+	sort.SliceStable(blocks, func(i, j int) bool {
+		rank := func(blk *Block) int {
+			switch blk {
+			case b.g.Entry:
+				return -1
+			case b.g.Exit:
+				return 1
+			}
+			return 0
+		}
+		return rank(blocks[i]) < rank(blocks[j])
+	})
+	for i, blk := range blocks {
+		blk.Index = i
+	}
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends a node to the current block, materializing an orphan
+// "unreachable" block for dead code so its nodes still exist in the graph.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// frameFor resolves a break/continue target frame, honoring labels.
+func (b *cfgBuilder) frameFor(label string, needCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if label != "" && f.label != label {
+			continue
+		}
+		if needCont && f.cont == nil {
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// labelBlock returns (creating on demand) the landing block for a label.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labelBlocks[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labelBlocks[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// The label is a landing site (for goto) and names the inner
+		// loop/switch for labeled break/continue.
+		target := b.labelBlock(s.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, target)
+		}
+		b.cur = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		if b.cur != nil {
+			b.edge(b.cur, b.g.Exit)
+		}
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if f := b.frameFor(label, false); f != nil && b.cur != nil {
+				b.edge(b.cur, f.brk)
+			}
+			b.cur = nil
+		case "continue":
+			if f := b.frameFor(label, true); f != nil && b.cur != nil {
+				b.edge(b.cur, f.cont)
+			}
+			b.cur = nil
+		case "goto":
+			if b.cur != nil {
+				b.edge(b.cur, b.labelBlock(label))
+			}
+			b.cur = nil
+		case "fallthrough":
+			if b.fallthroughTo != nil && b.cur != nil {
+				b.edge(b.cur, b.fallthroughTo)
+			}
+			b.cur = nil
+		}
+
+	case *ast.DeferStmt:
+		b.deferred = append(b.deferred, s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		then := b.newBlock("if.then")
+		join := b.newBlock("if.join")
+		if head != nil {
+			b.edge(head, then)
+		}
+		b.cur = then
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			if head != nil {
+				b.edge(head, els)
+			}
+			b.cur = els
+			b.stmt(s.Else)
+			if b.cur != nil {
+				b.edge(b.cur, join)
+			}
+		} else if head != nil {
+			b.edge(head, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock("for.body")
+		after := b.newBlock("for.after")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, cont)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		// The RangeStmt node itself carries the ranged expression and the
+		// key/value assignment for the analyzers.
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.after")
+		b.edge(head, body)
+		b.edge(head, after)
+		b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, func(c *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			nodes := make([]ast.Node, 0, len(c.List))
+			for _, e := range c.List {
+				nodes = append(nodes, e)
+			}
+			return nodes, c.Body, c.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchClauses(label, s.Body.List, func(c *ast.CaseClause) ([]ast.Node, []ast.Stmt, bool) {
+			return nil, c.Body, c.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock("select.after")
+		b.frames = append(b.frames, loopFrame{label: label, brk: after})
+		anyReach := false
+		for _, cc := range s.Body.List {
+			c := cc.(*ast.CommClause)
+			kind := "select.case"
+			if c.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.newBlock(kind)
+			if head != nil {
+				b.edge(head, blk)
+			}
+			b.cur = blk
+			if c.Comm != nil {
+				b.stmt(c.Comm)
+			}
+			b.stmtList(c.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+				anyReach = true
+			}
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// An empty select blocks forever; one with clauses continues.
+		if len(s.Body.List) > 0 && (anyReach || head != nil) {
+			b.cur = after
+		} else {
+			b.cur = nil
+		}
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			if b.cur != nil {
+				b.edge(b.cur, b.g.Exit)
+			}
+			b.cur = nil
+		}
+
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt:
+		b.add(s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Unknown statement kinds still land in the block so analyzers see
+		// their expressions.
+		b.add(s)
+	}
+}
+
+// switchClauses builds the shared case-fan shape of switch/type-switch.
+// part extracts (guard nodes, body, isDefault) from a clause.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, part func(*ast.CaseClause) ([]ast.Node, []ast.Stmt, bool)) {
+	head := b.cur
+	after := b.newBlock("switch.after")
+	b.frames = append(b.frames, loopFrame{label: label, brk: after})
+	bodies := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		c := cc.(*ast.CaseClause)
+		nodes, _, isDefault := part(c)
+		kind := "switch.case"
+		if isDefault {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blk := b.newBlock(kind)
+		blk.Nodes = append(blk.Nodes, nodes...)
+		if head != nil {
+			b.edge(head, blk)
+		}
+		bodies[i] = blk
+	}
+	for i, cc := range clauses {
+		c := cc.(*ast.CaseClause)
+		_, body, _ := part(c)
+		if i+1 < len(bodies) {
+			b.fallthroughTo = bodies[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.cur = bodies[i]
+		b.stmtList(body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.fallthroughTo = nil
+	// Without a default clause the tag may match nothing.
+	if !hasDefault && head != nil {
+		b.edge(head, after)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// isPanicCall reports whether expr is a direct call to the panic builtin.
+func isPanicCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

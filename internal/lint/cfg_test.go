@@ -1,0 +1,192 @@
+package lint
+
+// Table-driven shape tests for the CFG builder: each case is a function
+// body snippet whose expected graph is spelled out block-per-line in the
+// (*CFG).String() format "index:kind -> successor indices". The snippets
+// only need to parse, not type-check — buildCFG is pure syntax.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", file, 0)
+	if err != nil {
+		t.Fatalf("parsing snippet: %v\n%s", err, file)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+		// wantExitNodes counts deferred statements modeled in Exit.
+		wantExitNodes int
+	}{
+		{
+			name: "straight line",
+			src:  "x := 1\n_ = x",
+			want: []string{
+				"0:entry -> 1",
+				"1:exit ->",
+			},
+		},
+		{
+			name: "if with early return",
+			src:  "if c {\nreturn\n}\nx := 1\n_ = x",
+			want: []string{
+				"0:entry -> 1 2",
+				"1:if.then -> 3",
+				"2:if.join -> 3",
+				"3:exit ->",
+			},
+		},
+		{
+			name: "for with init cond post",
+			src:  "for i := 0; i < 3; i++ {\n_ = i\n}",
+			want: []string{
+				"0:entry -> 1",
+				"1:for.head -> 2 3",
+				"2:for.body -> 4",
+				"3:for.after -> 5",
+				"4:for.post -> 1",
+				"5:exit ->",
+			},
+		},
+		{
+			name: "range with continue and break",
+			src:  "xs := []int{1}\nfor _, v := range xs {\nif v == 0 {\ncontinue\n}\nbreak\n}",
+			want: []string{
+				"0:entry -> 1",
+				"1:range.head -> 2 3",
+				"2:range.body -> 4 5",
+				"3:range.after -> 6",
+				"4:if.then -> 1",
+				"5:if.join -> 3",
+				"6:exit ->",
+			},
+		},
+		{
+			name: "switch with fallthrough and default",
+			src:  "switch x := 1; x {\ncase 1:\nfallthrough\ncase 2:\n_ = x\ndefault:\nreturn\n}",
+			want: []string{
+				"0:entry -> 2 3 4",
+				"1:switch.after -> 5",
+				"2:switch.case -> 3",
+				"3:switch.case -> 1",
+				"4:switch.default -> 5",
+				"5:exit ->",
+			},
+		},
+		{
+			name: "type switch without default leaks past the cases",
+			src:  "switch y := x.(type) {\ncase int:\n_ = y\n}",
+			want: []string{
+				"0:entry -> 2 1",
+				"1:switch.after -> 3",
+				"2:switch.case -> 1",
+				"3:exit ->",
+			},
+		},
+		{
+			name: "select with default",
+			src:  "select {\ncase v := <-ch:\n_ = v\ndefault:\n}",
+			want: []string{
+				"0:entry -> 2 3",
+				"1:select.after -> 4",
+				"2:select.case -> 1",
+				"3:select.default -> 1",
+				"4:exit ->",
+			},
+		},
+		{
+			name: "defer runs in exit, panic edges to exit",
+			src:  "defer done()\nif bad {\npanic(\"x\")\n}\nreturn",
+			want: []string{
+				"0:entry -> 1 2",
+				"1:if.then -> 3",
+				"2:if.join -> 3",
+				"3:exit ->",
+			},
+			wantExitNodes: 1,
+		},
+		{
+			name: "goto back to label",
+			src:  "i := 0\nloop:\ni++\nif i < 3 {\ngoto loop\n}",
+			want: []string{
+				"0:entry -> 1",
+				"1:label.loop -> 2 3",
+				"2:if.then -> 1",
+				"3:if.join -> 4",
+				"4:exit ->",
+			},
+		},
+		{
+			name: "labeled break from nested infinite loops",
+			src:  "outer:\nfor {\nfor {\nbreak outer\n}\n}\n_ = 1",
+			want: []string{
+				"0:entry -> 1",
+				"1:label.outer -> 2",
+				"2:for.head -> 3",
+				"3:for.body -> 5",
+				"4:for.after -> 8",
+				"5:for.head -> 6",
+				"6:for.body -> 4",
+				"7:for.after -> 2",
+				"8:exit ->",
+			},
+		},
+		{
+			name: "dead code after return is an orphan block",
+			src:  "return\nx := 1\n_ = x",
+			want: []string{
+				"0:entry -> 2",
+				"1:unreachable -> 2",
+				"2:exit ->",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := buildCFG(parseBody(t, tc.src))
+			got := strings.TrimSpace(g.String())
+			want := strings.Join(tc.want, "\n")
+			if got != want {
+				t.Errorf("CFG shape mismatch\n got:\n%s\nwant:\n%s", got, want)
+			}
+			if len(g.Exit.Nodes) != tc.wantExitNodes {
+				t.Errorf("exit block has %d nodes, want %d (deferred stmts)", len(g.Exit.Nodes), tc.wantExitNodes)
+			}
+			// Structural invariants: edges are symmetric and stay in-graph.
+			inGraph := map[*Block]bool{}
+			for _, blk := range g.Blocks {
+				inGraph[blk] = true
+			}
+			for _, blk := range g.Blocks {
+				for _, s := range blk.Succs {
+					if !inGraph[s] {
+						t.Errorf("block %d has out-of-graph successor", blk.Index)
+					}
+					found := false
+					for _, p := range s.Preds {
+						if p == blk {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("edge %d->%d missing back-pointer", blk.Index, s.Index)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+// Forward dataflow over the CFG of cfg.go, plus the slice-alias lattice the
+// pooluse analyzer interprets. The solver is a standard worklist fixpoint:
+// block in-states join the out-states of predecessors, transfer functions
+// apply node effects in order, and iteration stops when nothing changes.
+// The lattices here are finite (sets of allocation sites and status bits),
+// so termination is structural.
+//
+// Abstraction: every `pool.Get*` call site is one abstract cell. A binding
+// maps a local variable to the cells it may alias, with a "derived" bit per
+// cell recording that the variable holds a subslice whose backing-array
+// start or capacity differs from the pooled buffer (re-slicing with a
+// non-zero low bound or a 3-index cap clamp). Cell status is a may-bitset:
+// once Put or transferred on any path, a later use is reported — exactly
+// the "works on the happy path, races after the early return" bug class
+// the runtime AllocsPerRun pins cannot see.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// forwardFlow runs the worklist fixpoint and returns the in-state of every
+// block. newState seeds the entry; clone and merge define the lattice
+// (merge reports whether dst changed); apply is the per-node transfer.
+func forwardFlow[S any](g *CFG, newState func() S, clone func(S) S, merge func(dst, src S) bool, apply func(S, ast.Node)) map[*Block]S {
+	in := map[*Block]S{g.Entry: newState()}
+	work := []*Block{g.Entry}
+	inWork := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+		out := clone(in[blk])
+		for _, n := range blk.Nodes {
+			apply(out, n)
+		}
+		for _, succ := range blk.Succs {
+			cur, ok := in[succ]
+			changed := false
+			if !ok {
+				in[succ] = clone(out)
+				changed = true
+			} else {
+				changed = merge(cur, out)
+			}
+			if changed && !inWork[succ] {
+				inWork[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// cellStatus is the may-state of one pooled buffer.
+type cellStatus uint8
+
+const (
+	cellLive        cellStatus = 1 << iota // owned by this function
+	cellReleased                           // returned to the pool via Put*
+	cellTransferred                        // ownership handed to a //kgelint:transfer sink
+)
+
+// sliceBinding records which cells a variable may alias.
+type sliceBinding struct {
+	cells map[token.Pos]bool
+	// derived marks cells for which this variable holds a derived subslice
+	// (shifted start or clamped cap) rather than the buffer as pooled.
+	derived map[token.Pos]bool
+}
+
+func (b *sliceBinding) clone() *sliceBinding {
+	n := &sliceBinding{cells: map[token.Pos]bool{}, derived: map[token.Pos]bool{}}
+	for c := range b.cells {
+		n.cells[c] = true
+	}
+	for c := range b.derived {
+		n.derived[c] = true
+	}
+	return n
+}
+
+// sliceState is the dataflow fact: variable bindings plus per-cell status.
+type sliceState struct {
+	vars  map[types.Object]*sliceBinding
+	cells map[token.Pos]cellStatus
+}
+
+func newSliceState() *sliceState {
+	return &sliceState{
+		vars:  map[types.Object]*sliceBinding{},
+		cells: map[token.Pos]cellStatus{},
+	}
+}
+
+func (s *sliceState) clone() *sliceState {
+	n := newSliceState()
+	for v, b := range s.vars {
+		n.vars[v] = b.clone()
+	}
+	for c, st := range s.cells {
+		n.cells[c] = st
+	}
+	return n
+}
+
+// merge unions src into dst and reports whether dst changed.
+func (s *sliceState) merge(src *sliceState) bool {
+	changed := false
+	for v, sb := range src.vars {
+		db, ok := s.vars[v]
+		if !ok {
+			s.vars[v] = sb.clone()
+			changed = true
+			continue
+		}
+		for c := range sb.cells {
+			if !db.cells[c] {
+				db.cells[c] = true
+				changed = true
+			}
+		}
+		for c := range sb.derived {
+			if !db.derived[c] {
+				db.derived[c] = true
+				changed = true
+			}
+		}
+	}
+	for c, st := range src.cells {
+		if s.cells[c]|st != s.cells[c] {
+			s.cells[c] |= st
+			changed = true
+		}
+	}
+	return changed
+}
+
+// bind replaces v's binding (strong update).
+func (s *sliceState) bind(v types.Object, b *sliceBinding) {
+	if b == nil {
+		delete(s.vars, v)
+		return
+	}
+	s.vars[v] = b
+}
+
+// newCell starts tracking the pooled buffer allocated at site, resetting
+// any state a previous loop iteration left behind (the Get re-livens its
+// own site).
+func (s *sliceState) newCell(site token.Pos) *sliceBinding {
+	s.cells[site] = cellLive
+	return &sliceBinding{cells: map[token.Pos]bool{site: true}, derived: map[token.Pos]bool{}}
+}
+
+// setStatus applies a strong status update to every cell in b.
+func (s *sliceState) setStatus(b *sliceBinding, st cellStatus) {
+	for c := range b.cells {
+		s.cells[c] = st
+	}
+}
+
+// status returns the OR of the statuses of b's cells.
+func (s *sliceState) status(b *sliceBinding) cellStatus {
+	var st cellStatus
+	for c := range b.cells {
+		st |= s.cells[c]
+	}
+	return st
+}

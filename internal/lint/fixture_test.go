@@ -88,6 +88,9 @@ func TestFloatEqFixture(t *testing.T)             { runFixture(t, FloatEq, "floa
 func TestDroppedErrFixture(t *testing.T)          { runFixture(t, DroppedErr, "droppederr") }
 func TestCollectiveErrFixture(t *testing.T)       { runFixture(t, CollectiveErr, "collectiveerr") }
 func TestAtomicRowFixture(t *testing.T)           { runFixture(t, AtomicRow, "hogwild") }
+func TestPoolUseFixture(t *testing.T)             { runFixture(t, PoolUse, "pooluse") }
+func TestScratchHoldFixture(t *testing.T)         { runFixture(t, ScratchHold, "scratchhold") }
+func TestHotPathAllocFixture(t *testing.T)        { runFixture(t, HotPathAlloc, "hotpathalloc") }
 
 // TestLoadRepoPackage smoke-tests the module loader against a real package.
 func TestLoadRepoPackage(t *testing.T) {
@@ -122,7 +125,7 @@ func TestAllRegistryComplete(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"seedrand", "divergentcollective", "floateq", "droppederr", "collectiveerr", "atomicrow"} {
+	for _, want := range []string{"seedrand", "divergentcollective", "floateq", "droppederr", "collectiveerr", "atomicrow", "pooluse", "scratchhold", "hotpathalloc"} {
 		if !names[want] {
 			t.Fatalf("analyzer %q missing from All()", want)
 		}

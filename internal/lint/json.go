@@ -1,0 +1,90 @@
+package lint
+
+// Machine-readable output for cmd/kgelint: a stable JSON schema for CI and
+// editor integrations (-json), and unified-diff suppression suggestions
+// (-diff) so a reviewer can see exactly what accepting a finding as
+// intentional would look like before committing to it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// JSONFinding is the wire form of one Diagnostic. The field set and tags
+// are the public contract (pinned by TestJSONSchema); extend it, never
+// rename or retype existing fields.
+type JSONFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ToJSONFindings converts diagnostics preserving RunAnalyzers' stable
+// file/line order.
+func ToJSONFindings(diags []Diagnostic) []JSONFinding {
+	out := make([]JSONFinding, len(diags))
+	for i, d := range diags {
+		out[i] = JSONFinding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the findings as one JSON array (always an array, even
+// when empty, so consumers need no null handling).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ToJSONFindings(diags))
+}
+
+// WriteSuppressionDiffs prints, per finding, a unified-diff hunk that would
+// suppress it with a //kgelint:ignore directive (rationale left as TODO —
+// the human accepting the finding supplies it). Stale-ignore audit findings
+// suggest the inverse edit: removing the dead directive. The output is a
+// review aid, not a patch to apply blindly.
+func WriteSuppressionDiffs(w io.Writer, diags []Diagnostic) error {
+	lines := map[string][]string{}
+	for _, d := range diags {
+		src, ok := lines[d.Pos.Filename]
+		if !ok {
+			data, err := os.ReadFile(d.Pos.Filename)
+			if err != nil {
+				return fmt.Errorf("lint: reading %s for -diff: %w", d.Pos.Filename, err)
+			}
+			src = strings.Split(string(data), "\n")
+			lines[d.Pos.Filename] = src
+		}
+		if d.Pos.Line < 1 || d.Pos.Line > len(src) {
+			continue
+		}
+		old := src[d.Pos.Line-1]
+		var repl string
+		if d.Analyzer == UnusedIgnoreName {
+			// The fix for a stale ignore is deleting the directive.
+			idx := strings.Index(old, "//"+ignoreDirective)
+			if idx < 0 {
+				continue
+			}
+			repl = strings.TrimRight(old[:idx], " \t")
+		} else {
+			repl = fmt.Sprintf("%s //%s %s TODO: rationale", old, ignoreDirective, d.Analyzer)
+		}
+		fmt.Fprintf(w, "--- %s:%d (%s)\n", d.Pos.Filename, d.Pos.Line, d.Analyzer)
+		fmt.Fprintf(w, "-%s\n", old)
+		if repl != "" {
+			fmt.Fprintf(w, "+%s\n", repl)
+		}
+	}
+	return nil
+}

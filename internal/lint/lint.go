@@ -71,9 +71,23 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// ignoreSet maps file -> line -> analyzer names suppressed on that line. The
-// wildcard name "all" suppresses every analyzer.
-type ignoreSet map[string]map[int]map[string]bool
+// ignoreEntry is one analyzer name of one //kgelint:ignore directive, with
+// a usage bit so stale directives can be audited after the run.
+type ignoreEntry struct {
+	file string
+	line int // line the directive sits on
+	name string
+	used bool
+}
+
+// ignoreSet indexes suppression entries by file -> line -> analyzer name.
+// The wildcard name "all" suppresses every analyzer. Each directive covers
+// its own line and the line directly below, so both lines map to the same
+// entry.
+type ignoreSet struct {
+	byLine  map[string]map[int]map[string][]*ignoreEntry
+	entries []*ignoreEntry
+}
 
 // ignoreDirective is the comment prefix that suppresses findings, e.g.
 //
@@ -83,16 +97,16 @@ type ignoreSet map[string]map[int]map[string]bool
 // (so it can precede the flagged statement).
 const ignoreDirective = "kgelint:ignore"
 
-func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
-	ig := make(ignoreSet)
-	add := func(file string, line int, name string) {
-		if ig[file] == nil {
-			ig[file] = make(map[int]map[string]bool)
+func collectIgnores(fset *token.FileSet, files []*ast.File) *ignoreSet {
+	ig := &ignoreSet{byLine: make(map[string]map[int]map[string][]*ignoreEntry)}
+	add := func(e *ignoreEntry, line int) {
+		if ig.byLine[e.file] == nil {
+			ig.byLine[e.file] = make(map[int]map[string][]*ignoreEntry)
 		}
-		if ig[file][line] == nil {
-			ig[file][line] = make(map[string]bool)
+		if ig.byLine[e.file][line] == nil {
+			ig.byLine[e.file][line] = make(map[string][]*ignoreEntry)
 		}
-		ig[file][line][name] = true
+		ig.byLine[e.file][line][e.name] = append(ig.byLine[e.file][line][e.name], e)
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -104,14 +118,27 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
 				pos := fset.Position(c.Pos())
-				for _, name := range strings.Fields(rest) {
-					// Names after the analyzer list are free-form rationale;
-					// analyzer names are lowercase identifiers.
-					if name != strings.ToLower(name) {
+				// The analyzer list is the leading run of known names (or
+				// "all"); everything after the first unknown word is
+				// free-form rationale. A directive whose FIRST word is
+				// already unknown suppresses nothing — record that word so
+				// the audit can flag the likely typo.
+				fields := strings.Fields(rest)
+				var names []string
+				for _, w := range fields {
+					if w != "all" && !analyzerNames[w] {
 						break
 					}
-					add(pos.Filename, pos.Line, name)
-					add(pos.Filename, pos.Line+1, name)
+					names = append(names, w)
+				}
+				if len(names) == 0 && len(fields) > 0 {
+					names = fields[:1]
+				}
+				for _, name := range names {
+					e := &ignoreEntry{file: pos.Filename, line: pos.Line, name: name}
+					ig.entries = append(ig.entries, e)
+					add(e, pos.Line)
+					add(e, pos.Line+1)
 				}
 			}
 		}
@@ -119,18 +146,87 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 	return ig
 }
 
-func (ig ignoreSet) suppresses(d Diagnostic) bool {
-	byLine := ig[d.Pos.Filename]
+// suppresses reports whether d is ignored, marking the matching directives
+// as used for the stale-ignore audit.
+func (ig *ignoreSet) suppresses(d Diagnostic) bool {
+	byLine := ig.byLine[d.Pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	names := byLine[d.Pos.Line]
-	return names[d.Analyzer] || names["all"]
+	hit := false
+	for _, e := range names[d.Analyzer] {
+		e.used = true
+		hit = true
+	}
+	for _, e := range names["all"] {
+		e.used = true
+		hit = true
+	}
+	return hit
+}
+
+// UnusedIgnoreName is the pseudo-analyzer name under which stale
+// //kgelint:ignore directives are reported. Audit findings are not
+// themselves suppressible — a stale ignore hiding behind another ignore
+// would rot forever.
+const UnusedIgnoreName = "unusedignore"
+
+// auditIgnores reports directives that suppressed nothing. An entry naming
+// a specific analyzer is audited only when that analyzer actually ran (a
+// partial run must not flush ignores belonging to the analyzers it
+// skipped); the wildcard "all" and unknown analyzer names are audited only
+// on full-suite runs.
+func (ig *ignoreSet) auditIgnores(ran map[string]bool, fullSuite bool) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range ig.entries {
+		if e.used {
+			continue
+		}
+		var msg string
+		switch {
+		case e.name == "all":
+			if !fullSuite {
+				continue
+			}
+			msg = "stale //kgelint:ignore all: no analyzer reports on this or the next line; delete the directive"
+		case ran[e.name]:
+			msg = fmt.Sprintf("stale //kgelint:ignore %s: the analyzer no longer reports on this or the next line; delete the directive", e.name)
+		case fullSuite:
+			msg = fmt.Sprintf("//kgelint:ignore names unknown analyzer %q; fix the name or delete the directive", e.name)
+		default:
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: UnusedIgnoreName,
+			Pos:      token.Position{Filename: e.file, Line: e.line},
+			Message:  msg,
+		})
+	}
+	return out
 }
 
 // RunAnalyzers applies every analyzer to every package and returns the
 // surviving (non-suppressed) findings in stable file/line order.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersAudited(pkgs, analyzers, false)
+}
+
+// RunAnalyzersAudited is RunAnalyzers plus an optional stale-ignore audit:
+// with auditIgnores set, every //kgelint:ignore directive that suppressed
+// nothing is reported under the "unusedignore" pseudo-analyzer, so dead
+// suppressions cannot rot silently.
+func RunAnalyzersAudited(pkgs []*Package, analyzers []*Analyzer, auditIgnores bool) ([]Diagnostic, error) {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range All() {
+		if !ran[a.Name] {
+			fullSuite = false
+		}
+	}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		ig := collectIgnores(pkg.Fset, pkg.Syntax)
@@ -154,6 +250,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				all = append(all, d)
 			}
 		}
+		if auditIgnores {
+			all = append(all, ig.auditIgnores(ran, fullSuite)...)
+		}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -168,6 +267,16 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 	return all, nil
 }
 
+// analyzerNames is the registry of valid //kgelint:ignore targets, derived
+// from All() at init.
+var analyzerNames = func() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}()
+
 // All returns the full kgedist analyzer suite in a deterministic order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -177,5 +286,8 @@ func All() []*Analyzer {
 		DroppedErr,
 		CollectiveErr,
 		AtomicRow,
+		PoolUse,
+		ScratchHold,
+		HotPathAlloc,
 	}
 }

@@ -1,0 +1,536 @@
+package lint
+
+// pooluse enforces the internal/pool ownership contract (DESIGN.md §10)
+// with the CFG/dataflow engine: every pool.Get* result is tracked through
+// assignments, re-slices and branches, and the analyzer reports
+//
+//   - use of a buffer after pool.Put* released it (on any path),
+//   - double Put of the same buffer,
+//   - Put of a derived subslice (shifted start or clamped cap — the pool
+//     would recycle the wrong extent),
+//   - append to a pooled buffer (regrowth silently detaches it from the
+//     pooled backing array, so the later Put recycles a stale buffer),
+//   - Get results escaping the function — stored into struct fields,
+//     globals or composite literals, sent over channels, returned, or
+//     captured by goroutines — without a documented ownership transfer.
+//
+// Ownership legally leaves a function through a sink annotated with a
+// `//kgelint:transfer` directive on its declaration (same package), e.g.
+// mpi's point-to-point send, whose single receiver consumes and Puts the
+// staging buffer. Arguments of such calls are treated as moved: the cells
+// stop being function-owned and any later use is reported.
+//
+// The analysis is intra-procedural and may-based: a buffer released on one
+// branch is considered released at the join, which is exactly the
+// early-return/error-path shape that reintroduces use-after-Put races.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolUse tracks pool.Get* buffers through the CFG and reports ownership
+// violations.
+var PoolUse = &Analyzer{
+	Name: "pooluse",
+	Doc: "track pool.Get*/Put* ownership through assignments, reslices and " +
+		"branches; report use-after-Put, double Put, Put of derived subslices, " +
+		"append regrowth, and escaping buffers without a //kgelint:transfer sink",
+	Run: runPoolUse,
+}
+
+func runPoolUse(pass *Pass) error {
+	// The pool implementation itself manipulates raw free lists.
+	if strings.HasSuffix(pass.PkgPath, "internal/pool") {
+		return nil
+	}
+	transfer := transferSinks(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &puFunc{pass: pass, transfer: transfer}
+			g := buildCFG(fd.Body)
+			in := forwardFlow(g,
+				newSliceState,
+				(*sliceState).clone,
+				(*sliceState).merge,
+				func(st *sliceState, n ast.Node) { w.apply(st, n) },
+			)
+			// Reporting pass over the stable fixpoint.
+			w.report = true
+			for _, blk := range g.Blocks {
+				st, ok := in[blk]
+				if !ok {
+					continue // unreachable
+				}
+				st = st.clone()
+				for _, n := range blk.Nodes {
+					w.apply(st, n)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// transferSinks collects the functions in this package whose declarations
+// carry a //kgelint:transfer directive: calls to them consume pooled
+// buffers reachable through their arguments.
+func transferSinks(pass *Pass) map[*types.Func]bool {
+	sinks := map[*types.Func]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text == "kgelint:transfer" {
+					if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+						sinks[fn] = true
+					}
+				}
+			}
+		}
+	}
+	return sinks
+}
+
+// puFunc analyzes one function body.
+type puFunc struct {
+	pass     *Pass
+	transfer map[*types.Func]bool
+	report   bool
+}
+
+func (w *puFunc) reportf(n ast.Node, format string, args ...any) {
+	if w.report {
+		w.pass.Reportf(n.Pos(), format, args...)
+	}
+}
+
+func (w *puFunc) obj(id *ast.Ident) types.Object {
+	if o := w.pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return w.pass.TypesInfo.Defs[id]
+}
+
+// poolCall classifies a call against internal/pool: returns "get", "put",
+// or "".
+func (w *puFunc) poolCall(call *ast.CallExpr) string {
+	f := calleeFunc(w.pass, call)
+	if f == nil || !strings.HasSuffix(funcPkgPath(f), "internal/pool") {
+		return ""
+	}
+	switch {
+	case strings.HasPrefix(f.Name(), "Get"):
+		return "get"
+	case strings.HasPrefix(f.Name(), "Put"):
+		return "put"
+	}
+	return ""
+}
+
+func (w *puFunc) isTransferCall(call *ast.CallExpr) bool {
+	f := calleeFunc(w.pass, call)
+	return f != nil && w.transfer[f]
+}
+
+// binding resolves expr to the slice binding it denotes, if tracked.
+// derivedExtra reports that expr itself re-slices the binding into a
+// derived view (non-zero low bound or 3-index cap clamp).
+func (w *puFunc) binding(st *sliceState, expr ast.Expr) (b *sliceBinding, derivedExtra bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if o := w.obj(e); o != nil {
+			return st.vars[o], false
+		}
+	case *ast.SliceExpr:
+		base, d := w.binding(st, e.X)
+		if base == nil {
+			return nil, false
+		}
+		return base, d || sliceIsDerived(e)
+	}
+	return nil, false
+}
+
+// sliceIsDerived reports whether the reslice changes the buffer's start or
+// capacity: s[k:...] with k possibly non-zero, or a 3-index slice.
+func sliceIsDerived(e *ast.SliceExpr) bool {
+	if e.Max != nil || e.Slice3 {
+		return true
+	}
+	if e.Low == nil {
+		return false
+	}
+	if lit, ok := ast.Unparen(e.Low).(*ast.BasicLit); ok && lit.Value == "0" {
+		return false
+	}
+	return true
+}
+
+// apply is the transfer function: it mutates st for node n and (when
+// w.report is set) emits diagnostics.
+func (w *puFunc) apply(st *sliceState, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		w.assign(st, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					w.bindIdent(st, name, rhs)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.exprStmt(st, n.X)
+	case *ast.DeferStmt:
+		w.exprStmt(st, n.Call)
+	case *ast.SendStmt:
+		w.scanExpr(st, n.Chan)
+		if b, _ := w.binding(st, n.Value); b != nil {
+			w.checkStale(st, n.Value, b)
+			if st.status(b)&cellLive != 0 {
+				w.reportf(n, "pooled buffer sent over a channel without a documented ownership transfer; the receiver and the pool would race")
+			}
+		} else {
+			w.scanExpr(st, n.Value)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if b, _ := w.binding(st, r); b != nil {
+				w.checkStale(st, r, b)
+				if st.status(b)&cellLive != 0 {
+					w.reportf(r, "pooled buffer returned to the caller; pool ownership must not leave the function without a documented transfer")
+				}
+				continue
+			}
+			w.scanExpr(st, r)
+		}
+	case *ast.GoStmt:
+		w.goStmt(st, n)
+	case *ast.RangeStmt:
+		w.scanExpr(st, n.X)
+		for _, lv := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := lv.(*ast.Ident); ok && id.Name != "_" {
+				if o := w.obj(id); o != nil {
+					st.bind(o, nil)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(st, n.X)
+	case ast.Expr:
+		w.scanExpr(st, n)
+	case ast.Stmt:
+		// Leaf statements the CFG does not special-case: scan embedded
+		// expressions conservatively.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if e, ok := m.(ast.Expr); ok {
+				w.scanExpr(st, e)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// exprStmt handles a call in statement position: Put, transfer sinks, or a
+// plain call.
+func (w *puFunc) exprStmt(st *sliceState, x ast.Expr) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		w.scanExpr(st, x)
+		return
+	}
+	switch {
+	case w.poolCall(call) == "put" && len(call.Args) == 1:
+		w.putCall(st, call)
+	case w.isTransferCall(call):
+		w.transferArgs(st, call)
+	default:
+		w.scanExpr(st, call)
+	}
+}
+
+// putCall processes pool.Put*(arg).
+func (w *puFunc) putCall(st *sliceState, call *ast.CallExpr) {
+	arg := call.Args[0]
+	b, derivedExtra := w.binding(st, arg)
+	if b == nil {
+		w.scanExpr(st, arg)
+		return
+	}
+	status := st.status(b)
+	anyDerived := derivedExtra
+	for c := range b.derived {
+		if b.cells[c] {
+			anyDerived = true
+		}
+	}
+	switch {
+	case anyDerived:
+		w.reportf(call, "Put of a derived subslice of a pooled buffer; Put the original Get result (the pool keys on the backing array's full extent)")
+	case status&cellReleased != 0:
+		w.reportf(call, "double Put of pooled buffer; it already re-entered the pool on some path")
+	case status&cellTransferred != 0:
+		w.reportf(call, "Put of a pooled buffer whose ownership was already transferred; the new owner Puts it")
+	}
+	st.setStatus(b, cellReleased)
+}
+
+// transferArgs marks every tracked buffer reachable through the call's
+// arguments as moved to the annotated sink.
+func (w *puFunc) transferArgs(st *sliceState, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			o := w.obj(id)
+			if o == nil {
+				return true
+			}
+			b := st.vars[o]
+			if b == nil {
+				return true
+			}
+			w.checkStale(st, id, b)
+			st.setStatus(b, cellTransferred)
+			return true
+		})
+	}
+}
+
+// assign processes an assignment or short declaration.
+func (w *puFunc) assign(st *sliceState, n *ast.AssignStmt) {
+	// Tuple assignment from a single call: scan and kill.
+	if len(n.Lhs) != len(n.Rhs) {
+		for _, r := range n.Rhs {
+			w.scanExpr(st, r)
+		}
+		for _, l := range n.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if o := w.obj(id); o != nil {
+					st.bind(o, nil)
+				}
+			}
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		rhs := n.Rhs[i]
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			w.bindIdent(st, id, rhs)
+			continue
+		}
+		// Storing into a field, element or pointee: a live pooled buffer
+		// escapes the function's ownership.
+		if b, _ := w.binding(st, rhs); b != nil {
+			w.checkStale(st, rhs, b)
+			if st.status(b)&cellLive != 0 {
+				w.reportf(n, "pooled buffer stored outside the owning function (field, element or pointee) without a documented ownership transfer")
+			}
+		} else {
+			w.scanExpr(st, rhs)
+		}
+		w.scanExpr(st, lhs)
+	}
+}
+
+// bindIdent evaluates rhs and binds id to the result.
+func (w *puFunc) bindIdent(st *sliceState, id *ast.Ident, rhs ast.Expr) {
+	o := w.obj(id)
+	// A package-level variable outlives the call: binding a pooled buffer
+	// to it is an escape, not an alias copy.
+	pkgLevel := o != nil && w.pass.Pkg != nil && o.Parent() == w.pass.Pkg.Scope()
+	if rhs == nil {
+		if o != nil {
+			st.bind(o, nil)
+		}
+		return
+	}
+	rhs = ast.Unparen(rhs)
+	// x := pool.Get*(n): a fresh cell.
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if w.poolCall(call) == "get" {
+			for _, a := range call.Args {
+				w.scanExpr(st, a)
+			}
+			if pkgLevel {
+				w.reportf(id, "pooled buffer stored in package-level variable %s without a documented ownership transfer", id.Name)
+			}
+			if o != nil && id.Name != "_" {
+				st.bind(o, st.newCell(call.Pos()))
+			}
+			return
+		}
+		// append(x, ...) with a pooled x: regrowth hazard.
+		if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fn.Name == "append" && len(call.Args) > 0 {
+			if b, _ := w.binding(st, call.Args[0]); b != nil {
+				w.checkStale(st, call.Args[0], b)
+				w.reportf(call, "append to a pooled buffer may regrow it and detach it from the pooled backing array; a later Put would recycle a stale buffer")
+				for _, a := range call.Args[1:] {
+					w.scanExpr(st, a)
+				}
+				if o != nil && id.Name != "_" {
+					// The result may or may not alias the pooled cells.
+					st.bind(o, b.clone())
+				}
+				return
+			}
+		}
+	}
+	// x := y or x := y[...]: alias copy.
+	if b, derivedExtra := w.binding(st, rhs); b != nil {
+		w.checkStale(st, rhs, b)
+		if pkgLevel && st.status(b)&cellLive != 0 {
+			w.reportf(id, "pooled buffer stored in package-level variable %s without a documented ownership transfer", id.Name)
+		}
+		nb := b.clone()
+		if derivedExtra {
+			for c := range nb.cells {
+				nb.derived[c] = true
+			}
+		}
+		if o != nil && id.Name != "_" {
+			st.bind(o, nb)
+		}
+		return
+	}
+	w.scanExpr(st, rhs)
+	if o != nil && id.Name != "_" {
+		st.bind(o, nil)
+	}
+}
+
+// checkStale reports a use of a buffer that already left this function's
+// ownership on some path.
+func (w *puFunc) checkStale(st *sliceState, n ast.Node, b *sliceBinding) {
+	status := st.status(b)
+	if status&cellReleased != 0 {
+		w.reportf(n, "use of pooled buffer after Put returned it to the pool; another goroutine may already own it")
+	} else if status&cellTransferred != 0 {
+		w.reportf(n, "use of pooled buffer after its ownership was transferred")
+	}
+}
+
+// scanExpr walks an expression for stale uses, nested transfer sinks and
+// escaping composite literals.
+func (w *puFunc) scanExpr(st *sliceState, expr ast.Expr) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.CallExpr:
+			switch {
+			case w.poolCall(m) == "put" && len(m.Args) == 1:
+				w.putCall(st, m)
+				return false
+			case w.isTransferCall(m):
+				// Scan non-argument parts (receiver chain), then move args.
+				w.scanExpr(st, m.Fun)
+				w.transferArgs(st, m)
+				return false
+			}
+		case *ast.CompositeLit:
+			w.compositeEscape(st, m)
+			return false
+		case *ast.FuncLit:
+			// Closure bodies run later; flag only stale captures here.
+			ast.Inspect(m.Body, func(k ast.Node) bool {
+				if id, ok := k.(*ast.Ident); ok {
+					if o := w.obj(id); o != nil {
+						if b := st.vars[o]; b != nil {
+							w.checkStale(st, id, b)
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			if o := w.obj(m); o != nil {
+				if b := st.vars[o]; b != nil {
+					w.checkStale(st, m, b)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// compositeEscape reports live pooled buffers packed into a composite
+// literal outside a transfer sink: the literal's lifetime is unknown.
+func (w *puFunc) compositeEscape(st *sliceState, lit *ast.CompositeLit) {
+	ast.Inspect(lit, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := w.obj(id)
+		if o == nil {
+			return true
+		}
+		b := st.vars[o]
+		if b == nil {
+			return true
+		}
+		w.checkStale(st, id, b)
+		if st.status(b)&cellLive != 0 {
+			w.reportf(id, "pooled buffer escapes into a composite literal without a documented ownership transfer")
+		}
+		return true
+	})
+}
+
+// goStmt flags pooled buffers handed to or captured by a spawned goroutine.
+func (w *puFunc) goStmt(st *sliceState, n *ast.GoStmt) {
+	for _, arg := range n.Call.Args {
+		if b, _ := w.binding(st, arg); b != nil {
+			w.checkStale(st, arg, b)
+			if st.status(b)&cellLive != 0 {
+				w.reportf(arg, "pooled buffer handed to a goroutine without a documented ownership transfer")
+			}
+			continue
+		}
+		w.scanExpr(st, arg)
+	}
+	if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			o := w.obj(id)
+			if o == nil {
+				return true
+			}
+			if b := st.vars[o]; b != nil {
+				w.checkStale(st, id, b)
+				if st.status(b)&cellLive != 0 {
+					w.reportf(id, "pooled buffer captured by a goroutine without a documented ownership transfer")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,113 @@
+// Package hotpathalloc exercises the hotpathalloc analyzer: allocating
+// constructs reachable from //kgelint:hotpath entry points are flagged,
+// while lazy-grow guards, reuse-evidenced appends, panic formatting,
+// //kgelint:coldpath callees and unreachable functions stay silent.
+package hotpathalloc
+
+import "fmt"
+
+type ring struct {
+	buf   []float32
+	stage []float32
+	out   []float32
+}
+
+// --- violations ---
+
+//kgelint:hotpath
+func (r *ring) step(n int) {
+	tmp := make([]float32, n) // want "calls make"
+	p := new(ring)            // want "calls new"
+	xs := []int{n}            // want "slice literal allocates"
+	_, _, _ = tmp, p, xs
+	r.helper(n)
+	r.cold(n)
+}
+
+// helper is not annotated but is reachable from step, so it is scanned.
+func (r *ring) helper(n int) {
+	r.buf = append(r.buf, 1) // want "append may grow beyond cap"
+	m := map[int]int{}       // want "map literal allocates"
+	_ = m
+	fmt.Println(n) // want "calls fmt.Println"
+}
+
+//kgelint:hotpath
+func (r *ring) dispatchBad(n int) {
+	go r.helper(n) // want "go statement allocates"
+}
+
+// --- clean code: none of the below may fire ---
+
+// grow allocates only under cap/nil lazy-grow guards: amortized warm-up.
+//
+//kgelint:hotpath
+func (r *ring) grow(n int) {
+	if cap(r.stage) < n {
+		r.stage = make([]float32, n)
+	}
+	if r.buf == nil {
+		r.buf = make([]float32, n)
+	}
+	r.stage = r.stage[:n]
+}
+
+// pop takes from a freelist, materializing on a miss — the allocation sits
+// in the else arm of the len guard and amortizes away just the same.
+//
+//kgelint:hotpath
+func (r *ring) pop() []float32 {
+	var row []float32
+	if n := len(r.out); n > 0 {
+		row = r.out[:n]
+	} else {
+		row = make([]float32, 8)
+	}
+	return row
+}
+
+// accumulate appends to a buffer the package demonstrably reuses (grow
+// truncates r.stage in place).
+//
+//kgelint:hotpath
+func (r *ring) accumulate(v float32) {
+	r.stage = append(r.stage, v)
+}
+
+// rebuild restarts from length zero on a retained buffer.
+//
+//kgelint:hotpath
+func (r *ring) rebuild(v float32) {
+	r.out = append(r.out[:0], v)
+}
+
+// checkArg formats only on the way into a panic.
+//
+//kgelint:hotpath
+func (r *ring) checkArg(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative batch %d", n))
+	}
+}
+
+// apply is allocation-free.
+//
+//kgelint:hotpath
+func (r *ring) apply(lr float32) {
+	for i := range r.buf {
+		r.buf[i] *= lr
+	}
+}
+
+// cold is reachable from step but opted out: failure/setup path.
+//
+//kgelint:coldpath runs once per reconfiguration, not per batch
+func (r *ring) cold(n int) {
+	s := make([]float32, n)
+	_ = s
+}
+
+// free is not reachable from any hotpath entry point.
+func free(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,214 @@
+// Package pooluse exercises the pooluse analyzer: every ownership
+// violation shape the contract in DESIGN §10 forbids, plus the clean
+// idioms (loop reuse, defer Put, transfer sinks, exact reslices) that must
+// stay silent. The `// want` comments pin the expected findings.
+package pooluse
+
+import "kgedist/internal/pool"
+
+type holder struct{ buf []float32 }
+
+type msg struct{ payload []float32 }
+
+type envelope struct{ f32 []float32 }
+
+var global []float32
+
+func borrow(s []float32) float32 { return s[0] }
+
+// handoff models a documented ownership-transfer sink, like mpi's
+// point-to-point send: the callee (or its peer) Puts the buffer.
+//
+//kgelint:transfer
+func handoff(dst int, payload []float32) { _, _ = dst, payload }
+
+//kgelint:transfer
+func post(e envelope) { _ = e }
+
+// --- violations ---
+
+func useAfterPut(n int) float32 {
+	buf := pool.GetF32(n)
+	pool.PutF32(buf)
+	return buf[0] // want "use of pooled buffer after Put"
+}
+
+func doublePut(n int) {
+	buf := pool.GetF32(n)
+	pool.PutF32(buf)
+	pool.PutF32(buf) // want "double Put of pooled buffer"
+}
+
+func putDerived(n int) {
+	buf := pool.GetF32(n)
+	tail := buf[1:]
+	pool.PutF32(tail) // want "Put of a derived subslice"
+}
+
+func resliceChain(n int) {
+	x := pool.GetF32(n)
+	y := x[1:]
+	z := y[:1]
+	pool.PutF32(z) // want "Put of a derived subslice"
+}
+
+func putCapClamped(n int) {
+	buf := pool.GetF32(n)
+	pool.PutF32(buf[:n:n]) // want "Put of a derived subslice"
+}
+
+func escapeField(h *holder, n int) {
+	buf := pool.GetF32(n)
+	h.buf = buf // want "stored outside the owning function"
+}
+
+func escapeGlobal(n int) {
+	global = pool.GetF32(n) // want "stored in package-level variable global"
+}
+
+func escapeSend(ch chan []float32, n int) {
+	buf := pool.GetF32(n)
+	ch <- buf // want "sent over a channel"
+}
+
+func escapeReturn(n int) []float32 {
+	buf := pool.GetF32(n)
+	return buf // want "returned to the caller"
+}
+
+func escapeLit(n int) msg {
+	buf := pool.GetF32(n)
+	m := msg{payload: buf} // want "escapes into a composite literal"
+	return m
+}
+
+func escapeGoArg(n int) {
+	buf := pool.GetF32(n)
+	go borrow(buf) // want "handed to a goroutine"
+}
+
+func escapeGoCapture(n int) {
+	buf := pool.GetF32(n)
+	go func() {
+		buf[0] = 1 // want "captured by a goroutine"
+	}()
+}
+
+// earlyReturnPut releases on the error path only; the fallthrough use is a
+// may-use-after-Put.
+func earlyReturnPut(n int, fail bool) float32 {
+	buf := pool.GetF32(n)
+	if fail {
+		pool.PutF32(buf)
+	}
+	return buf[0] // want "use of pooled buffer after Put"
+}
+
+// loopUseAfterPut Puts at the bottom of the loop and reads at the top of
+// the next iteration.
+func loopUseAfterPut(iters, n int) {
+	buf := pool.GetF32(n)
+	for i := 0; i < iters; i++ {
+		buf[0] = float32(i) // want "use of pooled buffer after Put"
+		pool.PutF32(buf)    // want "double Put of pooled buffer"
+	}
+}
+
+func deferDoublePut(n int) {
+	buf := pool.GetF32(n)
+	defer pool.PutF32(buf) // want "double Put of pooled buffer"
+	pool.PutF32(buf)
+}
+
+func useAfterTransfer(n int) float32 {
+	buf := pool.GetF32(n)
+	handoff(1, buf)
+	return buf[0] // want "after its ownership was transferred"
+}
+
+func putAfterTransfer(n int) {
+	buf := pool.GetF32(n)
+	handoff(1, buf)
+	pool.PutF32(buf) // want "ownership was already transferred"
+}
+
+func appendRegrow(n int) {
+	buf := pool.GetF32(n)
+	buf = append(buf, 1) // want "append to a pooled buffer"
+	pool.PutF32(buf)
+}
+
+// --- clean code: none of the below may fire ---
+
+// loopClean gets and puts a fresh buffer each iteration; the Get re-livens
+// its allocation site across the back edge.
+func loopClean(iters, n int) float32 {
+	var acc float32
+	for i := 0; i < iters; i++ {
+		buf := pool.GetF32(n)
+		acc += buf[0]
+		pool.PutF32(buf)
+	}
+	return acc
+}
+
+// deferPut is the canonical shape: the deferred Put runs at exit, after
+// every use.
+func deferPut(n int) float32 {
+	buf := pool.GetF32(n)
+	defer pool.PutF32(buf)
+	return buf[0]
+}
+
+// resliceClean keeps the zero-based prefix: pool.Put re-extends to cap, so
+// Put(x[:k]) recycles the full buffer.
+func resliceClean(n int) {
+	x := pool.GetF32(n)
+	y := x[:1]
+	pool.PutF32(y)
+}
+
+// shadowing: the inner buf is a distinct object with its own cell.
+func shadowing(n int) {
+	buf := pool.GetF32(n)
+	{
+		buf := pool.GetF32(n)
+		pool.PutF32(buf)
+	}
+	pool.PutF32(buf)
+}
+
+// branchesClean releases on every path exactly once.
+func branchesClean(n int, cond bool) {
+	buf := pool.GetF32(n)
+	if cond {
+		buf[0] = 1
+		pool.PutF32(buf)
+		return
+	}
+	pool.PutF32(buf)
+}
+
+// transferClean moves ownership through the annotated sink.
+func transferClean(n int) {
+	buf := pool.GetF32Uninit(n)
+	handoff(1, buf)
+}
+
+// transferLit moves ownership through a composite literal handed to the
+// sink — mpi's `c.send(dst, message{f32: out})` shape.
+func transferLit(n int) {
+	buf := pool.GetF32Uninit(n)
+	post(envelope{f32: buf})
+}
+
+// clean is an ordinary borrow-and-release lifecycle.
+func clean(n int) float32 {
+	buf := pool.GetF32Uninit(n)
+	for i := range buf {
+		buf[i] = float32(i)
+	}
+	v := borrow(buf)
+	pool.PutF32(buf)
+	return v
+}

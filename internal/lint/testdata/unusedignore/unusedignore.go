@@ -1,0 +1,19 @@
+// Package unusedignore exercises the stale-ignore audit: one directive
+// that earns its keep, one that suppresses nothing, and one naming an
+// analyzer that does not exist.
+package unusedignore
+
+// live: floateq fires here and the directive suppresses it.
+func cmp(a, b float64) bool {
+	return a == b //kgelint:ignore floateq deliberate bit-exact compare for the fixture
+}
+
+// stale: ints compare exactly; floateq never fires on this line.
+func fine(a, b int) bool {
+	return a == b //kgelint:ignore floateq nothing to suppress here
+}
+
+// unknown: the analyzer name is typo'd, so this can never suppress.
+func typo(a, b int) bool {
+	return a == b //kgelint:ignore floateqq misspelled analyzer name
+}

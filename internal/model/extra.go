@@ -44,6 +44,8 @@ func (m *RotatE) Width() int { return 2 * m.dim }
 func (m *RotatE) Score(p *Params, t kg.Triple) float32 { return scoreVia(m, p, t) }
 
 // ScoreRows implements Model over explicit rows.
+//
+//kgelint:hotpath
 func (m *RotatE) ScoreRows(h, r, tt []float32) float32 {
 	d := m.dim
 	hr, hi := h[:d], h[d:]
@@ -65,6 +67,8 @@ func (m *RotatE) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, g
 }
 
 // AccumulateScoreGradRows implements Model over explicit rows.
+//
+//kgelint:hotpath
 func (m *RotatE) AccumulateScoreGradRows(h, r, tt []float32, coef float32, gh, gr, gt []float32) {
 	d := m.dim
 	hr, hi := h[:d], h[d:]
@@ -134,6 +138,8 @@ func projectH(e, w, out []float32) {
 func (m *TransH) Score(p *Params, t kg.Triple) float32 { return scoreVia(m, p, t) }
 
 // ScoreRows implements Model over explicit rows.
+//
+//kgelint:hotpath
 func (m *TransH) ScoreRows(hRow, rel, tRow []float32) float32 {
 	d := m.dim
 	h := hRow[:d]
@@ -155,6 +161,8 @@ func (m *TransH) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, g
 }
 
 // AccumulateScoreGradRows implements Model over explicit rows.
+//
+//kgelint:hotpath
 func (m *TransH) AccumulateScoreGradRows(hRow, rel, tRow []float32, coef float32, gh, gr, gt []float32) {
 	d := m.dim
 	h := hRow[:d]
@@ -226,6 +234,8 @@ func (m *SimplE) Width() int { return 2 * m.dim }
 func (m *SimplE) Score(p *Params, t kg.Triple) float32 { return scoreVia(m, p, t) }
 
 // ScoreRows implements Model over explicit rows.
+//
+//kgelint:hotpath
 func (m *SimplE) ScoreRows(h, r, tt []float32) float32 {
 	d := m.dim
 	hH, hT := h[:d], h[d:]
@@ -240,6 +250,8 @@ func (m *SimplE) AccumulateScoreGrad(p *Params, t kg.Triple, coef float32, gh, g
 }
 
 // AccumulateScoreGradRows implements Model over explicit rows.
+//
+//kgelint:hotpath
 func (m *SimplE) AccumulateScoreGradRows(h, r, tt []float32, coef float32, gh, gr, gt []float32) {
 	d := m.dim
 	hH, hT := h[:d], h[d:]

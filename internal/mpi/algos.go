@@ -17,6 +17,8 @@ import "kgedist/internal/pool"
 // the first P-2^m ranks fold into partners, the power-of-two core runs
 // recursive doubling, and the result is copied back out. buf is
 // caller-owned; exchange staging copies are pooled as in AllReduceSum.
+//
+//kgelint:hotpath
 func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 	if err := c.enter(); err != nil {
 		return 0, err

@@ -19,6 +19,8 @@ import "kgedist/internal/pool"
 // as in the ring algorithm. The rest of buf is left partially reduced,
 // mirroring MPI_Reduce_scatter's contract of only defining the local chunk.
 // buf is caller-owned; ring staging copies are pooled as in AllReduceSum.
+//
+//kgelint:hotpath
 func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost float64, err error) {
 	if err := c.enter(); err != nil {
 		return 0, 0, 0, err

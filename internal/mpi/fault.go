@@ -50,6 +50,8 @@ func newFailureState() *failureState {
 
 // fail marks rank dead and trips the abort signal on first use. Reports
 // whether the rank was newly dead.
+//
+//kgelint:coldpath runs once per rank death, never per batch
 func (fs *failureState) fail(rank int) bool {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -68,6 +70,8 @@ func (fs *failureState) fail(rank int) bool {
 }
 
 // failed returns a copy of the dead-rank set (nil when healthy).
+//
+//kgelint:coldpath failure bookkeeping, allocation is irrelevant once ranks die
 func (fs *failureState) failed() []int {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -78,6 +82,8 @@ func (fs *failureState) failed() []int {
 }
 
 // err returns the RankFailedError for the current dead set, or nil.
+//
+//kgelint:coldpath failure bookkeeping, allocation is irrelevant once ranks die
 func (fs *failureState) err() error {
 	ranks := fs.failed()
 	if ranks == nil {

@@ -263,6 +263,11 @@ func (c *Comm) enter() error {
 	return c.w.fs.err()
 }
 
+// send transfers ownership of any pooled buffers inside m to the receiving
+// rank: the single receiver consumes the payload and Puts it (DESIGN §10's
+// single-receiver protocol). The sender must not touch or Put them after.
+//
+//kgelint:transfer
 func (c *Comm) send(dst int, m message) error {
 	m.seq = c.w.seq[c.rank]
 	select {
@@ -325,6 +330,8 @@ func (c *Comm) Barrier() error {
 // overwritten on non-root ranks; staging copies travel through the pool
 // (sender gets, the single receiver consumes and puts), so the steady-state
 // exchange allocates nothing.
+//
+//kgelint:hotpath
 func (c *Comm) Broadcast(buf []float32, root int) (float64, error) {
 	if err := c.enter(); err != nil {
 		return 0, err
@@ -375,6 +382,8 @@ func (c *Comm) Broadcast(buf []float32, root int) (float64, error) {
 // through the pool: the sender stages into a pooled buffer, the single
 // receiving rank folds it into its chunk and releases it, so the per-round
 // exchange is allocation-free after warm-up.
+//
+//kgelint:hotpath
 func (c *Comm) AllReduceSum(buf []float32, tag string) (float64, error) {
 	if err := c.enter(); err != nil {
 		return 0, err

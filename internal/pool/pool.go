@@ -16,6 +16,14 @@
 // may still read, never use a slice after Put, and never Put the same slice
 // twice. Buffers that cross a collective and are retained by multiple ranks
 // (all-gather payloads) must NOT be pooled — they stay ordinary garbage.
+//
+// The contract is machine-checked: the pooluse dataflow analyzer in
+// internal/lint tracks every Get through assignments, reslices, and
+// branches, and reports use-after-Put, double Put, Put of a derived
+// subslice, and any escape of a live buffer without a //kgelint:transfer
+// ownership handoff (DESIGN.md §7). The companion scratchhold and
+// hotpathalloc analyzers police the borrow and zero-alloc sides of the
+// same discipline.
 package pool
 
 import (

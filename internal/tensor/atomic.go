@@ -112,7 +112,7 @@ func (m *Matrix) AtomicRowAxpy(i int, alpha float32, g []float32) {
 	}
 	row := m.Data[i*m.Cols : (i+1)*m.Cols]
 	for j, gv := range g {
-		if gv != 0 { //kgelint:ignore floateq exact-zero gradient elements skip the CAS
+		if gv != 0 { // exact-zero gradient elements skip the CAS (floateq permits compares against zero)
 			AtomicAdd(row, j, alpha*gv)
 		}
 	}
