@@ -17,7 +17,7 @@ RACE_PKGS = ./internal/hogwild/ ./internal/mpi/ ./internal/simnet/ ./internal/ps
 BENCH_PKGS = ./internal/grad/ ./internal/mpi/ ./internal/model/ ./internal/pool/ ./internal/tensor/ ./internal/serve/
 
 .PHONY: all build vet lint test race bench bench-smoke faults serve \
-	verify-stats soak coverage coverage-update ci help
+	transport verify-stats soak coverage coverage-update ci help
 
 all: build
 
@@ -55,6 +55,21 @@ race:
 faults:
 	$(GO) test -race -short -count=1 -run 'Fault|Shrink|Recover|Checkpoint|Panic|RecvTimeout' \
 		./internal/mpi/ ./internal/simnet/ ./internal/core/ ./internal/model/
+
+# Transport tier under the race detector: the backend-agnostic conformance
+# suite run over both fabrics (in-process channels and real TCP sockets),
+# the TCP endpoint's frame/handshake/fault-injection tests, the
+# process-world collectives, the multi-process re-exec smoke tests (three
+# real OS processes over localhost; trajectory identity and SIGKILL
+# shrink-and-continue), and the kgeverify -tcp gate proving the TCP fabric
+# is trajectory-identical to simnet at zero tolerance. The re-exec tests
+# are testing.Short()-aware, so `make race` (-short) skips them and this
+# tier is where they run.
+## transport: transport conformance + multi-process suite under -race
+transport:
+	$(GO) test -race -count=1 ./internal/transport/...
+	$(GO) test -race -count=1 -run 'TestProcess' ./internal/mpi/ ./internal/core/
+	$(GO) run ./cmd/kgeverify -tcp -no-goldens -no-props
 
 # Serving suite under the race detector: the kgeserve subsystem mixes
 # concurrent HTTP handlers, the predict micro-batcher, the sharded LRU
@@ -120,8 +135,8 @@ coverage:
 coverage-update: coverage
 	cp coverage.txt COVERAGE_BASELINE.txt
 
-## ci: everything CI runs (build vet lint test race faults serve verify-stats coverage bench-smoke)
-ci: build vet lint test race faults serve verify-stats coverage bench-smoke
+## ci: everything CI runs (build vet lint test race faults serve transport verify-stats coverage bench-smoke)
+ci: build vet lint test race faults serve transport verify-stats coverage bench-smoke
 
 ## help: list targets
 help:

@@ -1,19 +1,28 @@
 // Command kgetrain trains a knowledge-graph embedding model with any
-// combination of the paper's five strategies on a simulated cluster.
+// combination of the paper's five strategies on a simulated cluster, or —
+// with -peers/-rank — as one rank of a multi-process job over TCP.
 //
 // Examples:
 //
 //	kgetrain -dataset fb15k-mini -nodes 8 -comm allreduce
 //	kgetrain -dataset fb250k-mini -nodes 16 -comm dynamic -rs -quant 1bit-max -rp -ss -negs 5
 //	kgetrain -data ./mydataset -nodes 4    # OpenKE-layout directory
+//
+// Multi-process over TCP (run one command per rank; rank 0 coordinates):
+//
+//	kgetrain -peers host0:7000,host1:7000,host2:7000 -rank 0 -comm dynamic
+//	kgetrain -peers host0:7000,host1:7000,host2:7000 -rank 1 -comm dynamic
+//	kgetrain -peers host0:7000,host1:7000,host2:7000 -rank 2 -comm dynamic
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"kgedist/internal/core"
 	"kgedist/internal/grad"
@@ -21,7 +30,14 @@ import (
 	"kgedist/internal/model"
 	"kgedist/internal/simnet"
 	"kgedist/internal/trace"
+	"kgedist/internal/transport"
+	"kgedist/internal/transport/tcptransport"
 )
+
+// buildTag is exchanged during the TCP rendezvous handshake; every rank of
+// a multi-process job must present the same tag, which catches a stale
+// binary joining a cluster of newer ones.
+const buildTag = "kgetrain-1"
 
 func main() {
 	var (
@@ -55,6 +71,11 @@ func main() {
 		recoverOn = flag.Bool("recover", false, "shrink-and-continue on rank failure instead of aborting")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to this file (go tool pprof)")
+
+		peers       = flag.String("peers", "", "multi-process mode: comma-separated rank addresses (rank 0 first, the coordinator); one kgetrain per rank")
+		rank        = flag.Int("rank", -1, "this process's rank into -peers")
+		listen      = flag.String("listen", "", "bind address override for this rank (default: its -peers entry)")
+		metricsAddr = flag.String("metrics-addr", "", "serve transport health metrics in Prometheus format at this address (/metrics)")
 	)
 	flag.Parse()
 
@@ -153,10 +174,21 @@ func main() {
 
 	fmt.Printf("dataset %s: %d entities, %d relations, %d/%d/%d train/valid/test\n",
 		d.Name, d.NumEntities, d.NumRelations, len(d.Train), len(d.Valid), len(d.Test))
-	fmt.Printf("training %s (%s) on %d node(s), strategy %s\n",
-		cfg.ModelName, cfg.OptimizerName, *nodes, cfg.StrategyLabel())
 
-	res, err := core.Train(cfg, d, *nodes)
+	var res *core.Result
+	if *peers != "" {
+		res, err = trainOverTCP(cfg, d, *peers, *rank, *listen, *metricsAddr, *nodes)
+	} else {
+		if *metricsAddr != "" {
+			err = fmt.Errorf("-metrics-addr exposes transport health; it needs multi-process mode (-peers)")
+		} else if *rank >= 0 {
+			err = fmt.Errorf("-rank needs -peers (multi-process mode)")
+		} else {
+			fmt.Printf("training %s (%s) on %d node(s), strategy %s\n",
+				cfg.ModelName, cfg.OptimizerName, *nodes, cfg.StrategyLabel())
+			res, err = core.Train(cfg, d, *nodes)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -204,6 +236,67 @@ func main() {
 		}
 		fmt.Printf("trace written to      %s\n", *traceOut)
 	}
+}
+
+// trainOverTCP runs this process's rank of a multi-process job: rendezvous
+// with the peers over TCP, train through core.TrainProcess, and optionally
+// expose transport health metrics over HTTP while the job runs.
+func trainOverTCP(cfg core.Config, d *kg.Dataset, peerList string, rank int, listen, metricsAddr string, nodes int) (*core.Result, error) {
+	addrs := strings.Split(peerList, ",")
+	for i, a := range addrs {
+		addrs[i] = strings.TrimSpace(a)
+		if addrs[i] == "" {
+			return nil, fmt.Errorf("-peers entry %d is empty", i)
+		}
+	}
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("-peers needs at least 2 addresses, got %d", len(addrs))
+	}
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("-rank %d out of range for %d peers", rank, len(addrs))
+	}
+	if nodes != 1 {
+		return nil, fmt.Errorf("-nodes conflicts with -peers: the world size is the peer count (%d)", len(addrs))
+	}
+	if cfg.FaultPlan != nil {
+		return nil, fmt.Errorf("-faults drives the simulated cluster; over TCP faults come from the real sockets")
+	}
+	listenAddr := listen
+	if listenAddr == "" {
+		listenAddr = addrs[rank]
+	}
+
+	met := transport.NewMetrics()
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			met.WritePrometheus(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			}
+		}()
+		fmt.Printf("transport metrics at  http://%s/metrics\n", metricsAddr)
+	}
+
+	fmt.Printf("rank %d/%d rendezvous with coordinator %s (listening on %s)\n",
+		rank, len(addrs), addrs[0], listenAddr)
+	ep, err := tcptransport.Dial(tcptransport.Options{
+		Rank:            rank,
+		WorldSize:       len(addrs),
+		CoordinatorAddr: addrs[0],
+		ListenAddr:      listenAddr,
+		BuildTag:        buildTag,
+		Metrics:         met,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rendezvous: %w", err)
+	}
+	fmt.Printf("training %s (%s) as rank %d of %d processes, strategy %s\n",
+		cfg.ModelName, cfg.OptimizerName, rank, len(addrs), cfg.StrategyLabel())
+	return core.TrainProcess(cfg, d, ep)
 }
 
 func loadDataset(preset, dir, namedDir string, seed uint64) (*kg.Dataset, error) {

@@ -4,6 +4,7 @@
 //	kgeverify                      # golden regression + property checks
 //	kgeverify -update              # re-record the golden runs
 //	kgeverify -soak -iters 5       # chaos soak: crash/recover/serve loops
+//	kgeverify -tcp                 # TCP transport vs simnet trajectory identity
 //
 // Golden regression re-runs every strategy scenario with fixed seeds and
 // diffs the convergence curves against the committed reference
@@ -39,6 +40,7 @@ func main() {
 		noGold  = flag.Bool("no-goldens", false, "skip the golden regression sweep")
 		noProps = flag.Bool("no-props", false, "skip the statistical property checks")
 		soak    = flag.Bool("soak", false, "run the chaos soak (train/crash/recover/serve loops)")
+		tcp     = flag.Bool("tcp", false, "verify the TCP transport is trajectory-identical to simnet (3 ranks over localhost)")
 		iters   = flag.Int("iters", 3, "soak iterations")
 		seed    = flag.Uint64("seed", 1, "seed for property checks and the soak")
 		soakDir = flag.String("soak-dir", "", "scratch dir for soak checkpoints (default: a temp dir)")
@@ -103,6 +105,14 @@ func main() {
 		if bad > 0 {
 			failed = true
 		}
+	}
+
+	if *tcp {
+		drifts := testkit.VerifyTCP(progress)
+		for _, d := range drifts {
+			fail("tcp drift: %s", d)
+		}
+		report("tcp golden: %s over 3 localhost ranks, %d drifts", testkit.TCPScenario().Name, len(drifts))
 	}
 
 	if *soak {

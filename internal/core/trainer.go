@@ -288,6 +288,15 @@ type trainRun struct {
 	rec             *RecoveryStats
 	startEpoch      int   // resume point: epochs before this are already done
 	ckptErr         error // rank-0 checkpoint write error, read between barriers
+
+	// proc marks a process world (one rank in this address space): the
+	// checkpoint merge runs as a collective instead of a shared-memory walk.
+	proc bool
+	// statsRank is the rank whose goroutine records per-epoch stats into
+	// res: rank 0 in a channel world, the process's own (sole) rank in a
+	// process world — every process then records its own identical copy of
+	// the global curves (and its own local loss).
+	statsRank int
 }
 
 // worker is the per-rank training loop. Collective errors (a peer died) are
@@ -341,7 +350,7 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 		if err := c.Barrier(); err != nil {
 			return err
 		}
-		if rank == 0 {
+		if rank == t.statsRank {
 			prevTime = t.cluster.MaxTime()
 			prevStats = t.cluster.Stats()
 		}
@@ -471,7 +480,7 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 		if err := c.Barrier(); err != nil {
 			return err
 		}
-		if rank == 0 {
+		if rank == t.statsRank {
 			now := t.cluster.MaxTime()
 			st := t.cluster.Stats()
 			es := EpochStats{
@@ -547,6 +556,9 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 // closing barrier — a lone returning rank would leave its peers blocked at
 // the next collective.
 func (t *trainRun) checkpointEpoch(c *mpi.Comm, epoch int) error {
+	if t.proc {
+		return t.checkpointEpochProc(c, epoch)
+	}
 	if err := c.Barrier(); err != nil {
 		return err
 	}

@@ -39,7 +39,7 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 		if r >= m {
 			out := pool.GetF32Uninit(n)
 			copy(out, buf)
-			if err := c.send(r-m, message{f32: out}); err != nil {
+			if err := c.send(r-m, message{F32: out}); err != nil {
 				return 0, err
 			}
 			inCore = false
@@ -48,10 +48,10 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 			if err != nil {
 				return 0, err
 			}
-			for i, v := range msg.f32 {
+			for i, v := range msg.F32 {
 				buf[i] += v
 			}
-			pool.PutF32(msg.f32)
+			pool.PutF32(msg.F32)
 		}
 
 		if inCore {
@@ -59,17 +59,17 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 				partner := r ^ k
 				out := pool.GetF32Uninit(n)
 				copy(out, buf)
-				if err := c.send(partner, message{f32: out}); err != nil {
+				if err := c.send(partner, message{F32: out}); err != nil {
 					return 0, err
 				}
 				msg, err := c.recv(partner)
 				if err != nil {
 					return 0, err
 				}
-				for i, v := range msg.f32 {
+				for i, v := range msg.F32 {
 					buf[i] += v
 				}
-				pool.PutF32(msg.f32)
+				pool.PutF32(msg.F32)
 			}
 		}
 
@@ -77,7 +77,7 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 		if r < rem {
 			out := pool.GetF32Uninit(n)
 			copy(out, buf)
-			if err := c.send(r+m, message{f32: out}); err != nil {
+			if err := c.send(r+m, message{F32: out}); err != nil {
 				return 0, err
 			}
 		} else if r >= m {
@@ -85,8 +85,8 @@ func (c *Comm) AllReduceSumRD(buf []float32, tag string) (float64, error) {
 			if err != nil {
 				return 0, err
 			}
-			copy(buf, msg.f32)
-			pool.PutF32(msg.f32)
+			copy(buf, msg.F32)
+			pool.PutF32(msg.F32)
 		}
 	}
 	if err := c.finish(cost, moved, msgs, tag); err != nil {
@@ -127,7 +127,7 @@ func (c *Comm) AllGatherBytesBruck(payload []byte, tag string) ([][]byte, float6
 				flat = append(flat, byte(len(b)), byte(len(b)>>8), byte(len(b)>>16), byte(len(b)>>24))
 				flat = append(flat, b...)
 			}
-			if err := c.send(dst, message{raw: flat}); err != nil {
+			if err := c.send(dst, message{Raw: flat}); err != nil {
 				return nil, 0, err
 			}
 			msg, err := c.recv(src)
@@ -137,12 +137,12 @@ func (c *Comm) AllGatherBytesBruck(payload []byte, tag string) ([][]byte, float6
 			// Unpack into have[count...].
 			off := 0
 			for i := 0; i < send; i++ {
-				if off+4 > len(msg.raw) {
+				if off+4 > len(msg.Raw) {
 					panic("mpi: Bruck allgather framing error")
 				}
-				l := int(msg.raw[off]) | int(msg.raw[off+1])<<8 | int(msg.raw[off+2])<<16 | int(msg.raw[off+3])<<24
+				l := int(msg.Raw[off]) | int(msg.Raw[off+1])<<8 | int(msg.Raw[off+2])<<16 | int(msg.Raw[off+3])<<24
 				off += 4
-				have[count+i] = msg.raw[off : off+l]
+				have[count+i] = msg.Raw[off : off+l]
 				off += l
 			}
 			count += send

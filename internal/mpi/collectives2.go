@@ -47,7 +47,7 @@ func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost flo
 			src := chunk(sendIdx)
 			out := pool.GetF32Uninit(len(src))
 			copy(out, src)
-			if err := c.send(right, message{f32: out}); err != nil {
+			if err := c.send(right, message{F32: out}); err != nil {
 				return 0, 0, 0, err
 			}
 			m, err := c.recv(left)
@@ -55,10 +55,10 @@ func (c *Comm) ReduceScatterSum(buf []float32, tag string) (lo, hi int, cost flo
 				return 0, 0, 0, err
 			}
 			dst := chunk(recvIdx)
-			for i, v := range m.f32 {
+			for i, v := range m.F32 {
 				dst[i] += v
 			}
-			pool.PutF32(m.f32)
+			pool.PutF32(m.F32)
 		}
 		own := (r + 1) % p
 		lo, hi = own*n/p, (own+1)*n/p
@@ -99,11 +99,11 @@ func (c *Comm) Gather(payload []float32, root int, tag string) ([][]float32, err
 				if err != nil {
 					return nil, err
 				}
-				out[src] = m.f32
+				out[src] = m.F32
 			}
 		}
 	} else {
-		if err := c.send(root, message{f32: payload}); err != nil {
+		if err := c.send(root, message{F32: payload}); err != nil {
 			return nil, err
 		}
 	}
@@ -144,7 +144,7 @@ func (c *Comm) Scatter(parts [][]float32, root int, tag string) ([]float32, erro
 		own = parts[root]
 		for dst := 0; dst < p; dst++ {
 			if dst != root {
-				if err := c.send(dst, message{f32: parts[dst]}); err != nil {
+				if err := c.send(dst, message{F32: parts[dst]}); err != nil {
 					return nil, err
 				}
 			}
@@ -154,7 +154,7 @@ func (c *Comm) Scatter(parts [][]float32, root int, tag string) ([]float32, erro
 		if err != nil {
 			return nil, err
 		}
-		own = m.f32
+		own = m.F32
 	}
 	total, err := c.AllReduceScalar(float64(4*len(own)), OpSum)
 	if err != nil {

@@ -2,98 +2,42 @@ package mpi
 
 // Failure semantics (ULFM-style). A rank dies when the simnet fault schedule
 // declares a crash due at a collective entry, when a peer's recv deadline
-// expires, or when its goroutine panics. Death is world-global state: the
-// abort channel is closed, the phaser releases every waiter, and every
-// collective in flight — and every collective attempted afterwards — returns
-// a *RankFailedError naming the dead ranks instead of completing. No rank is
-// ever left blocked: senders, receivers and rendezvous waiters all select on
-// the abort channel. The world is then permanently failed; the caller builds
-// a successor with Shrink and re-runs the survivors.
+// expires, when its goroutine panics, or — over the TCP transport — when its
+// connection drops, its frames fail checksum, or its heartbeats stop. Death
+// is world-global state: the abort trips, the rendezvous releases every
+// waiter, and every collective in flight — and every collective attempted
+// afterwards — returns a *RankFailedError naming the dead ranks instead of
+// completing. No rank is ever left blocked: senders, receivers and
+// rendezvous waiters all observe the abort. The world is then permanently
+// failed; the caller builds a successor with Shrink and re-runs the
+// survivors.
+//
+// The dead-set bookkeeping itself lives in transport.FailureState, shared by
+// both backends; this file keeps the world-level API.
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 	"time"
+
+	"kgedist/internal/transport"
 )
 
 // DefaultRecvTimeout is the watchdog deadline a fresh world applies to every
 // point-to-point receive. It is a real-time backstop against genuine hangs
 // (a stuck rank that never announces its death); scheduled crash faults are
-// detected immediately and never wait it out.
+// detected immediately and never wait it out, and the TCP backend usually
+// beats it with its heartbeat monitor.
 const DefaultRecvTimeout = 60 * time.Second
 
 // RankFailedError reports that one or more ranks died during a collective.
 // Every surviving rank observes the same error at its next (or current)
 // collective; recovery is to Shrink the world over the survivors and re-run.
-type RankFailedError struct {
-	// Ranks lists the dead ranks, sorted ascending.
-	Ranks []int
-}
-
-// Error implements the error interface.
-func (e *RankFailedError) Error() string {
-	return fmt.Sprintf("mpi: rank(s) %v failed; shrink the world to continue", e.Ranks)
-}
-
-// failureState tracks dead ranks and the world-wide abort signal.
-type failureState struct {
-	mu      sync.Mutex
-	dead    []int
-	abort   chan struct{}
-	aborted bool
-}
-
-func newFailureState() *failureState {
-	return &failureState{abort: make(chan struct{})}
-}
-
-// fail marks rank dead and trips the abort signal on first use. Reports
-// whether the rank was newly dead.
-//
-//kgelint:coldpath runs once per rank death, never per batch
-func (fs *failureState) fail(rank int) bool {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	for _, r := range fs.dead {
-		if r == rank {
-			return false
-		}
-	}
-	fs.dead = append(fs.dead, rank)
-	sort.Ints(fs.dead)
-	if !fs.aborted {
-		fs.aborted = true
-		close(fs.abort)
-	}
-	return true
-}
-
-// failed returns a copy of the dead-rank set (nil when healthy).
-//
-//kgelint:coldpath failure bookkeeping, allocation is irrelevant once ranks die
-func (fs *failureState) failed() []int {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	if len(fs.dead) == 0 {
-		return nil
-	}
-	return append([]int(nil), fs.dead...)
-}
-
-// err returns the RankFailedError for the current dead set, or nil.
-//
-//kgelint:coldpath failure bookkeeping, allocation is irrelevant once ranks die
-func (fs *failureState) err() error {
-	ranks := fs.failed()
-	if ranks == nil {
-		return nil
-	}
-	return &RankFailedError{Ranks: ranks}
-}
+// It is an alias of transport.RankFailedError, so the same typed error
+// surfaces identically from both the channel and the TCP fabric.
+type RankFailedError = transport.RankFailedError
 
 // Failed returns the ranks known dead in this world, sorted (nil if none).
-func (w *World) Failed() []int { return w.fs.failed() }
+func (w *World) Failed() []int { return w.anyEp().Failed() }
 
 // SetRecvTimeout overrides the per-receive watchdog deadline; d <= 0
 // disables it (receives then block until a message or a failure abort).
@@ -103,10 +47,14 @@ func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
 // Shrink builds the successor world after a failure: the given dead ranks
 // are removed, survivors are renumbered densely in rank order (old rank r
 // becomes r minus the number of dead ranks below it), and fresh links,
-// phaser and sequence counters are built over the survivors. The underlying
-// cluster is shrunk in place, so survivor clocks, accumulated statistics and
-// remaining fault-plan entries carry over. The old world must not be used
-// afterwards.
+// rendezvous state and sequence counters are built over the survivors. The
+// underlying cluster is shrunk in place, so survivor clocks, accumulated
+// statistics and remaining fault-plan entries carry over. The old world must
+// not be used afterwards.
+//
+// A channel world rebuilds its hub wholesale. A process world asks its
+// endpoint to re-mesh over the survivors (transport.Shrinker), which blocks
+// until the surviving processes complete a fresh rendezvous handshake.
 func (w *World) Shrink(dead []int) (*World, error) {
 	if len(dead) == 0 {
 		return nil, fmt.Errorf("mpi: Shrink needs at least one dead rank")
@@ -124,8 +72,25 @@ func (w *World) Shrink(dead []int) (*World, error) {
 	if len(seen) >= w.p {
 		return nil, fmt.Errorf("mpi: Shrink would leave no survivors (%d dead of %d)", len(seen), w.p)
 	}
+	if !w.proc {
+		w.cluster.Shrink(dead)
+		nw := NewWorld(w.cluster)
+		nw.recvTimeout = w.recvTimeout
+		return nw, nil
+	}
+	sh, ok := w.anyEp().(transport.Shrinker)
+	if !ok {
+		return nil, fmt.Errorf("mpi: transport %T cannot shrink", w.anyEp())
+	}
+	nep, err := sh.Shrink(dead)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: transport re-mesh after failure: %w", err)
+	}
 	w.cluster.Shrink(dead)
-	nw := NewWorld(w.cluster)
+	nw, err := NewProcessWorld(w.cluster, nep)
+	if err != nil {
+		return nil, err
+	}
 	nw.recvTimeout = w.recvTimeout
 	return nw, nil
 }

@@ -1,24 +1,29 @@
 // Package mpi implements the message-passing substrate the paper obtains
 // from Horovod/MPI: a fixed world of ranks with synchronous collectives.
 //
-// Each rank is a goroutine; point-to-point links are FIFO Go channels that
-// carry real payloads, and the collectives are the textbook algorithms (ring
-// reduce-scatter + all-gather for AllReduceSum, ring block rotation for the
-// variable-size all-gathers, binomial trees for broadcast and scalar
-// reductions). Timing is charged to the attached simnet.Cluster using the
-// standard cost formula for each algorithm, with the exact byte volume the
-// operation moved. Every collective returns the virtual seconds it cost,
-// which the dynamic selection strategy (paper §4.1) uses to compare
-// all-reduce against all-gather probes.
+// The collectives are the textbook algorithms (ring reduce-scatter +
+// all-gather for AllReduceSum, ring block rotation for the variable-size
+// all-gathers, binomial trees for broadcast and scalar reductions), written
+// against the transport.Endpoint interface so the same code runs over two
+// fabrics: the in-process channel backend (internal/transport/chantransport
+// — each rank a goroutine, the deterministic simulation substrate) and the
+// multi-process TCP backend (internal/transport/tcptransport — each rank a
+// real OS process surviving real connection failures). Timing is charged to
+// the attached simnet.Cluster using the standard cost formula for each
+// algorithm, with the exact byte volume the operation moved. Every
+// collective returns the virtual seconds it cost, which the dynamic
+// selection strategy (paper §4.1) uses to compare all-reduce against
+// all-gather probes.
 //
 // All collectives are globally synchronizing: they end with a rendezvous so
 // per-rank virtual clocks are identical on return, matching the
 // bulk-synchronous training loop of the paper.
 //
 // Collectives are fallible: a dead rank (scheduled crash fault, receive
-// deadline expiry, or rank panic) surfaces as a *RankFailedError on every
-// survivor rather than a deadlock or a panic — see fault.go for the failure
-// model and World.Shrink for recovery.
+// deadline expiry, rank panic, or — over TCP — a real connection loss)
+// surfaces as a *RankFailedError on every survivor rather than a deadlock or
+// a panic — see fault.go for the failure model and World.Shrink for
+// recovery.
 //
 // # Buffer ownership
 //
@@ -30,7 +35,9 @@
 // (AllGatherRows, AllGatherBytes, Gather, Scatter) are the opposite: the
 // ring rotation shares one backing array with every rank, so the payload
 // ownership transfers to the world — callers must pass freshly allocated
-// slices and treat the returned ones as immutable.
+// slices and treat the returned ones as immutable. (The TCP backend
+// serializes payloads onto the wire, so received slices there are always
+// fresh; the contract is set by the zero-copy channel backend.)
 package mpi
 
 import (
@@ -43,109 +50,70 @@ import (
 
 	"kgedist/internal/pool"
 	"kgedist/internal/simnet"
+	"kgedist/internal/transport"
+	"kgedist/internal/transport/chantransport"
 )
 
 // message is the unit carried by point-to-point links. Exactly one payload
-// field is populated per message; seq guards against collective skew bugs.
-type message struct {
-	seq uint64
-	f32 []float32
-	i32 []int32
-	raw []byte
-	f64 float64
-}
+// field is populated per message; Seq guards against collective skew bugs.
+type message = transport.Message
 
-// errPhaserAborted is the internal signal that a rendezvous was torn down by
-// a failure; callers translate it into the world's RankFailedError.
-var errPhaserAborted = errors.New("mpi: rendezvous aborted by rank failure")
-
-// phaser is a reusable barrier: all n participants arrive, the last one runs
-// onLast, then everyone is released. A failure aborts the phaser: current
-// and future waiters return errPhaserAborted instead of blocking on ranks
-// that will never arrive.
-type phaser struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	n       int
-	arrived int
-	gen     uint64
-	aborted bool
-}
-
-func newPhaser(n int) *phaser {
-	ph := &phaser{n: n}
-	ph.cond = sync.NewCond(&ph.mu)
-	return ph
-}
-
-func (ph *phaser) await(onLast func()) error {
-	ph.mu.Lock()
-	defer ph.mu.Unlock()
-	if ph.aborted {
-		return errPhaserAborted
-	}
-	gen := ph.gen
-	ph.arrived++
-	if ph.arrived == ph.n {
-		if onLast != nil {
-			onLast()
-		}
-		ph.arrived = 0
-		ph.gen++
-		ph.cond.Broadcast()
-		return nil
-	}
-	for ph.gen == gen && !ph.aborted {
-		ph.cond.Wait()
-	}
-	if ph.gen == gen {
-		// Released by abort, not by generation completion.
-		ph.arrived--
-		return errPhaserAborted
-	}
-	return nil
-}
-
-// abort permanently releases all current and future waiters with an error.
-func (ph *phaser) abort() {
-	ph.mu.Lock()
-	ph.aborted = true
-	ph.cond.Broadcast()
-	ph.mu.Unlock()
-}
-
-// World is a communicator world of P ranks sharing a simnet cluster.
+// World is a communicator world of P ranks sharing a simnet cluster. A
+// channel world hosts every rank in this process (one goroutine each); a
+// process world (NewProcessWorld) hosts exactly one rank and reaches its
+// peers through a multi-process transport endpoint.
 type World struct {
 	p           int
 	cluster     *simnet.Cluster
-	links       [][]chan message // links[src][dst]
-	ph          *phaser
-	seq         []uint64 // per-rank collective sequence number
-	fs          *failureState
+	eps         []transport.Endpoint // indexed by rank; nil for remote ranks
+	local       []int                // ranks hosted in this process, ascending
+	proc        bool                 // true for a process world
+	seq         []uint64             // per-rank collective sequence number
 	recvTimeout time.Duration
 }
 
-// NewWorld builds a world with one rank per cluster node.
+// NewWorld builds an in-process world with one rank per cluster node over
+// the channel transport.
 func NewWorld(cluster *simnet.Cluster) *World {
 	p := cluster.P()
-	links := make([][]chan message, p)
-	for s := range links {
-		links[s] = make([]chan message, p)
-		for d := range links[s] {
-			if s != d {
-				links[s][d] = make(chan message, 4*p+8)
-			}
-		}
+	hub := chantransport.New(p)
+	eps := make([]transport.Endpoint, p)
+	local := make([]int, p)
+	for r := 0; r < p; r++ {
+		eps[r] = hub.Endpoint(r)
+		local[r] = r
 	}
 	return &World{
 		p:           p,
 		cluster:     cluster,
-		links:       links,
-		ph:          newPhaser(p),
+		eps:         eps,
+		local:       local,
 		seq:         make([]uint64, p),
-		fs:          newFailureState(),
 		recvTimeout: DefaultRecvTimeout,
 	}
+}
+
+// NewProcessWorld builds a world hosting the single rank ep.Rank() of a
+// multi-process job. The cluster is this process's private copy of the
+// timing model: every process charges the same deterministic collective
+// costs to its own clocks, so virtual time stays identical across processes
+// without any extra communication.
+func NewProcessWorld(cluster *simnet.Cluster, ep transport.Endpoint) (*World, error) {
+	p := cluster.P()
+	if ep.Size() != p {
+		return nil, fmt.Errorf("mpi: endpoint world size %d != cluster size %d", ep.Size(), p)
+	}
+	eps := make([]transport.Endpoint, p)
+	eps[ep.Rank()] = ep
+	return &World{
+		p:           p,
+		cluster:     cluster,
+		eps:         eps,
+		local:       []int{ep.Rank()},
+		proc:        true,
+		seq:         make([]uint64, p),
+		recvTimeout: DefaultRecvTimeout,
+	}, nil
 }
 
 // Size returns the number of ranks.
@@ -154,21 +122,41 @@ func (w *World) Size() int { return w.p }
 // Cluster returns the attached timing model.
 func (w *World) Cluster() *simnet.Cluster { return w.cluster }
 
-// Comm returns the communicator handle for one rank.
+// LocalRanks returns the ranks hosted in this process: every rank for a
+// channel world, exactly one for a process world.
+func (w *World) LocalRanks() []int { return w.local }
+
+// Process reports whether this is a process world (one rank per OS process).
+func (w *World) Process() bool { return w.proc }
+
+// Close releases the transport endpoint's resources. Required for process
+// worlds (TCP connections, goroutines); a no-op for channel worlds.
+func (w *World) Close() error { return w.anyEp().Close() }
+
+// anyEp returns an endpoint hosted by this process (all endpoints share the
+// world's failure state, so any one answers global questions).
+func (w *World) anyEp() transport.Endpoint { return w.eps[w.local[0]] }
+
+// Comm returns the communicator handle for one rank, which must be hosted
+// in this process.
 func (w *World) Comm(rank int) *Comm {
 	if rank < 0 || rank >= w.p {
 		panic("mpi: rank out of range")
 	}
-	return &Comm{w: w, rank: rank}
+	if w.eps[rank] == nil {
+		panic(fmt.Sprintf("mpi: rank %d is not hosted in this process", rank))
+	}
+	return &Comm{w: w, rank: rank, ep: w.eps[rank]}
 }
 
-// failRank declares rank dead: the abort channel trips and the phaser
-// releases every rendezvous waiter.
+// failRank declares rank dead: the abort trips and every blocked or future
+// operation on every live rank returns a *RankFailedError.
 func (w *World) failRank(rank int) {
-	if w.fs.fail(rank) {
-		w.ph.abort()
-	}
+	w.anyEp().FailRank(rank)
 }
+
+// err returns the failure verdict for the current dead set, or nil.
+func (w *World) err() error { return w.anyEp().Err() }
 
 // rankPanic captures one rank's panic with its stack for aggregated
 // reporting.
@@ -178,41 +166,42 @@ type rankPanic struct {
 	stack []byte
 }
 
-// Run spawns one goroutine per rank executing f and waits for all of them.
-// Panics inside rank bodies are re-raised on the caller in one combined
-// panic that reports every panicked rank with its original stack trace. A
-// collective failure (dead rank) in an error-blind body also panics; bodies
-// that want to handle failures use RunErr.
+// Run spawns one goroutine per local rank executing f and waits for all of
+// them. Panics inside rank bodies are re-raised on the caller in one
+// combined panic that reports every panicked rank with its original stack
+// trace. A collective failure (dead rank) in an error-blind body also
+// panics; bodies that want to handle failures use RunErr.
 func (w *World) Run(f func(c *Comm)) {
 	if err := w.RunErr(func(c *Comm) error { f(c); return nil }); err != nil {
 		panic(err)
 	}
 }
 
-// RunErr spawns one goroutine per rank executing f and waits for all of
-// them. If any rank died (crash fault, receive timeout, or panic of a peer),
-// it returns a single *RankFailedError naming every dead rank; otherwise it
-// returns the joined non-nil errors of the rank bodies. Panics are still
-// re-raised, aggregated across ranks with their stacks.
+// RunErr spawns one goroutine per local rank executing f and waits for all
+// of them. If any rank died (crash fault, receive timeout, connection loss,
+// or panic of a peer), it returns a single *RankFailedError naming every
+// dead rank; otherwise it returns the joined non-nil errors of the rank
+// bodies. Panics are still re-raised, aggregated across ranks with their
+// stacks.
 func (w *World) RunErr(f func(c *Comm) error) error {
 	var wg sync.WaitGroup
-	errs := make([]error, w.p)
-	panics := make([]*rankPanic, w.p)
-	for r := 0; r < w.p; r++ {
+	errs := make([]error, len(w.local))
+	panics := make([]*rankPanic, len(w.local))
+	for i, r := range w.local {
 		wg.Add(1)
-		go func(rank int) {
+		go func(i, rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics[rank] = &rankPanic{rank: rank, val: p, stack: debug.Stack()}
+					panics[i] = &rankPanic{rank: rank, val: p, stack: debug.Stack()}
 					// A panicked rank is dead to its peers: abort so the
 					// survivors return errors instead of hanging at the
 					// next rendezvous.
 					w.failRank(rank)
 				}
 			}()
-			errs[rank] = f(w.Comm(rank))
-		}(r)
+			errs[i] = f(w.Comm(rank))
+		}(i, r)
 	}
 	wg.Wait()
 	var panicked []*rankPanic
@@ -229,7 +218,7 @@ func (w *World) RunErr(f func(c *Comm) error) error {
 		}
 		panic(b.String())
 	}
-	if err := w.fs.err(); err != nil {
+	if err := w.err(); err != nil {
 		return err
 	}
 	return errors.Join(errs...)
@@ -242,6 +231,7 @@ func (w *World) RunErr(f func(c *Comm) error) error {
 type Comm struct {
 	w    *World
 	rank int
+	ep   transport.Endpoint
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -260,7 +250,7 @@ func (c *Comm) enter() error {
 	if c.w.cluster.CrashDue(c.rank) {
 		c.w.failRank(c.rank)
 	}
-	return c.w.fs.err()
+	return c.w.err()
 }
 
 // send transfers ownership of any pooled buffers inside m to the receiving
@@ -269,51 +259,120 @@ func (c *Comm) enter() error {
 //
 //kgelint:transfer
 func (c *Comm) send(dst int, m message) error {
-	m.seq = c.w.seq[c.rank]
-	select {
-	case c.w.links[c.rank][dst] <- m:
-		return nil
-	case <-c.w.fs.abort:
-		return c.w.fs.err()
-	}
+	m.Seq = c.w.seq[c.rank]
+	return c.ep.Send(dst, m)
 }
 
 func (c *Comm) recv(src int) (message, error) {
-	var deadline <-chan time.Time
-	if c.w.recvTimeout > 0 {
-		t := time.NewTimer(c.w.recvTimeout)
-		defer t.Stop()
-		deadline = t.C
-	}
-	select {
-	case m := <-c.w.links[src][c.rank]:
-		if m.seq != c.w.seq[c.rank] {
-			panic(fmt.Sprintf("mpi: rank %d received message from %d with seq %d during collective %d",
-				c.rank, src, m.seq, c.w.seq[c.rank]))
+	m, err := c.ep.Recv(src, c.w.recvTimeout)
+	if err != nil {
+		if errors.Is(err, transport.ErrRecvTimeout) {
+			// Watchdog: the peer went silent past the deadline. Declare it
+			// dead so every rank unblocks with the same verdict.
+			c.w.failRank(src)
+			return message{}, c.w.err()
 		}
-		return m, nil
-	case <-c.w.fs.abort:
-		return message{}, c.w.fs.err()
-	case <-deadline:
-		// Watchdog: the peer went silent past the deadline. Declare it
-		// dead so every rank unblocks with the same verdict.
-		c.w.failRank(src)
-		return message{}, c.w.fs.err()
+		if ferr := c.w.err(); ferr != nil {
+			return message{}, ferr
+		}
+		return message{}, err
 	}
+	if m.Seq != c.w.seq[c.rank] {
+		panic(fmt.Sprintf("mpi: rank %d received message from %d with seq %d during collective %d",
+			c.rank, src, m.Seq, c.w.seq[c.rank]))
+	}
+	return m, nil
 }
 
-// finish closes a collective: rendezvous, charge cost once, bump sequence.
+// finish closes a collective: rendezvous, charge cost once per process, bump
+// this rank's sequence counter. The rendezvous hook runs after every rank
+// has arrived and before any local rank is released, so the cluster clocks
+// advance exactly once per collective per process (in a channel world that
+// is once per world; in a process world each process charges its private
+// cluster copy identically).
 func (c *Comm) finish(cost float64, moved, msgs int64, tag string) error {
-	err := c.w.ph.await(func() {
-		c.w.cluster.Collective(cost, moved, msgs, tag)
-		for r := range c.w.seq {
-			c.w.seq[r]++
+	lift := 0.0
+	if c.w.proc {
+		// A process world only accumulates this rank's compute on its
+		// private cluster copy, so the collective's starting point — the
+		// cluster-wide clock maximum — must be agreed over the wire.
+		// Without this the makespan (and everything derived from it, like
+		// per-epoch virtual seconds) silently drops every remote rank's
+		// compute time. The channel world needs nothing: all ranks charge
+		// one shared cluster.
+		g, err := c.maxClock()
+		if err != nil {
+			if ferr := c.w.err(); ferr != nil {
+				return ferr
+			}
+			return err
 		}
+		lift = g
+	}
+	err := c.ep.Rendezvous(func() {
+		if c.w.proc {
+			c.w.cluster.LiftClock(c.rank, lift)
+		}
+		c.w.cluster.Collective(cost, moved, msgs, tag)
 	})
 	if err != nil {
-		return c.w.fs.err()
+		if ferr := c.w.err(); ferr != nil {
+			return ferr
+		}
+		return err
 	}
+	c.w.seq[c.rank]++
 	return nil
+}
+
+// maxClock agrees on the cluster-wide virtual-clock maximum across the
+// processes of a process world: a binomial max-reduce of each process's own
+// rank clock to rank 0, then a binomial broadcast back. It runs inside a
+// collective (after enter, before finish's rendezvous), reusing the
+// collective's sequence number; the exchange itself is bookkeeping and
+// charges no virtual time.
+func (c *Comm) maxClock() (float64, error) {
+	result := c.w.cluster.Time(c.rank)
+	p := c.w.p
+	if p == 1 {
+		return result, nil
+	}
+	vr := c.rank
+	for k := 1; k < p; k <<= 1 {
+		if vr&k != 0 {
+			if err := c.send(vr^k, message{F64: result}); err != nil {
+				return 0, err
+			}
+			break
+		} else if vr|k < p {
+			m, err := c.recv(vr | k)
+			if err != nil {
+				return 0, err
+			}
+			if m.F64 > result {
+				result = m.F64
+			}
+		}
+	}
+	received := c.rank == 0
+	for k := 1; k < 2*p; k <<= 1 {
+		if c.rank < k && c.rank+k < p {
+			if !received {
+				panic("mpi: clock broadcast order violated")
+			}
+			if err := c.send(c.rank+k, message{F64: result}); err != nil {
+				return 0, err
+			}
+		} else if c.rank >= k && c.rank < 2*k {
+			m, err := c.recv(c.rank - k)
+			if err != nil {
+				return 0, err
+			}
+			result = m.F64
+			received = true
+		}
+	}
+	return result, nil
 }
 
 // Barrier synchronizes all ranks (dissemination-cost charge).
@@ -351,7 +410,7 @@ func (c *Comm) Broadcast(buf []float32, root int) (float64, error) {
 				dst := (vr + k + root) % p
 				out := pool.GetF32Uninit(len(buf))
 				copy(out, buf)
-				if err := c.send(dst, message{f32: out}); err != nil {
+				if err := c.send(dst, message{F32: out}); err != nil {
 					return 0, err
 				}
 			} else if vr >= k && vr < 2*k {
@@ -360,8 +419,8 @@ func (c *Comm) Broadcast(buf []float32, root int) (float64, error) {
 				if err != nil {
 					return 0, err
 				}
-				copy(buf, m.f32)
-				pool.PutF32(m.f32)
+				copy(buf, m.F32)
+				pool.PutF32(m.F32)
 				received = true
 			}
 		}
@@ -406,7 +465,7 @@ func (c *Comm) AllReduceSum(buf []float32, tag string) (float64, error) {
 			src := chunk(sendIdx)
 			out := pool.GetF32Uninit(len(src))
 			copy(out, src)
-			if err := c.send(right, message{f32: out}); err != nil {
+			if err := c.send(right, message{F32: out}); err != nil {
 				return 0, err
 			}
 			m, err := c.recv(left)
@@ -414,10 +473,10 @@ func (c *Comm) AllReduceSum(buf []float32, tag string) (float64, error) {
 				return 0, err
 			}
 			dst := chunk(recvIdx)
-			for i, v := range m.f32 {
+			for i, v := range m.F32 {
 				dst[i] += v
 			}
-			pool.PutF32(m.f32)
+			pool.PutF32(m.F32)
 		}
 		// Phase 2: all-gather the reduced chunks.
 		for s := 0; s < p-1; s++ {
@@ -426,15 +485,15 @@ func (c *Comm) AllReduceSum(buf []float32, tag string) (float64, error) {
 			src := chunk(sendIdx)
 			out := pool.GetF32Uninit(len(src))
 			copy(out, src)
-			if err := c.send(right, message{f32: out}); err != nil {
+			if err := c.send(right, message{F32: out}); err != nil {
 				return 0, err
 			}
 			m, err := c.recv(left)
 			if err != nil {
 				return 0, err
 			}
-			copy(chunk(recvIdx), m.f32)
-			pool.PutF32(m.f32)
+			copy(chunk(recvIdx), m.F32)
+			pool.PutF32(m.F32)
 		}
 	}
 	if err := c.finish(cost, moved, msgs, tag); err != nil {
@@ -468,7 +527,7 @@ func (c *Comm) ringAllGather(own block) ([]block, error) {
 	cur := own
 	curSrc := c.rank
 	for s := 0; s < p-1; s++ {
-		if err := c.send(right, message{i32: cur.i32, f32: cur.f32, raw: cur.raw}); err != nil {
+		if err := c.send(right, message{I32: cur.i32, F32: cur.f32, Raw: cur.raw}); err != nil {
 			return nil, err
 		}
 		m, err := c.recv(left)
@@ -476,7 +535,7 @@ func (c *Comm) ringAllGather(own block) ([]block, error) {
 			return nil, err
 		}
 		curSrc = (curSrc - 1 + p) % p
-		cur = block{i32: m.i32, f32: m.f32, raw: m.raw}
+		cur = block{i32: m.I32, f32: m.F32, raw: m.Raw}
 		out[curSrc] = cur
 	}
 	return out, nil
@@ -571,7 +630,7 @@ func (c *Comm) AllReduceScalar(v float64, op ReduceOp) (float64, error) {
 		vr := c.rank
 		for k := 1; k < p; k <<= 1 {
 			if vr&k != 0 {
-				if err := c.send(vr^k, message{f64: result}); err != nil {
+				if err := c.send(vr^k, message{F64: result}); err != nil {
 					return 0, err
 				}
 				break
@@ -582,14 +641,14 @@ func (c *Comm) AllReduceScalar(v float64, op ReduceOp) (float64, error) {
 				}
 				switch op {
 				case OpSum:
-					result += m.f64
+					result += m.F64
 				case OpMax:
-					if m.f64 > result {
-						result = m.f64
+					if m.F64 > result {
+						result = m.F64
 					}
 				case OpMin:
-					if m.f64 < result {
-						result = m.f64
+					if m.F64 < result {
+						result = m.F64
 					}
 				default:
 					panic("mpi: unknown reduce op")
@@ -603,7 +662,7 @@ func (c *Comm) AllReduceScalar(v float64, op ReduceOp) (float64, error) {
 				if !received {
 					panic("mpi: scalar broadcast order violated")
 				}
-				if err := c.send(c.rank+k, message{f64: result}); err != nil {
+				if err := c.send(c.rank+k, message{F64: result}); err != nil {
 					return 0, err
 				}
 			} else if c.rank >= k && c.rank < 2*k {
@@ -611,7 +670,7 @@ func (c *Comm) AllReduceScalar(v float64, op ReduceOp) (float64, error) {
 				if err != nil {
 					return 0, err
 				}
-				result = m.f64
+				result = m.F64
 				received = true
 			}
 		}

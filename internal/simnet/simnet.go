@@ -134,6 +134,19 @@ func (c *Cluster) AddSeconds(rank int, s float64) {
 	c.mu.Unlock()
 }
 
+// LiftClock raises rank's clock to at least t (no-op when already past).
+// Process worlds use it to inject the globally agreed clock maximum before
+// charging a collective: each process only accumulates its own rank's
+// compute on its private cluster, so the true cluster-wide makespan has to
+// arrive over the wire.
+func (c *Cluster) LiftClock(rank int, t float64) {
+	c.mu.Lock()
+	if t > c.clocks[rank] {
+		c.clocks[rank] = t
+	}
+	c.mu.Unlock()
+}
+
 // Time returns rank's current virtual clock.
 func (c *Cluster) Time(rank int) float64 {
 	c.mu.Lock()

@@ -1,0 +1,118 @@
+package testkit
+
+// TCP golden harness: the statistical gate's proof that the multi-process
+// TCP transport is trajectory-equivalent to the deterministic channel
+// fabric. One scenario (the paper's dynamic strategy) trains twice — once
+// in-process on the simulated cluster, once as a 3-rank mesh of real TCP
+// endpoints over localhost — and the two runs must agree exactly:
+// epoch-level loss and validation curves, the dynamic switch epoch, final
+// MRR/TCA, and communicated bytes, all at zero tolerance. Any divergence
+// means the transport leaked real-world nondeterminism into training.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"kgedist/internal/core"
+	"kgedist/internal/grad"
+	"kgedist/internal/kg"
+	"kgedist/internal/transport/tcptransport"
+)
+
+// TCPScenario is the golden matrix entry exercised over real sockets: the
+// dynamic strategy with Bernoulli selection at three ranks. Relation
+// partitioning is deliberately absent so the multi-process checkpoint
+// merge (a real gather, unlike the channel world's shared-memory merge)
+// cannot shift the byte counts.
+func TCPScenario() Scenario {
+	return Scenario{Name: "tcp-drs", Nodes: 3, Mutate: func(c *core.Config) {
+		c.Comm = core.CommDynamic
+		c.ProbeEvery = 2
+		c.Select = grad.SelectBernoulli
+	}}
+}
+
+// RunScenarioTCP trains the scenario with every rank backed by its own TCP
+// endpoint over localhost (real sockets, full rendezvous handshake,
+// heartbeats) and returns rank 0's result — the coordinator's curves are
+// the ones the channel world records.
+func RunScenarioTCP(sc Scenario, d *kg.Dataset) (*core.Result, error) {
+	cfg := GoldenBaseConfig()
+	sc.Mutate(&cfg)
+	p := sc.Nodes
+
+	lns := make([]net.Listener, p)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				_ = l.Close()
+			}
+			return nil, fmt.Errorf("testkit: listen: %w", err)
+		}
+		lns[i] = ln
+	}
+
+	results := make([]*core.Result, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ep, err := tcptransport.Dial(tcptransport.Options{
+				Rank:            rank,
+				WorldSize:       p,
+				CoordinatorAddr: lns[0].Addr().String(),
+				Listener:        lns[rank],
+				BuildTag:        "testkit",
+				ConnectDeadline: 30 * time.Second,
+			})
+			if err != nil {
+				errs[rank] = fmt.Errorf("dial rank %d: %w", rank, err)
+				return
+			}
+			results[rank], errs[rank] = core.TrainProcess(cfg, d, ep)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("testkit: tcp scenario %s: %w", sc.Name, err)
+		}
+	}
+	return results[0], nil
+}
+
+// VerifyTCP runs the TCP scenario on both fabrics and diffs them at zero
+// tolerance. The returned drifts are empty exactly when the transports are
+// trajectory-identical. report, when non-nil, receives progress lines.
+func VerifyTCP(report func(format string, args ...any)) []Drift {
+	sc := TCPScenario()
+	d := GoldenDataset()
+	cfg := GoldenBaseConfig()
+	sc.Mutate(&cfg)
+
+	ref, err := core.Train(cfg, d, sc.Nodes)
+	if err != nil {
+		return []Drift{{Run: sc.Name, Field: "error", Detail: "simnet reference: " + err.Error()}}
+	}
+	got, err := RunScenarioTCP(sc, d)
+	if err != nil {
+		return []Drift{{Run: sc.Name, Field: "error", Detail: err.Error()}}
+	}
+	want := GoldenFromResult(sc.Name, cfg.Seed, sc.Nodes, ref)
+	fresh := GoldenFromResult(sc.Name, cfg.Seed, sc.Nodes, got)
+	drifts := CompareRun(fresh, want, Tolerance{})
+	if report != nil {
+		status := "identical"
+		if len(drifts) > 0 {
+			status = fmt.Sprintf("DRIFT x%d", len(drifts))
+		}
+		report("tcp golden %-8s nodes=%d mrr=%.4f final_loss=%.4f %s",
+			sc.Name, sc.Nodes, fresh.MRR, fresh.FinalLoss, status)
+	}
+	return drifts
+}

@@ -1,0 +1,65 @@
+package chantransport
+
+import (
+	"errors"
+	"sync"
+)
+
+// errPhaserAborted is the internal signal that a rendezvous was torn down by
+// a failure; the endpoint translates it into the world's RankFailedError.
+var errPhaserAborted = errors.New("chantransport: rendezvous aborted by rank failure")
+
+// phaser is a reusable barrier: all n participants arrive, the last one runs
+// onLast, then everyone is released. A failure aborts the phaser: current
+// and future waiters return errPhaserAborted instead of blocking on ranks
+// that will never arrive.
+type phaser struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	aborted bool
+}
+
+func newPhaser(n int) *phaser {
+	ph := &phaser{n: n}
+	ph.cond = sync.NewCond(&ph.mu)
+	return ph
+}
+
+func (ph *phaser) await(onLast func()) error {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	if ph.aborted {
+		return errPhaserAborted
+	}
+	gen := ph.gen
+	ph.arrived++
+	if ph.arrived == ph.n {
+		if onLast != nil {
+			onLast()
+		}
+		ph.arrived = 0
+		ph.gen++
+		ph.cond.Broadcast()
+		return nil
+	}
+	for ph.gen == gen && !ph.aborted {
+		ph.cond.Wait()
+	}
+	if ph.gen == gen {
+		// Released by abort, not by generation completion.
+		ph.arrived--
+		return errPhaserAborted
+	}
+	return nil
+}
+
+// abort permanently releases all current and future waiters with an error.
+func (ph *phaser) abort() {
+	ph.mu.Lock()
+	ph.aborted = true
+	ph.cond.Broadcast()
+	ph.mu.Unlock()
+}

@@ -1,0 +1,96 @@
+package chantransport
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// watchdog runs fn and fails the test with a full goroutine dump if it does
+// not return within timeout. A hung rendezvous otherwise stalls the whole
+// test binary until the go test deadline with no indication of which
+// participants are stuck where; the dump shows every blocked frame.
+func watchdog(t *testing.T, name string, timeout time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("%s: rendezvous timed out after %v; goroutine dump:\n%s", name, timeout, buf[:n])
+	}
+}
+
+// TestPhaserReuseAcrossGenerations drives the rendezvous phaser through many
+// arrive/release/re-arrive cycles with deliberately skewed participants: the
+// same phaser object must be reusable generation after generation, onLast
+// must run exactly once per generation, and no participant may slip into
+// generation g+1 while another is still blocked in g.
+func TestPhaserReuseAcrossGenerations(t *testing.T) {
+	const n = 4
+	gens := 200
+	if testing.Short() {
+		gens = 50
+	}
+	ph := newPhaser(n)
+	var onLastRuns int64
+	var inGen int64 // observed generation counter maintained by onLast
+	watchdog(t, "phaser reuse", 30*time.Second, func() {
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				for g := 0; g < gens; g++ {
+					if id == g%n {
+						// Skew arrival order so a different participant is
+						// late (and a different one last) each generation.
+						runtime.Gosched()
+					}
+					ph.await(func() {
+						atomic.AddInt64(&onLastRuns, 1)
+						atomic.AddInt64(&inGen, 1)
+					})
+					// Between release and the next arrival every participant
+					// must observe the same completed-generation count: the
+					// phaser cannot have released us early.
+					if got := atomic.LoadInt64(&inGen); got < int64(g+1) {
+						t.Errorf("participant %d released in gen %d before onLast ran (%d)", id, g, got)
+						return
+					}
+				}
+			}(id)
+		}
+		wg.Wait()
+	})
+	if onLastRuns != int64(gens) {
+		t.Fatalf("onLast ran %d times over %d generations", onLastRuns, gens)
+	}
+}
+
+// TestPhaserNilOnLast exercises the no-callback arrival path used by plain
+// barriers.
+func TestPhaserNilOnLast(t *testing.T) {
+	const n = 3
+	ph := newPhaser(n)
+	watchdog(t, "phaser nil onLast", 10*time.Second, func() {
+		var wg sync.WaitGroup
+		for id := 0; id < n; id++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for g := 0; g < 25; g++ {
+					ph.await(nil)
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}

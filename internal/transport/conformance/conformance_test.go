@@ -1,0 +1,75 @@
+package conformance_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"kgedist/internal/transport"
+	"kgedist/internal/transport/chantransport"
+	"kgedist/internal/transport/conformance"
+	"kgedist/internal/transport/tcptransport"
+)
+
+// TestChannelBackend runs the conformance suite over the in-process channel
+// fabric (the deterministic simulation backend).
+func TestChannelBackend(t *testing.T) {
+	conformance.Run(t, func(t *testing.T, p int) []transport.Endpoint {
+		h := chantransport.New(p)
+		eps := make([]transport.Endpoint, p)
+		for i := range eps {
+			eps[i] = h.Endpoint(i)
+		}
+		return eps
+	})
+}
+
+// TestTCPBackend runs the same suite over real sockets: p endpoints in this
+// process, each with its own localhost listener, meshed through the full
+// rendezvous handshake. Listeners are pre-bound and injected so the
+// coordinator address is known before any endpoint dials.
+func TestTCPBackend(t *testing.T) {
+	conformance.Run(t, func(t *testing.T, p int) []transport.Endpoint {
+		return dialTCPWorld(t, p)
+	})
+}
+
+func dialTCPWorld(t *testing.T, p int) []transport.Endpoint {
+	t.Helper()
+	lns := make([]net.Listener, p)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+	}
+	eps := make([]transport.Endpoint, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep, err := tcptransport.Dial(tcptransport.Options{
+				Rank:              i,
+				WorldSize:         p,
+				CoordinatorAddr:   lns[0].Addr().String(),
+				Listener:          lns[i],
+				ConnectDeadline:   30 * time.Second,
+				HeartbeatInterval: 50 * time.Millisecond,
+				HeartbeatTimeout:  5 * time.Second,
+				Logf:              t.Logf,
+			})
+			eps[i], errs[i] = ep, err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("dial rank %d: %v", i, err)
+		}
+	}
+	return eps
+}

@@ -1,0 +1,61 @@
+package tcptransport
+
+// Fault injection for tests: the same sever/stall/corrupt vocabulary the
+// simnet FaultPlan speaks, applied to real sockets. Faults are injected on
+// the victim's *own* endpoint (it sabotages its side of a connection), so
+// the interesting machinery — the peer's deadline, checksum and EOF
+// detectors — runs unmodified production code.
+
+import "fmt"
+
+// Fault selects a failure mode for Inject.
+type Fault int
+
+const (
+	// FaultSever closes the raw connection to a peer mid-stream, as a
+	// crashed process or dropped link would. The peer sees EOF/ECONNRESET.
+	FaultSever Fault = iota
+	// FaultStall freezes the outbound half of a connection — data frames
+	// and heartbeats stop, but the socket stays open. The peer's rolling
+	// read deadline, not the OS, must detect the silence.
+	FaultStall
+	// FaultCorrupt flips one bit in the next outbound data frame after its
+	// checksum is computed. The peer's CRC validation must reject the frame
+	// and condemn this rank.
+	FaultCorrupt
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultSever:
+		return "sever"
+	case FaultStall:
+		return "stall"
+	case FaultCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// Inject applies a fault to this endpoint's connection to the given dense
+// peer rank. It panics on an invalid peer so a miswired test fails loudly.
+func (e *Endpoint) Inject(f Fault, peer int) {
+	if peer < 0 || peer >= e.size || peer == e.rank {
+		panic(fmt.Sprintf("tcptransport: Inject(%v, %d): invalid peer for rank %d of %d", f, peer, e.rank, e.size))
+	}
+	pc := e.conns[peer]
+	if pc == nil {
+		panic(fmt.Sprintf("tcptransport: Inject(%v, %d): no connection", f, peer))
+	}
+	switch f {
+	case FaultSever:
+		pc.close()
+	case FaultStall:
+		pc.stalled.Store(true)
+	case FaultCorrupt:
+		pc.corrupt.Store(true)
+	default:
+		panic(fmt.Sprintf("tcptransport: unknown fault %d", int(f)))
+	}
+}
