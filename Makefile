@@ -14,9 +14,9 @@ RACE_PKGS = ./internal/hogwild/ ./internal/mpi/ ./internal/simnet/ ./internal/ps
 
 # Packages with kernel micro-benchmarks (ns/op, allocs/op, triples/sec);
 # the top-level package adds the end-to-end paper-table benchmarks.
-BENCH_PKGS = ./internal/grad/ ./internal/mpi/ ./internal/model/ ./internal/pool/ ./internal/tensor/ ./internal/serve/
+BENCH_PKGS = ./internal/grad/ ./internal/mpi/ ./internal/model/ ./internal/pool/ ./internal/tensor/ ./internal/serve/ ./internal/partition/ ./internal/core/
 
-.PHONY: all build vet lint test race bench bench-smoke faults serve \
+.PHONY: all build vet lint test race bench bench-smoke faults partition serve \
 	transport verify-stats soak coverage coverage-update ci help
 
 all: build
@@ -55,6 +55,16 @@ race:
 faults:
 	$(GO) test -race -short -count=1 -run 'Fault|Shrink|Recover|Checkpoint|Panic|RecvTimeout' \
 		./internal/mpi/ ./internal/simnet/ ./internal/core/ ./internal/model/
+
+# Partitioned-training tier under the race detector: the joint
+# entity+relation partitioner's invariants and the sharded-table trainer
+# (row-exchange pull/push, shard-aware checkpoints, crash + re-partition
+# recovery). The row exchange runs one goroutine per rank against shared
+# mpi state, so it gets a dedicated race-checked tier without -short.
+## partition: partitioner + sharded-table trainer under -race
+partition:
+	$(GO) test -race -count=1 ./internal/partition/
+	$(GO) test -race -count=1 -run 'Partitioned' ./internal/core/
 
 # Transport tier under the race detector: the backend-agnostic conformance
 # suite run over both fabrics (in-process channels and real TCP sockets),
@@ -135,8 +145,8 @@ coverage:
 coverage-update: coverage
 	cp coverage.txt COVERAGE_BASELINE.txt
 
-## ci: everything CI runs (build vet lint test race faults serve transport verify-stats coverage bench-smoke)
-ci: build vet lint test race faults serve transport verify-stats coverage bench-smoke
+## ci: everything CI runs (build vet lint test race faults partition serve transport verify-stats coverage bench-smoke)
+ci: build vet lint test race faults partition serve transport verify-stats coverage bench-smoke
 
 ## help: list targets
 help:

@@ -27,6 +27,7 @@ func main() {
 		noise       = flag.Float64("noise", 0.05, "fraction of unconstrained triples")
 		validFrac   = flag.Float64("valid", 0.05, "validation split fraction")
 		testFrac    = flag.Float64("test", 0.05, "test split fraction")
+		scale       = flag.Float64("scale", 1, "multiply -entities/-relations/-triples together (community structure preserved)")
 		seed        = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -35,7 +36,11 @@ func main() {
 		flag.Usage()
 		os.Exit(1)
 	}
-	d := kg.Generate(kg.GenConfig{
+	if *scale <= 0 {
+		fmt.Fprintln(os.Stderr, "kgegen: -scale must be positive")
+		os.Exit(1)
+	}
+	cfg := kg.GenConfig{
 		Name:         "generated",
 		Entities:     *entities,
 		Relations:    *relations,
@@ -47,7 +52,8 @@ func main() {
 		ValidFrac:    *validFrac,
 		TestFrac:     *testFrac,
 		Seed:         *seed,
-	})
+	}.Scaled(*scale)
+	d := kg.Generate(cfg)
 	if err := kg.SaveDir(d, *out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"runtime"
@@ -28,6 +29,8 @@ import (
 	"kgedist/internal/grad"
 	"kgedist/internal/kg"
 	"kgedist/internal/model"
+	"kgedist/internal/partition"
+	"kgedist/internal/ps"
 	"kgedist/internal/simnet"
 	"kgedist/internal/trace"
 	"kgedist/internal/transport"
@@ -61,6 +64,12 @@ func main() {
 		rp        = flag.Bool("rp", false, "relation partition")
 		ss        = flag.Bool("ss", false, "negative sample selection (train hardest of n)")
 		negs      = flag.Int("negs", 1, "negative samples n per positive")
+		strategy  = flag.String("strategy", "sgd", "training architecture: sgd (the paper's data-parallel trainer) or ps (parameter-server baseline)")
+		servers   = flag.Int("servers", 1, "parameter-server count for -strategy ps")
+
+		partitioned    = flag.Bool("partitioned", false, "sharded-table mode: entity+relation rows are partitioned across ranks, batches pull remote rows and push gradients back")
+		partitionBy    = flag.String("partition-by", "mincut", "row partitioner for -partitioned: mincut or hash")
+		partitionSlack = flag.Float64("partition-slack", 0, "per-rank row-count slack for -partitioned (0 = default 0.1)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		save      = flag.String("save", "", "write the trained model to this checkpoint file")
 		traceOut  = flag.String("trace", "", "write a JSONL run trace to this file")
@@ -78,6 +87,15 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve transport health metrics in Prometheus format at this address (/metrics)")
 	)
 	flag.Parse()
+
+	// Every contradictory flag combination is rejected here, before any
+	// dataset or network setup, with one actionable error.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if err := validateFlagCombos(explicit, *strategy, *peers, *comm, *quant, *partitioned); err != nil {
+		fmt.Fprintln(os.Stderr, "kgetrain:", err)
+		os.Exit(2)
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -171,23 +189,34 @@ func main() {
 	cfg.CheckpointEvery = *ckptEvery
 	cfg.CheckpointPath = *ckptPath
 	cfg.Recover = *recoverOn
+	cfg.Partitioned = *partitioned
+	if *partitioned {
+		cfg.PartitionBy = *partitionBy
+		cfg.PartitionSlack = *partitionSlack
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	fmt.Printf("dataset %s: %d entities, %d relations, %d/%d/%d train/valid/test\n",
 		d.Name, d.NumEntities, d.NumRelations, len(d.Train), len(d.Valid), len(d.Test))
 
+	if *strategy == "ps" {
+		if err := runPS(d, *modelName, *dim, *optName, *batch, *lr, *epochs, *negs, *seed, *nodes, *servers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var res *core.Result
 	if *peers != "" {
-		res, err = trainOverTCP(cfg, d, *peers, *rank, *listen, *metricsAddr, *nodes)
+		res, err = trainOverTCP(cfg, d, *peers, *rank, *listen, *metricsAddr)
 	} else {
-		if *metricsAddr != "" {
-			err = fmt.Errorf("-metrics-addr exposes transport health; it needs multi-process mode (-peers)")
-		} else if *rank >= 0 {
-			err = fmt.Errorf("-rank needs -peers (multi-process mode)")
-		} else {
-			fmt.Printf("training %s (%s) on %d node(s), strategy %s\n",
-				cfg.ModelName, cfg.OptimizerName, *nodes, cfg.StrategyLabel())
-			res, err = core.Train(cfg, d, *nodes)
-		}
+		fmt.Printf("training %s (%s) on %d node(s), strategy %s\n",
+			cfg.ModelName, cfg.OptimizerName, *nodes, cfg.StrategyLabel())
+		res, err = core.Train(cfg, d, *nodes)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -200,6 +229,11 @@ func main() {
 		res.CommHours, float64(res.CommBytes)/1e6, float64(res.RelationCommBytes)/1e6)
 	if res.SwitchedAtEpoch > 0 {
 		fmt.Printf("dynamic switch        all-gather from epoch %d\n", res.SwitchedAtEpoch)
+	}
+	if pstat := res.Partition; pstat != nil {
+		fmt.Printf("partition (%s)    %d rank(s): cut %.1f%%, remote rows %.1f%%, peak shard %d entities, balance %.2f\n",
+			pstat.Algo, pstat.Ranks, 100*pstat.CutRatio, 100*pstat.RemoteRowFraction,
+			pstat.MaxEntityShard, pstat.EntityBalance)
 	}
 	if rc := res.Recovery; rc.FaultsInjected > 0 || rc.Checkpoints > 0 {
 		fmt.Printf("fault tolerance       %d fault(s) injected, %d rank failure(s), %d recover(y/ies), %d epoch(s) replayed\n",
@@ -241,7 +275,7 @@ func main() {
 // trainOverTCP runs this process's rank of a multi-process job: rendezvous
 // with the peers over TCP, train through core.TrainProcess, and optionally
 // expose transport health metrics over HTTP while the job runs.
-func trainOverTCP(cfg core.Config, d *kg.Dataset, peerList string, rank int, listen, metricsAddr string, nodes int) (*core.Result, error) {
+func trainOverTCP(cfg core.Config, d *kg.Dataset, peerList string, rank int, listen, metricsAddr string) (*core.Result, error) {
 	addrs := strings.Split(peerList, ",")
 	for i, a := range addrs {
 		addrs[i] = strings.TrimSpace(a)
@@ -255,15 +289,23 @@ func trainOverTCP(cfg core.Config, d *kg.Dataset, peerList string, rank int, lis
 	if rank < 0 || rank >= len(addrs) {
 		return nil, fmt.Errorf("-rank %d out of range for %d peers", rank, len(addrs))
 	}
-	if nodes != 1 {
-		return nil, fmt.Errorf("-nodes conflicts with -peers: the world size is the peer count (%d)", len(addrs))
-	}
-	if cfg.FaultPlan != nil {
-		return nil, fmt.Errorf("-faults drives the simulated cluster; over TCP faults come from the real sockets")
-	}
 	listenAddr := listen
 	if listenAddr == "" {
 		listenAddr = addrs[rank]
+	}
+
+	// For partitioned jobs the plan is a pure function of (dataset, world
+	// size, config), so the scrape endpoint can expose its quality figures
+	// up front, next to the live transport counters.
+	var plan *partition.Plan
+	if cfg.Partitioned && metricsAddr != "" {
+		var perr error
+		plan, perr = partition.Build(d, partition.Options{
+			Ranks: len(addrs), Algo: cfg.PartitionBy, Seed: cfg.Seed, Slack: cfg.PartitionSlack,
+		})
+		if perr != nil {
+			return nil, perr
+		}
 	}
 
 	met := transport.NewMetrics()
@@ -272,6 +314,9 @@ func trainOverTCP(cfg core.Config, d *kg.Dataset, peerList string, rank int, lis
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			met.WritePrometheus(w)
+			if plan != nil {
+				writePartitionMetrics(w, plan)
+			}
 		})
 		go func() {
 			if err := http.ListenAndServe(metricsAddr, mux); err != nil {
@@ -297,6 +342,120 @@ func trainOverTCP(cfg core.Config, d *kg.Dataset, peerList string, rank int, lis
 	fmt.Printf("training %s (%s) as rank %d of %d processes, strategy %s\n",
 		cfg.ModelName, cfg.OptimizerName, rank, len(addrs), cfg.StrategyLabel())
 	return core.TrainProcess(cfg, d, ep)
+}
+
+// validateFlagCombos rejects every contradictory flag combination up front
+// with one actionable error, instead of letting a bad invocation fail deep
+// inside setup (or, worse, silently ignore a knob). `explicit` holds the
+// flags the user actually set on the command line.
+func validateFlagCombos(explicit map[string]bool, strategy, peers, comm, quant string, partitioned bool) error {
+	if strategy != "sgd" && strategy != "ps" {
+		return fmt.Errorf("unknown -strategy %q (want sgd or ps)", strategy)
+	}
+	if peers == "" {
+		for _, f := range []string{"rank", "listen", "metrics-addr"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s configures one rank of a multi-process job; it needs -peers", f)
+			}
+		}
+	} else {
+		if explicit["nodes"] {
+			return fmt.Errorf("-nodes conflicts with -peers: the world size is the peer count")
+		}
+		if explicit["faults"] {
+			return fmt.Errorf("-faults drives the simulated cluster; over TCP (-peers) faults come from the real sockets")
+		}
+	}
+	if strategy == "ps" {
+		// The parameter-server baseline is a fixed architecture; every
+		// distributed-SGD knob is meaningless there. Name all offenders at once.
+		var bad []string
+		for _, f := range []string{
+			"partitioned", "partition-by", "partition-slack", "comm", "probe",
+			"rs", "quant", "ef", "rp", "ss", "loss", "margin",
+			"peers", "rank", "listen", "metrics-addr",
+			"faults", "checkpoint-every", "checkpoint", "recover", "save", "trace",
+		} {
+			if explicit[f] {
+				bad = append(bad, "-"+f)
+			}
+		}
+		if len(bad) > 0 {
+			return fmt.Errorf("-strategy ps is the parameter-server baseline and does not take distributed-SGD knobs; drop %s", strings.Join(bad, ", "))
+		}
+	} else if explicit["servers"] {
+		return fmt.Errorf("-servers sizes the parameter-server tier; it needs -strategy ps")
+	}
+	if partitioned {
+		var bad []string
+		if comm == "dynamic" {
+			bad = append(bad, "-comm dynamic (the row exchange has no dense all-reduce to switch away from)")
+		}
+		if explicit["quant"] && quant != "none" {
+			bad = append(bad, "-quant (quantization codebooks assume replicated dense tables)")
+		}
+		if explicit["ef"] {
+			bad = append(bad, "-ef (error feedback rides on quantization)")
+		}
+		if explicit["rp"] {
+			bad = append(bad, "-rp (the joint partitioner already shards relation rows)")
+		}
+		if len(bad) > 0 {
+			return fmt.Errorf("-partitioned cannot be combined with %s", strings.Join(bad, "; "))
+		}
+	} else {
+		for _, f := range []string{"partition-by", "partition-slack"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s tunes the row partitioner; it needs -partitioned", f)
+			}
+		}
+	}
+	return nil
+}
+
+// runPS trains the parameter-server baseline and prints a summary shaped
+// like the main trainer's, so the architectures compare side by side.
+func runPS(d *kg.Dataset, modelName string, dim int, optName string, batch int, lr float64, epochs, negs int, seed uint64, workers, servers int) error {
+	pcfg := ps.DefaultConfig()
+	pcfg.ModelName = modelName
+	pcfg.Dim = dim
+	pcfg.OptimizerName = optName
+	pcfg.BatchSize = batch
+	pcfg.BaseLR = lr
+	pcfg.MaxEpochs = epochs
+	pcfg.NegSamples = negs
+	pcfg.Seed = seed
+	fmt.Printf("training %s (%s) on %d worker(s) + %d server(s), strategy ps\n",
+		modelName, optName, workers, servers)
+	res, err := ps.Train(pcfg, d, workers, servers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfinished after %d epochs\n", res.Epochs)
+	fmt.Printf("total training time   %.3f virtual hours\n", res.TotalHours)
+	fmt.Printf("communication         %.3f virtual hours, %.1f MB moved (%.1f MB pull, %.1f MB push)\n",
+		res.CommHours, float64(res.CommBytes)/1e6, float64(res.PullBytes)/1e6, float64(res.PushBytes)/1e6)
+	fmt.Printf("test TCA              %.1f%%\n", res.TCA)
+	fmt.Printf("test filtered MRR     %.3f\n", res.MRR)
+	return nil
+}
+
+// writePartitionMetrics appends the partition plan's quality figures to a
+// Prometheus scrape, next to the transport counters.
+func writePartitionMetrics(w io.Writer, p *partition.Plan) {
+	q := p.Quality()
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP kgedist_partition_%s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE kgedist_partition_%s gauge\n", name)
+		fmt.Fprintf(w, "kgedist_partition_%s{algo=%q} %g\n", name, p.Algo, v)
+	}
+	gauge("ranks", "World size the row partition was built for.", float64(p.Ranks))
+	gauge("cut_ratio", "Fraction of training triples touching more than one shard.", q.CutRatio)
+	gauge("remote_row_fraction", "Fraction of per-triple row references owned by another rank.", q.RemoteRowFraction)
+	gauge("entity_balance", "Largest entity shard relative to a perfectly even split.", q.EntityBalance)
+	gauge("relation_balance", "Largest relation shard relative to a perfectly even split.", q.RelationBalance)
+	gauge("triple_balance", "Largest per-rank triple load relative to a perfectly even split.", q.TripleBalance)
+	gauge("max_entity_shard", "Entity rows held by the fullest rank.", float64(q.MaxEntityShard))
 }
 
 func loadDataset(preset, dir, namedDir string, seed uint64) (*kg.Dataset, error) {

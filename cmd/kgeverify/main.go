@@ -112,7 +112,7 @@ func main() {
 		for _, d := range drifts {
 			fail("tcp drift: %s", d)
 		}
-		report("tcp golden: %s over 3 localhost ranks, %d drifts", testkit.TCPScenario().Name, len(drifts))
+		report("tcp golden: %d scenarios over 3 localhost ranks, %d drifts", len(testkit.TCPScenarios()), len(drifts))
 	}
 
 	if *soak {

@@ -124,6 +124,25 @@ type Config struct {
 	// under skew).
 	PartitionAlgo string
 
+	// Partitioned enables the sharded-table training mode: a joint
+	// entity+relation partition assigns every embedding row to exactly one
+	// owner rank, each rank holds only its owned shard, and batches pull the
+	// remote rows they touch and push gradient rows back (the DGL-KE
+	// scale-out scheme grafted onto this trainer). Memory per rank then
+	// shrinks with the world size instead of replicating the full table.
+	// Mutually exclusive with RelationPartition, local SGD, quantization,
+	// value sparsification, error feedback, the dynamic comm probe and
+	// TrackEpochStats — the row exchange is its own communication mode.
+	Partitioned bool
+	// PartitionBy selects the row partitioner for Partitioned mode: "mincut"
+	// (greedy min-cut over the triple hypergraph; default) or "hash" (seeded
+	// uniform hashing, the locality-free baseline).
+	PartitionBy string
+	// PartitionSlack is the balance slack for Partitioned mode: each rank
+	// owns at most about ceil(total/P)*(1+slack) rows of either table. Zero
+	// means the partition package default (0.1).
+	PartitionSlack float64
+
 	// SyncEvery > 1 enables local-SGD-style training: gradients are applied
 	// locally every batch and the replicas are averaged (dense parameter
 	// all-reduce) only every SyncEvery batches — the periodic-averaging
@@ -269,6 +288,22 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("core: unknown partition algorithm %q", c.PartitionAlgo)
 	}
+	switch c.PartitionBy {
+	case "", "mincut", "hash":
+	default:
+		return fmt.Errorf("core: unknown row partitioner %q (want mincut or hash)", c.PartitionBy)
+	}
+	if c.PartitionSlack < 0 {
+		return fmt.Errorf("core: PartitionSlack must be >= 0, got %v", c.PartitionSlack)
+	}
+	if !c.Partitioned && (c.PartitionBy != "" || c.PartitionSlack != 0) {
+		return fmt.Errorf("core: PartitionBy/PartitionSlack configure Partitioned mode; set Partitioned")
+	}
+	if c.Partitioned {
+		if err := c.validatePartitioned(); err != nil {
+			return err
+		}
+	}
 	switch c.LossName {
 	case "", "logistic":
 	case "margin":
@@ -299,9 +334,51 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// validatePartitioned rejects every mode combination the sharded-table
+// trainer cannot honor, each with the reason: the row exchange replaces the
+// replicated gradient collectives, so knobs that reshape those collectives
+// (or assume full replicas) have nothing to act on.
+func (c Config) validatePartitioned() error {
+	conflict := ""
+	switch {
+	case c.RelationPartition:
+		conflict = "RelationPartition (the joint partition already assigns every relation row an owner)"
+	case c.SyncEvery > 1:
+		conflict = "SyncEvery > 1 (local SGD averages full replicas, which partitioned ranks do not hold)"
+	case c.Comm == CommDynamic:
+		conflict = "dynamic comm (the probe arbitrates all-reduce vs all-gather of replicated gradients)"
+	case c.Quant != grad.NoQuant:
+		conflict = "quantization (pushed rows are re-applied by their owner at full precision)"
+	case c.ValueSparsify != 0:
+		conflict = "ValueSparsify (value-level top-k targets the replicated all-gather payload)"
+	case c.ErrorFeedback:
+		conflict = "ErrorFeedback (residuals exist only for lossy replicated exchanges)"
+	case c.TrackEpochStats:
+		conflict = "TrackEpochStats (per-epoch merged-model evaluation needs full replicas)"
+	}
+	if conflict != "" {
+		return fmt.Errorf("core: Partitioned cannot be combined with %s", conflict)
+	}
+	return nil
+}
+
 // StrategyLabel renders the configuration in the paper's shorthand, e.g.
 // "DRS+1-bit+RP+SS".
 func (c Config) StrategyLabel() string {
+	if c.Partitioned {
+		algo := c.PartitionBy
+		if algo == "" {
+			algo = "mincut"
+		}
+		label := "partitioned-" + algo
+		if c.Select == grad.SelectBernoulli {
+			label += "+RS"
+		}
+		if c.NegSelect {
+			label += "+SS"
+		}
+		return label
+	}
 	label := ""
 	switch {
 	case c.Comm == CommDynamic && c.Select == grad.SelectBernoulli:

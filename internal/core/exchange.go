@@ -19,6 +19,10 @@ const (
 	tagProbe      = "probe"
 	tagCheckpoint = "checkpoint"
 	tagRecovery   = "recovery"
+	// Partitioned-mode row exchange: remote-row requests and replies ride
+	// "pull", gradient rows returning to their owners ride "push".
+	tagPull = "pull"
+	tagPush = "push"
 )
 
 // exchanger performs one rank's gradient exchanges, owning the scratch

@@ -101,9 +101,14 @@ func TrainProcess(cfg Config, d *kg.Dataset, ep transport.Endpoint) (res *Result
 	attempt := 0
 	for {
 		myRank := world.LocalRanks()[0]
-		pt := buildPartition(&cfg, d, world.Size())
+		pt, perr := buildPartition(&cfg, d, world.Size())
+		if perr != nil {
+			return nil, perr
+		}
 		perRank := make([]*model.Params, world.Size())
-		perRank[myRank] = snap.params.Clone()
+		if !cfg.Partitioned {
+			perRank[myRank] = snap.params.Clone()
+		}
 		run = &trainRun{
 			cfg:             &cfg,
 			d:               d,
@@ -114,6 +119,7 @@ func TrainProcess(cfg Config, d *kg.Dataset, ep transport.Endpoint) (res *Result
 			perRankValCap:   pt.perRankValCap,
 			relOwner:        pt.relOwner,
 			batchesPerEpoch: pt.batchesPerEpoch,
+			plan:            pt.plan,
 			cluster:         cluster,
 			perRank:         perRank,
 			res:             res,
@@ -177,7 +183,25 @@ func TrainProcess(cfg Config, d *kg.Dataset, ep transport.Endpoint) (res *Result
 	// model locally; the inputs are identical everywhere, so every process
 	// reports the same numbers.
 	var merged *model.Params
-	if err := world.RunErr(func(c *mpi.Comm) error {
+	if cfg.Partitioned {
+		// Partitioned workers end with the collective shard gather; every
+		// process is its own stats rank, so each already holds the model.
+		merged = run.partFinal
+		if merged == nil {
+			return nil, fmt.Errorf("core: partitioned run finished without publishing the merged model")
+		}
+		q := run.plan.Quality()
+		res.Partition = &PartitionStats{
+			Algo:              run.plan.Algo,
+			Ranks:             run.plan.Ranks,
+			CutRatio:          q.CutRatio,
+			RemoteRowFraction: q.RemoteRowFraction,
+			EntityBalance:     q.EntityBalance,
+			RelationBalance:   q.RelationBalance,
+			TripleBalance:     q.TripleBalance,
+			MaxEntityShard:    q.MaxEntityShard,
+		}
+	} else if err := world.RunErr(func(c *mpi.Comm) error {
 		var merr error
 		merged, merr = run.procMergedParams(c)
 		return merr

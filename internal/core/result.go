@@ -30,7 +30,14 @@ type EpochStats struct {
 	NonZeroGradRows float64
 	// Sparsity is the fraction of gradient rows dropped by selection.
 	Sparsity float64
-	// Mode is the exchange used this epoch ("allreduce" or "allgather").
+	// RemoteRowFraction is the fraction of unique embedding rows touched by
+	// this rank's batches that lived on another rank and had to be pulled
+	// (partitioned mode only; the realized counterpart of the partition
+	// plan's predicted remote-row fraction). Rank-local but deterministic,
+	// so the golden harness pins it.
+	RemoteRowFraction float64
+	// Mode is the exchange used this epoch ("allreduce", "allgather", or
+	// "rowexchange" in partitioned mode).
 	Mode string
 	// LR is the learning rate in effect.
 	LR float64
@@ -62,6 +69,30 @@ type RecoveryStats struct {
 	// Degraded reports that the run fell back to a single fault-free node
 	// after exhausting MaxRecoveries.
 	Degraded bool
+}
+
+// PartitionStats reports the quality of the row partition a partitioned run
+// trained under (the plan of the final attempt, after any shrink): how well
+// the min-cut kept triples rank-local and how evenly the tables spread.
+type PartitionStats struct {
+	// Algo is the partitioner used ("mincut" or "hash").
+	Algo string
+	// Ranks is the world size the plan was built for.
+	Ranks int
+	// CutRatio is the fraction of training triples not fully local to their
+	// shard's rank.
+	CutRatio float64
+	// RemoteRowFraction is the predicted fraction of row references that
+	// cross ranks when every triple trains on its assigned shard.
+	RemoteRowFraction float64
+	// EntityBalance, RelationBalance and TripleBalance are max-shard /
+	// ideal-shard ratios (1.0 = perfectly even).
+	EntityBalance   float64
+	RelationBalance float64
+	TripleBalance   float64
+	// MaxEntityShard is the largest per-rank entity-row count — the peak
+	// memory claim, strictly below the full table for P >= 2.
+	MaxEntityShard int
 }
 
 // Result summarizes a training run; fields mirror the paper's table columns.
@@ -97,6 +128,9 @@ type Result struct {
 	// Recovery reports the fault-tolerance activity of the run; a fault-free
 	// run without checkpointing leaves every counter zero except FinalNodes.
 	Recovery RecoveryStats
+	// Partition reports the row-partition quality of a partitioned run
+	// (nil for replicated modes).
+	Partition *PartitionStats
 	// PerEpoch holds the per-epoch series when TrackEpochStats was set
 	// (always includes at least Seconds/ValAccuracy/Mode).
 	PerEpoch []EpochStats

@@ -11,6 +11,7 @@ import (
 	"kgedist/internal/model"
 	"kgedist/internal/mpi"
 	"kgedist/internal/opt"
+	part "kgedist/internal/partition"
 	"kgedist/internal/simnet"
 	"kgedist/internal/tensor"
 	"kgedist/internal/xrand"
@@ -42,17 +43,52 @@ type partition struct {
 	relOwner        []int
 	batchesPerEpoch int
 	perRankValCap   int
+	// plan is the joint row-ownership plan of Partitioned mode (nil for the
+	// replicated modes); shards then come from the plan's triple placement.
+	plan *part.Plan
 }
 
 // buildPartition distributes the training and validation triples over nodes
-// ranks (uniform baseline or relation partition, per cfg).
-func buildPartition(cfg *Config, d *kg.Dataset, nodes int) partition {
+// ranks (uniform baseline, relation partition, or the joint row partition,
+// per cfg).
+func buildPartition(cfg *Config, d *kg.Dataset, nodes int) (partition, error) {
+	var pt partition
+	if cfg.Partitioned {
+		plan, err := part.Build(d, part.Options{
+			Ranks: nodes,
+			Algo:  cfg.PartitionBy,
+			Seed:  cfg.Seed,
+			Slack: cfg.PartitionSlack,
+		})
+		if err != nil {
+			return pt, err
+		}
+		pt.plan = plan
+		pt.shards = plan.Shards
+		// Validation triples score wherever most of their rows live, so the
+		// per-epoch pull stays small.
+		pt.valShards = make([][]kg.Triple, nodes)
+		for _, t := range d.Valid {
+			owner := plan.PreferredRank(t)
+			pt.valShards[owner] = append(pt.valShards[owner], t)
+		}
+		maxShard := 0
+		for _, s := range pt.shards {
+			if len(s) > maxShard {
+				maxShard = len(s)
+			}
+		}
+		pt.batchesPerEpoch = (maxShard + cfg.BatchSize - 1) / cfg.BatchSize
+		if cfg.ValSample > 0 {
+			pt.perRankValCap = cfg.ValSample/nodes + 1
+		}
+		return pt, nil
+	}
 	baseRng := xrand.New(cfg.Seed)
 	shuffled := append([]kg.Triple(nil), d.Train...)
 	baseRng.Split(77).Shuffle(len(shuffled), func(i, j int) {
 		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 	})
-	var pt partition
 	if cfg.RelationPartition {
 		if cfg.PartitionAlgo == "lpt" {
 			pt.shards = kg.RelationPartitionLPT(shuffled, d.NumRelations, nodes)
@@ -96,7 +132,7 @@ func buildPartition(cfg *Config, d *kg.Dataset, nodes int) partition {
 	if cfg.ValSample > 0 {
 		pt.perRankValCap = cfg.ValSample/nodes + 1
 	}
-	return pt
+	return pt, nil
 }
 
 // snapshot is the recovery point: the merged model as of some completed
@@ -167,15 +203,23 @@ func trainInternal(cfg Config, d *kg.Dataset, nodes int) (*Result, []*model.Para
 
 	var perRank []*model.Params
 	var relOwner []int
+	var run *trainRun
 	attempt := 0
 	for {
-		pt := buildPartition(&cfg, d, world.Size())
+		pt, perr := buildPartition(&cfg, d, world.Size())
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
 		relOwner = pt.relOwner
 		perRank = make([]*model.Params, world.Size())
-		for r := range perRank {
-			perRank[r] = snap.params.Clone()
+		if !cfg.Partitioned {
+			// Partitioned ranks never hold replicas — that is the memory
+			// claim; they build shard stores from the snapshot instead.
+			for r := range perRank {
+				perRank[r] = snap.params.Clone()
+			}
 		}
-		run := &trainRun{
+		run = &trainRun{
 			cfg:             &cfg,
 			d:               d,
 			m:               m,
@@ -185,6 +229,7 @@ func trainInternal(cfg Config, d *kg.Dataset, nodes int) (*Result, []*model.Para
 			perRankValCap:   pt.perRankValCap,
 			relOwner:        pt.relOwner,
 			batchesPerEpoch: pt.batchesPerEpoch,
+			plan:            pt.plan,
 			cluster:         cluster,
 			perRank:         perRank,
 			res:             res,
@@ -249,7 +294,28 @@ func trainInternal(cfg Config, d *kg.Dataset, nodes int) (*Result, []*model.Para
 	res.Recovery = rec
 
 	// ---- Final evaluation on the merged model ----
-	merged := mergeParams(m, perRank, relOwner)
+	var merged *model.Params
+	if cfg.Partitioned {
+		// The trained rows were gathered collectively at the end of the
+		// worker epoch loop; rank 0 published them through the run.
+		merged = run.partFinal
+		if merged == nil {
+			return nil, nil, nil, fmt.Errorf("core: partitioned run finished without publishing the merged model")
+		}
+		q := run.plan.Quality()
+		res.Partition = &PartitionStats{
+			Algo:              run.plan.Algo,
+			Ranks:             run.plan.Ranks,
+			CutRatio:          q.CutRatio,
+			RemoteRowFraction: q.RemoteRowFraction,
+			EntityBalance:     q.EntityBalance,
+			RelationBalance:   q.RelationBalance,
+			TripleBalance:     q.TripleBalance,
+			MaxEntityShard:    q.MaxEntityShard,
+		}
+	} else {
+		merged = mergeParams(m, perRank, relOwner)
+	}
 	filter := kg.NewFilterIndex(d)
 	evalRng := xrand.New(cfg.Seed + 999)
 	lp := eval.LinkPrediction(m, merged, d, filter, cfg.TestSample, evalRng)
@@ -289,6 +355,12 @@ type trainRun struct {
 	startEpoch      int   // resume point: epochs before this are already done
 	ckptErr         error // rank-0 checkpoint write error, read between barriers
 
+	// plan is the row-ownership plan of Partitioned mode (nil otherwise);
+	// partFinal is the merged model the stats rank publishes from the
+	// end-of-training collective gather.
+	plan      *part.Plan
+	partFinal *model.Params
+
 	// proc marks a process world (one rank in this address space): the
 	// checkpoint merge runs as a collective instead of a shared-memory walk.
 	proc bool
@@ -303,6 +375,9 @@ type trainRun struct {
 // returned, not handled: the recovery loop in trainInternal owns shrinking
 // the world and re-running.
 func (t *trainRun) worker(c *mpi.Comm) error {
+	if t.cfg.Partitioned {
+		return t.workerPartitioned(c)
+	}
 	cfg := t.cfg
 	rank := c.Rank()
 	nodes := c.Size()

@@ -2,6 +2,7 @@ package kg
 
 import (
 	"fmt"
+	"math"
 
 	"kgedist/internal/xrand"
 )
@@ -55,6 +56,33 @@ func (c GenConfig) withDefaults() GenConfig {
 	}
 	if c.TestFrac == 0 {
 		c.TestFrac = 0.05
+	}
+	return c
+}
+
+// Scaled multiplies the graph's size knobs — entities, relations and
+// triples — by factor, clamping each at 1. The community count is left
+// alone: a scaled graph keeps the original's community topology (the same
+// number of clusters, each proportionally larger), so partitioners and
+// samplers see the same structure at a different magnitude. Fractional
+// knobs (Zipf exponents, noise, split fractions) are size-free and carry
+// over unchanged.
+func (c GenConfig) Scaled(factor float64) GenConfig {
+	if factor <= 0 {
+		panic(fmt.Sprintf("kg: Scaled factor must be positive, got %g", factor))
+	}
+	scale := func(n int) int {
+		s := int(float64(n) * factor)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	c.Entities = scale(c.Entities)
+	c.Relations = scale(c.Relations)
+	c.Triples = scale(c.Triples)
+	if math.Float64bits(factor) != math.Float64bits(1) {
+		c.Name = fmt.Sprintf("%s-x%g", c.Name, factor)
 	}
 	return c
 }

@@ -180,3 +180,42 @@ func TestLoadDirErrors(t *testing.T) {
 		t.Fatal("expected error for missing dir")
 	}
 }
+
+func TestScaled(t *testing.T) {
+	t.Parallel()
+	base := FB15KMini(1)
+	up := base.Scaled(2)
+	if up.Entities != 2*base.Entities || up.Relations != 2*base.Relations || up.Triples != 2*base.Triples {
+		t.Fatalf("Scaled(2) = %+v", up)
+	}
+	if up.Communities != base.Communities {
+		t.Fatalf("Scaled changed the community count: %d -> %d", base.Communities, up.Communities)
+	}
+	if up.Name != "fb15k-mini-x2" {
+		t.Fatalf("Scaled name = %q", up.Name)
+	}
+	if same := base.Scaled(1); same != base {
+		t.Fatalf("Scaled(1) changed the config: %+v", same)
+	}
+	// Down-scaling clamps every size knob at 1 and still generates.
+	tiny := GenConfig{Name: "t", Entities: 40, Relations: 2, Triples: 200, Seed: 3}.Scaled(0.1)
+	if tiny.Entities != 4 || tiny.Relations != 1 || tiny.Triples != 20 {
+		t.Fatalf("Scaled(0.1) = %+v", tiny)
+	}
+	d := Generate(tiny)
+	if d.NumEntities != 4 || len(d.Train)+len(d.Valid)+len(d.Test) == 0 {
+		t.Fatalf("tiny scaled dataset: %+v", d)
+	}
+	// The scaled graph keeps the planted structure: same community count,
+	// proportionally larger clusters, so per-community degree stats track.
+	big := Generate(base.Scaled(2))
+	if big.NumEntities != 2*base.Entities {
+		t.Fatalf("generated %d entities", big.NumEntities)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scaled(0) did not panic")
+		}
+	}()
+	base.Scaled(0)
+}

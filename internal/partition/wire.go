@@ -1,0 +1,49 @@
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire codec for row-id request lists. The row exchange broadcasts each
+// rank's wanted-row ids with an all-gather of opaque byte payloads; this is
+// that payload's format: a little-endian uint32 count followed by the ids.
+// Payloads are freshly allocated by EncodeIDs because the all-gather
+// contract transfers ownership of the payload to the world (see the mpi
+// package comment) — they must never come from recycled scratch.
+
+// idWireMagic guards against a foreign payload being decoded as a request
+// list (the exchange shares the collective machinery with gradient
+// payloads).
+const idWireMagic = uint32(0x52494453) // "RIDS"
+
+// EncodeIDs marshals a sorted id list into a fresh wire payload.
+func EncodeIDs(ids []int32) []byte {
+	out := make([]byte, 8+4*len(ids))
+	binary.LittleEndian.PutUint32(out[0:4], idWireMagic)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(ids)))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint32(out[8+4*i:], uint32(id))
+	}
+	return out
+}
+
+// DecodeIDs unmarshals a request payload into dst (reused, returned
+// re-sliced) and errors on malformed input.
+func DecodeIDs(dst []int32, payload []byte) ([]int32, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("partition: id payload truncated at %d bytes", len(payload))
+	}
+	if binary.LittleEndian.Uint32(payload[0:4]) != idWireMagic {
+		return nil, fmt.Errorf("partition: id payload has wrong magic")
+	}
+	n := int(binary.LittleEndian.Uint32(payload[4:8]))
+	if len(payload) != 8+4*n {
+		return nil, fmt.Errorf("partition: id payload declares %d ids but carries %d bytes", n, len(payload)-8)
+	}
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, int32(binary.LittleEndian.Uint32(payload[8+4*i:])))
+	}
+	return dst, nil
+}

@@ -8,6 +8,7 @@ import (
 	"kgedist/internal/grad"
 	"kgedist/internal/kg"
 	"kgedist/internal/model"
+	"kgedist/internal/partition"
 	"kgedist/internal/xrand"
 )
 
@@ -413,6 +414,123 @@ func CheckSSHardestOrdering(seed uint64) PropResult {
 		"argmax candidate returned in %d/%d seeded trials", trials, trials)}
 }
 
+// CheckJointPartitionInvariants verifies the sharded-table row partitioner
+// over a grid of generated KGs, rank counts and algorithms: (1) every
+// entity and relation row has exactly one in-range owner, (2) the triple
+// shards cover the training split exactly once, (3) per-rank row counts
+// stay within the balance bound, (4) plans are a pure function of
+// (dataset, options), and (5) min-cut never plans more remote row traffic
+// than the hash baseline on a community-structured graph.
+func CheckJointPartitionInvariants() PropResult {
+	const name = "partition-joint-invariants"
+	grids := []kg.GenConfig{
+		{Name: "jp-a", Entities: 90, Relations: 6, Triples: 900, Communities: 6, Seed: 11},
+		{Name: "jp-b", Entities: 240, Relations: 24, Triples: 4000, Communities: 8, Seed: 12},
+		// Pathological: more relations than some shards have entities.
+		{Name: "jp-c", Entities: 50, Relations: 45, Triples: 400, Communities: 5, Seed: 13},
+	}
+	cases := 0
+	for _, gc := range grids {
+		d := kg.Generate(gc)
+		want := map[kg.Triple]int{}
+		for _, t := range d.Train {
+			want[t]++
+		}
+		for ranks := 1; ranks <= 6; ranks++ {
+			remote := map[string]float64{}
+			for _, algo := range []string{"mincut", "hash"} {
+				cases++
+				opt := partition.Options{Ranks: ranks, Algo: algo, Seed: 9}
+				plan, err := partition.Build(d, opt)
+				if err != nil {
+					return PropResult{Name: name, Detail: fmt.Sprintf(
+						"%s/%s p=%d: Build: %v", gc.Name, algo, ranks, err)}
+				}
+				if err := plan.Validate(); err != nil {
+					return PropResult{Name: name, Detail: fmt.Sprintf(
+						"%s/%s p=%d: %v", gc.Name, algo, ranks, err)}
+				}
+				entCount := make([]int, ranks)
+				for e, o := range plan.EntityOwner {
+					if o < 0 || int(o) >= ranks {
+						return PropResult{Name: name, Detail: fmt.Sprintf(
+							"%s/%s p=%d: entity %d owned by rank %d", gc.Name, algo, ranks, e, o)}
+					}
+					entCount[o]++
+				}
+				relCount := make([]int, ranks)
+				for r, o := range plan.RelationOwner {
+					if o < 0 || int(o) >= ranks {
+						return PropResult{Name: name, Detail: fmt.Sprintf(
+							"%s/%s p=%d: relation %d owned by rank %d", gc.Name, algo, ranks, r, o)}
+					}
+					relCount[o]++
+				}
+				if algo == "mincut" {
+					// Only the greedy min-cut enforces the balance cap;
+					// hash is the unbalanced baseline.
+					entBound := partition.BalanceBound(d.NumEntities, ranks, opt.Slack)
+					relBound := partition.BalanceBound(d.NumRelations, ranks, opt.Slack)
+					for rank := 0; rank < ranks; rank++ {
+						if entCount[rank] > entBound {
+							return PropResult{Name: name, Detail: fmt.Sprintf(
+								"%s/%s p=%d: rank %d owns %d entities, bound %d", gc.Name, algo, ranks, rank, entCount[rank], entBound)}
+						}
+						if relCount[rank] > relBound {
+							return PropResult{Name: name, Detail: fmt.Sprintf(
+								"%s/%s p=%d: rank %d owns %d relations, bound %d", gc.Name, algo, ranks, rank, relCount[rank], relBound)}
+						}
+					}
+				}
+				got := map[kg.Triple]int{}
+				total := 0
+				for _, shard := range plan.Shards {
+					total += len(shard)
+					for _, t := range shard {
+						got[t]++
+					}
+				}
+				if total != len(d.Train) || len(got) != len(want) {
+					return PropResult{Name: name, Detail: fmt.Sprintf(
+						"%s/%s p=%d: shards hold %d triples (%d distinct), train has %d (%d distinct)",
+						gc.Name, algo, ranks, total, len(got), len(d.Train), len(want))}
+				}
+				for t, n := range want {
+					if got[t] != n {
+						return PropResult{Name: name, Detail: fmt.Sprintf(
+							"%s/%s p=%d: triple %+v placed %d times, want %d", gc.Name, algo, ranks, t, got[t], n)}
+					}
+				}
+				again, err := partition.Build(d, opt)
+				if err != nil {
+					return PropResult{Name: name, Detail: fmt.Sprintf(
+						"%s/%s p=%d: rebuild: %v", gc.Name, algo, ranks, err)}
+				}
+				for e := range plan.EntityOwner {
+					if plan.EntityOwner[e] != again.EntityOwner[e] {
+						return PropResult{Name: name, Detail: fmt.Sprintf(
+							"%s/%s p=%d: nondeterministic entity owner at row %d", gc.Name, algo, ranks, e)}
+					}
+				}
+				for r := range plan.RelationOwner {
+					if plan.RelationOwner[r] != again.RelationOwner[r] {
+						return PropResult{Name: name, Detail: fmt.Sprintf(
+							"%s/%s p=%d: nondeterministic relation owner at row %d", gc.Name, algo, ranks, r)}
+					}
+				}
+				remote[algo] = plan.Quality().RemoteRowFraction
+			}
+			if ranks > 1 && remote["mincut"] > remote["hash"] {
+				return PropResult{Name: name, Detail: fmt.Sprintf(
+					"%s p=%d: mincut plans %.3f remote rows, hash baseline %.3f",
+					gc.Name, ranks, remote["mincut"], remote["hash"])}
+			}
+		}
+	}
+	return PropResult{Name: name, OK: true, Detail: fmt.Sprintf(
+		"%d (dataset × ranks × algo) cases: single owners, lossless shards, balance within bound, deterministic, mincut ≤ hash on remote rows", cases)}
+}
+
 // AllPropertyChecks runs the full statistical sweep. Deterministic for a
 // fixed seed.
 func AllPropertyChecks(seed uint64) []PropResult {
@@ -422,6 +540,7 @@ func AllPropertyChecks(seed uint64) []PropResult {
 		CheckRSKeepProbability(seed),
 		CheckUnbiasedSelection(seed),
 		CheckRPInvariants(),
+		CheckJointPartitionInvariants(),
 		CheckDRSSwitchPermanence(),
 		CheckSSHardestOrdering(seed),
 	}

@@ -2,9 +2,10 @@ package testkit
 
 // TCP golden harness: the statistical gate's proof that the multi-process
 // TCP transport is trajectory-equivalent to the deterministic channel
-// fabric. One scenario (the paper's dynamic strategy) trains twice — once
-// in-process on the simulated cluster, once as a 3-rank mesh of real TCP
-// endpoints over localhost — and the two runs must agree exactly:
+// fabric. Each scenario (the paper's dynamic strategy, and the partitioned
+// sharded-table mode) trains twice — once in-process on the simulated
+// cluster, once as a 3-rank mesh of real TCP endpoints over localhost —
+// and the two runs must agree exactly:
 // epoch-level loss and validation curves, the dynamic switch epoch, final
 // MRR/TCA, and communicated bytes, all at zero tolerance. Any divergence
 // means the transport leaked real-world nondeterminism into training.
@@ -32,6 +33,22 @@ func TCPScenario() Scenario {
 		c.ProbeEvery = 2
 		c.Select = grad.SelectBernoulli
 	}}
+}
+
+// TCPScenarios is the full matrix exercised over real sockets: the dynamic
+// strategy, and the partitioned sharded-table mode. The partitioned entry
+// keeps periodic checkpoints ON — its checkpoint merge is the same
+// collective gather in both worlds (unlike replicated mode, whose
+// shared-memory merge moves no bytes in-process), so even the snapshot
+// epochs must agree at zero tolerance.
+func TCPScenarios() []Scenario {
+	return []Scenario{
+		TCPScenario(),
+		{Name: "tcp-part", Nodes: 3, Mutate: func(c *core.Config) {
+			c.Partitioned = true
+			c.CheckpointEvery = 2
+		}},
+	}
 }
 
 // RunScenarioTCP trains the scenario with every rank backed by its own TCP
@@ -86,33 +103,38 @@ func RunScenarioTCP(sc Scenario, d *kg.Dataset) (*core.Result, error) {
 	return results[0], nil
 }
 
-// VerifyTCP runs the TCP scenario on both fabrics and diffs them at zero
+// VerifyTCP runs every TCP scenario on both fabrics and diffs them at zero
 // tolerance. The returned drifts are empty exactly when the transports are
 // trajectory-identical. report, when non-nil, receives progress lines.
 func VerifyTCP(report func(format string, args ...any)) []Drift {
-	sc := TCPScenario()
 	d := GoldenDataset()
-	cfg := GoldenBaseConfig()
-	sc.Mutate(&cfg)
+	var drifts []Drift
+	for _, sc := range TCPScenarios() {
+		cfg := GoldenBaseConfig()
+		sc.Mutate(&cfg)
 
-	ref, err := core.Train(cfg, d, sc.Nodes)
-	if err != nil {
-		return []Drift{{Run: sc.Name, Field: "error", Detail: "simnet reference: " + err.Error()}}
-	}
-	got, err := RunScenarioTCP(sc, d)
-	if err != nil {
-		return []Drift{{Run: sc.Name, Field: "error", Detail: err.Error()}}
-	}
-	want := GoldenFromResult(sc.Name, cfg.Seed, sc.Nodes, ref)
-	fresh := GoldenFromResult(sc.Name, cfg.Seed, sc.Nodes, got)
-	drifts := CompareRun(fresh, want, Tolerance{})
-	if report != nil {
-		status := "identical"
-		if len(drifts) > 0 {
-			status = fmt.Sprintf("DRIFT x%d", len(drifts))
+		ref, err := core.Train(cfg, d, sc.Nodes)
+		if err != nil {
+			drifts = append(drifts, Drift{Run: sc.Name, Field: "error", Detail: "simnet reference: " + err.Error()})
+			continue
 		}
-		report("tcp golden %-8s nodes=%d mrr=%.4f final_loss=%.4f %s",
-			sc.Name, sc.Nodes, fresh.MRR, fresh.FinalLoss, status)
+		got, err := RunScenarioTCP(sc, d)
+		if err != nil {
+			drifts = append(drifts, Drift{Run: sc.Name, Field: "error", Detail: err.Error()})
+			continue
+		}
+		want := GoldenFromResult(sc.Name, cfg.Seed, sc.Nodes, ref)
+		fresh := GoldenFromResult(sc.Name, cfg.Seed, sc.Nodes, got)
+		ds := CompareRun(fresh, want, Tolerance{})
+		drifts = append(drifts, ds...)
+		if report != nil {
+			status := "identical"
+			if len(ds) > 0 {
+				status = fmt.Sprintf("DRIFT x%d", len(ds))
+			}
+			report("tcp golden %-8s nodes=%d mrr=%.4f final_loss=%.4f %s",
+				sc.Name, sc.Nodes, fresh.MRR, fresh.FinalLoss, status)
+		}
 	}
 	return drifts
 }

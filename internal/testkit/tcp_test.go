@@ -7,13 +7,14 @@ import (
 )
 
 // TestVerifyTCPTrajectoryIdentical is the in-suite form of the
-// `kgeverify -tcp` gate: the dynamic-strategy scenario trained over three
-// real TCP endpoints on localhost must match the in-process simulated run
-// at zero tolerance. It trains twice (both fabrics), so the -short race
-// tier skips it; `make transport` and plain `go test` run it.
+// `kgeverify -tcp` gate: every TCP scenario (dynamic strategy, partitioned
+// sharded tables) trained over three real TCP endpoints on localhost must
+// match the in-process simulated run at zero tolerance. It trains each
+// scenario twice (both fabrics), so the -short race tier skips it;
+// `make transport` and plain `go test` run it.
 func TestVerifyTCPTrajectoryIdentical(t *testing.T) {
 	if testing.Short() {
-		t.Skip("trains two full runs; covered by the transport tier")
+		t.Skip("trains two full runs per scenario; covered by the transport tier")
 	}
 	var lines []string
 	drifts := VerifyTCP(func(format string, args ...any) {
@@ -22,8 +23,14 @@ func TestVerifyTCPTrajectoryIdentical(t *testing.T) {
 	for _, d := range drifts {
 		t.Errorf("tcp drift: %s", d)
 	}
-	if len(lines) != 1 || !strings.Contains(lines[0], "identical") {
-		t.Errorf("progress report = %q, want one line containing %q", lines, "identical")
+	want := len(TCPScenarios())
+	if len(lines) != want {
+		t.Errorf("progress report = %q, want %d lines", lines, want)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "identical") {
+			t.Errorf("progress line %q does not report %q", line, "identical")
+		}
 	}
 	if sc := TCPScenario(); sc.Name != "tcp-drs" || sc.Nodes != 3 {
 		t.Errorf("TCPScenario = %q/%d nodes, want tcp-drs/3", sc.Name, sc.Nodes)

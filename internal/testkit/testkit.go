@@ -74,8 +74,9 @@ type Scenario struct {
 
 // Scenarios returns the golden strategy matrix: the two static exchange
 // baselines, each single strategy of the paper (DRS, RS, 1-bit, 2-bit, RP,
-// SS), and the full combination. Order is stable; names are the golden-file
-// keys.
+// SS), the full combination, and the partitioned sharded-table mode (alone
+// and with the strategies it composes with). Order is stable; names are the
+// golden-file keys.
 func Scenarios() []Scenario {
 	return []Scenario{
 		{Name: "allreduce", Nodes: 2, Mutate: func(c *core.Config) {}},
@@ -112,6 +113,16 @@ func Scenarios() []Scenario {
 			c.Select = grad.SelectBernoulli
 			c.Quant = grad.OneBitMax
 			c.RelationPartition = true
+			c.NegSamples = 4
+			c.NegSelect = true
+		}},
+		{Name: "part", Nodes: 3, Mutate: func(c *core.Config) {
+			c.Partitioned = true
+		}},
+		{Name: "part-rs-ss", Nodes: 3, Mutate: func(c *core.Config) {
+			c.Partitioned = true
+			c.PartitionBy = "hash"
+			c.Select = grad.SelectBernoulli
 			c.NegSamples = 4
 			c.NegSelect = true
 		}},
