@@ -56,8 +56,11 @@ func main() {
 		batch     = flag.Int("batch", 2000, "per-worker batch size")
 		lr        = flag.Float64("lr", 0.01, "base learning rate (scaled by min(4, nodes))")
 		epochs    = flag.Int("epochs", 80, "maximum epochs")
-		comm      = flag.String("comm", "allreduce", "gradient exchange: allreduce, allgather, dynamic")
+		comm      = flag.String("comm", "allreduce", "gradient exchange: allreduce, allgather, dynamic, dyncomp")
 		probe     = flag.Int("probe", 10, "dynamic probe period k")
+
+		compressHold   = flag.Int("compress-hold", 0, "dyncomp: consecutive below-threshold epochs before each ladder step (0 = default)")
+		compressWarmup = flag.Int("compress-warmup", 0, "dyncomp: initial epochs at fp32 before the ladder may step (0 = default)")
 		rs        = flag.Bool("rs", false, "random selection of gradient vectors")
 		quant     = flag.String("quant", "none", "quantization: none, 1bit-max, 1bit-avg, 2bit")
 		ef        = flag.Bool("ef", false, "error-feedback residuals for quantization")
@@ -159,6 +162,10 @@ func main() {
 		cfg.Comm = core.CommAllGather
 	case "dynamic":
 		cfg.Comm = core.CommDynamic
+	case "dyncomp":
+		cfg.Comm = core.CommDynamicCompress
+		cfg.CompressHold = *compressHold
+		cfg.CompressWarmup = *compressWarmup
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -comm %q\n", *comm)
 		os.Exit(1)
@@ -229,6 +236,13 @@ func main() {
 		res.CommHours, float64(res.CommBytes)/1e6, float64(res.RelationCommBytes)/1e6)
 	if res.SwitchedAtEpoch > 0 {
 		fmt.Printf("dynamic switch        all-gather from epoch %d\n", res.SwitchedAtEpoch)
+	}
+	if len(res.CompressionSteps) > 0 {
+		var steps []string
+		for _, s := range res.CompressionSteps {
+			steps = append(steps, fmt.Sprintf("%s from epoch %d", s.Level, s.Epoch))
+		}
+		fmt.Printf("compression ladder    %s\n", strings.Join(steps, ", "))
 	}
 	if pstat := res.Partition; pstat != nil {
 		fmt.Printf("partition (%s)    %d rank(s): cut %.1f%%, remote rows %.1f%%, peak shard %d entities, balance %.2f\n",
@@ -372,6 +386,7 @@ func validateFlagCombos(explicit map[string]bool, strategy, peers, comm, quant s
 		var bad []string
 		for _, f := range []string{
 			"partitioned", "partition-by", "partition-slack", "comm", "probe",
+			"compress-hold", "compress-warmup",
 			"rs", "quant", "ef", "rp", "ss", "loss", "margin",
 			"peers", "rank", "listen", "metrics-addr",
 			"faults", "checkpoint-every", "checkpoint", "recover", "save", "trace",
@@ -386,10 +401,36 @@ func validateFlagCombos(explicit map[string]bool, strategy, peers, comm, quant s
 	} else if explicit["servers"] {
 		return fmt.Errorf("-servers sizes the parameter-server tier; it needs -strategy ps")
 	}
+	if comm == "dyncomp" {
+		// The adaptive controller owns the whole compression pipeline
+		// (DESIGN.md §13); the static compression knobs would fight it.
+		var bad []string
+		if explicit["quant"] && quant != "none" {
+			bad = append(bad, "-quant (the ladder picks the quantizer per epoch)")
+		}
+		if explicit["rs"] {
+			bad = append(bad, "-rs (the ladder's top rung sparsifies)")
+		}
+		if explicit["ef"] {
+			bad = append(bad, "-ef (the controller always runs error feedback on lossy rungs)")
+		}
+		if len(bad) > 0 {
+			return fmt.Errorf("-comm dyncomp drives compression adaptively and cannot be combined with %s", strings.Join(bad, "; "))
+		}
+	} else {
+		for _, f := range []string{"compress-hold", "compress-warmup"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s tunes the adaptive compression controller; it needs -comm dyncomp", f)
+			}
+		}
+	}
 	if partitioned {
 		var bad []string
 		if comm == "dynamic" {
 			bad = append(bad, "-comm dynamic (the row exchange has no dense all-reduce to switch away from)")
+		}
+		if comm == "dyncomp" {
+			bad = append(bad, "-comm dyncomp (compressed collectives assume replicated dense tables)")
 		}
 		if explicit["quant"] && quant != "none" {
 			bad = append(bad, "-quant (quantization codebooks assume replicated dense tables)")

@@ -39,6 +39,13 @@ const (
 	// CommDynamic starts with all-reduce and probes all-gather every
 	// ProbeEvery epochs, switching permanently when the probe wins.
 	CommDynamic
+	// CommDynamicCompress is the adaptive compression controller (DESIGN.md
+	// §13): exchanges ride the compressed reduce-scatter/all-gather pipeline
+	// at every rung, and a per-epoch gradient-entropy probe walks the
+	// monotone ladder fp32 -> 2-bit -> 1-bit -> 1-bit+RS with error-feedback
+	// residuals. Owns quantization, selection and error feedback, so the
+	// static Quant/Select/ErrorFeedback knobs must stay unset.
+	CommDynamicCompress
 )
 
 // String returns the paper's name for the strategy.
@@ -50,6 +57,8 @@ func (c CommStrategy) String() string {
 		return "allgather"
 	case CommDynamic:
 		return "dynamic"
+	case CommDynamicCompress:
+		return "dyncomp"
 	}
 	return "unknown"
 }
@@ -101,6 +110,14 @@ type Config struct {
 	Comm CommStrategy
 	// ProbeEvery is the dynamic strategy's probe period k (paper: 10).
 	ProbeEvery int
+	// CompressHold is the adaptive controller's hysteresis: consecutive
+	// below-threshold epochs required per ladder step (CommDynamicCompress
+	// only; 0 = grad.DefaultHold). See DESIGN.md §13.
+	CompressHold int
+	// CompressWarmup is the initial epochs during which the adaptive
+	// controller never steps (CommDynamicCompress only; 0 =
+	// grad.DefaultWarmup). See DESIGN.md §13.
+	CompressWarmup int
 	// Select is the random-selection mode applied to communicated rows.
 	Select grad.SelectMode
 	// Quant is the quantization scheme for the all-gather path; the dense
@@ -316,6 +333,17 @@ func (c Config) Validate() error {
 	if c.Comm == CommDynamic && c.ProbeEvery < 1 {
 		return fmt.Errorf("core: ProbeEvery must be >= 1 for dynamic comm, got %d", c.ProbeEvery)
 	}
+	if c.CompressHold < 0 || c.CompressWarmup < 0 {
+		return fmt.Errorf("core: CompressHold and CompressWarmup must be >= 0")
+	}
+	if c.Comm != CommDynamicCompress && (c.CompressHold != 0 || c.CompressWarmup != 0) {
+		return fmt.Errorf("core: CompressHold/CompressWarmup configure the adaptive controller; set Comm to dyncomp")
+	}
+	if c.Comm == CommDynamicCompress {
+		if err := c.validateDynamicCompress(); err != nil {
+			return err
+		}
+	}
 	if c.Tolerance < 1 || c.StopPatience < 1 {
 		return fmt.Errorf("core: Tolerance and StopPatience must be >= 1")
 	}
@@ -347,6 +375,8 @@ func (c Config) validatePartitioned() error {
 		conflict = "SyncEvery > 1 (local SGD averages full replicas, which partitioned ranks do not hold)"
 	case c.Comm == CommDynamic:
 		conflict = "dynamic comm (the probe arbitrates all-reduce vs all-gather of replicated gradients)"
+	case c.Comm == CommDynamicCompress:
+		conflict = "adaptive compression (the ladder compresses the replicated gradient collectives)"
 	case c.Quant != grad.NoQuant:
 		conflict = "quantization (pushed rows are re-applied by their owner at full precision)"
 	case c.ValueSparsify != 0:
@@ -358,6 +388,31 @@ func (c Config) validatePartitioned() error {
 	}
 	if conflict != "" {
 		return fmt.Errorf("core: Partitioned cannot be combined with %s", conflict)
+	}
+	return nil
+}
+
+// validateDynamicCompress rejects knobs the adaptive compression controller
+// owns itself (DESIGN.md §13): the ladder decides the quantization scheme,
+// the selection mode and the error-feedback residuals per epoch, so the
+// static flags must be left at their defaults; and the compressed pipeline
+// replaces the per-batch collectives, which local SGD does not run.
+func (c Config) validateDynamicCompress() error {
+	conflict := ""
+	switch {
+	case c.Quant != grad.NoQuant:
+		conflict = "Quant (the ladder picks the scheme per epoch)"
+	case c.Select != grad.SelectAll:
+		conflict = "Select (the ladder's RS rung owns row selection)"
+	case c.ErrorFeedback:
+		conflict = "ErrorFeedback (residuals are integral to the ladder; always on at lossy rungs)"
+	case c.ValueSparsify != 0:
+		conflict = "ValueSparsify (value-level top-k targets the plain all-gather payload)"
+	case c.SyncEvery > 1:
+		conflict = "SyncEvery > 1 (local SGD skips the per-batch collectives the ladder compresses)"
+	}
+	if conflict != "" {
+		return fmt.Errorf("core: adaptive compression (dyncomp) cannot be combined with %s", conflict)
 	}
 	return nil
 }
@@ -381,6 +436,8 @@ func (c Config) StrategyLabel() string {
 	}
 	label := ""
 	switch {
+	case c.Comm == CommDynamicCompress:
+		label = "dyncomp"
 	case c.Comm == CommDynamic && c.Select == grad.SelectBernoulli:
 		label = "DRS"
 	case c.Select == grad.SelectBernoulli:

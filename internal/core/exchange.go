@@ -23,6 +23,10 @@ const (
 	// "pull", gradient rows returning to their owners ride "push".
 	tagPull = "pull"
 	tagPush = "push"
+	// Adaptive-compression control plane: the tiny per-epoch all-reduce of
+	// controller statistics (DESIGN.md §13) is accounted separately so it
+	// never pollutes the gradient-exchange figures.
+	tagCtrl = "ctrl"
 )
 
 // exchanger performs one rank's gradient exchanges, owning the scratch
@@ -53,6 +57,21 @@ type exchanger struct {
 	dec    grad.Encoded     // payload decode scratch
 	entAgg *grad.SparseGrad // aggregate accumulator, reused per batch
 	relAgg *grad.SparseGrad
+
+	// Adaptive-compression state (CommDynamicCompress only; DESIGN.md §13).
+	// The controller accumulates per-batch gradient statistics and walks the
+	// ladder at epoch boundaries; the mergers own the compressed-hop scratch
+	// of the two matrices; sRng and mRng are dedicated streams for the RS
+	// rung's selection and the hop merges' ternary re-encoding, split off the
+	// exchanger rng so the rungs below them leave existing streams untouched.
+	ctrl       *grad.Controller
+	entMg      grad.Merger
+	relMg      grad.Merger
+	sRng       *xrand.RNG
+	mRng       *xrand.RNG
+	statsBuf   [grad.CtrlStatsLen]float32
+	selBefore  int // ladder-RS selection tallies for EpochStats.Sparsity,
+	selDropped int // accumulated per batch, drained at the epoch boundary
 }
 
 func newExchanger(cfg *Config, comm *mpi.Comm, width, numEnt, numRel int, rng *xrand.RNG) *exchanger {
@@ -67,6 +86,17 @@ func newExchanger(cfg *Config, comm *mpi.Comm, width, numEnt, numRel int, rng *x
 	if cfg.ErrorFeedback {
 		x.entRes = grad.NewResidual(width)
 		x.relRes = grad.NewResidual(width)
+	}
+	if cfg.Comm == CommDynamicCompress {
+		// Error feedback is integral to the ladder's lossy rungs
+		// (DESIGN.md §13); the controller and residuals restart fresh each
+		// attempt, so after a shrink-recovery the ladder re-ascends from
+		// fp32 deterministically.
+		x.ctrl = grad.NewController(cfg.CompressHold, cfg.CompressWarmup)
+		x.entRes = grad.NewResidual(width)
+		x.relRes = grad.NewResidual(width)
+		x.sRng = rng.Split(11)
+		x.mRng = rng.Split(12)
 	}
 	x.entAgg = grad.NewSparseGrad(width)
 	x.relAgg = grad.NewSparseGrad(width)
@@ -166,11 +196,81 @@ func (x *exchanger) allGather(g, agg *grad.SparseGrad, res *grad.Residual, tag s
 	return agg, cost, nil
 }
 
+// compressed runs one matrix through the adaptive pipeline at the ladder's
+// current rung (DESIGN.md §13): error-feedback residual in, RS selection
+// (top rung only, dropped rows banked whole), quantization to the rung's
+// scheme, the compressed-hop reduce-scatter, then an all-gather of the
+// disjoint reduced chunks — still encoded — and a local decode into agg.
+// At fp32 the same pipeline runs with NoQuant frames and no residual: the
+// reduction is exact, only the framing differs from the dense baseline.
+func (x *exchanger) compressed(g, agg *grad.SparseGrad, res *grad.Residual, mg *grad.Merger, rows int, tag string) (*grad.SparseGrad, float64, error) {
+	lvl := x.ctrl.Level()
+	if lvl.Lossy() {
+		res.AddInto(g)
+		if lvl.Sparsify() {
+			st := grad.SelectEF(g, grad.SelectBernoulli, x.sRng, res)
+			x.selBefore += st.Before
+			x.selDropped += st.Dropped
+		}
+	}
+	grad.QuantizeInto(&x.enc, g, lvl.Scheme(), x.qRng)
+	if lvl.Lossy() {
+		res.Update(g, &x.enc)
+	}
+	chunk, hopCost, err := x.comm.ReduceScatterEncoded(&x.enc, rows, mg, x.mRng, tag)
+	if err != nil {
+		return nil, 0, err
+	}
+	payloads, gatherCost, err := x.comm.AllGatherBytes(chunk.Marshal(), tag)
+	if err != nil {
+		return nil, 0, err
+	}
+	agg.Clear()
+	for _, p := range payloads {
+		if err := grad.UnmarshalInto(&x.dec, p); err != nil {
+			panic(fmt.Sprintf("core: corrupt compressed chunk payload: %v", err))
+		}
+		grad.Dequantize(&x.dec, agg)
+	}
+	scaleRows(agg, x.comm.Size())
+	return agg, hopCost + gatherCost, nil
+}
+
+// observe feeds one batch's entity gradient into the adaptive controller
+// (no-op outside CommDynamicCompress) and returns the virtual flops the
+// statistics pass costs. The entity matrix alone drives the signal: it
+// dominates both the row count and the communicated volume, and one matrix
+// keeps the decision rule single-sourced (DESIGN.md §13).
+//
+//kgelint:hotpath
+func (x *exchanger) observe(entG *grad.SparseGrad) float64 {
+	if x.ctrl == nil {
+		return 0
+	}
+	x.ctrl.Observe(entG)
+	return grad.ObserveFlops(entG)
+}
+
+// advanceCompression closes the controller's epoch: the per-rank statistics
+// are summed with a tiny dense all-reduce (tagCtrl) and every rank applies
+// the identical decision rule to the identical totals, so the ladder
+// trajectory is globally agreed without a coordinator (DESIGN.md §13). The
+// drained selection tallies feed EpochStats.Sparsity.
+func (x *exchanger) advanceCompression() (probe grad.EpochProbe, selBefore, selDropped int, err error) {
+	x.ctrl.StatsInto(x.statsBuf[:])
+	if _, err := x.comm.AllReduceSum(x.statsBuf[:], tagCtrl); err != nil {
+		return grad.EpochProbe{}, 0, 0, err
+	}
+	selBefore, selDropped = x.selBefore, x.selDropped
+	x.selBefore, x.selDropped = 0, 0
+	return x.ctrl.AdvanceFrom(x.statsBuf[:]), selBefore, selDropped, nil
+}
+
 // exchange aggregates the entity and relation gradients under the given
-// mode ("allreduce" or "allgather"). Under relation partition the relation
-// gradient is returned as-is: rank-local, full precision, zero cost. The
-// returned aggregates alias exchanger-owned scratch (or relG itself) and
-// are valid only until the next exchange call.
+// mode ("allreduce", "allgather" or "dyncomp"). Under relation partition the
+// relation gradient is returned as-is: rank-local, full precision, zero
+// cost. The returned aggregates alias exchanger-owned scratch (or relG
+// itself) and are valid only until the next exchange call.
 //
 //kgelint:hotpath
 func (x *exchanger) exchange(entG, relG *grad.SparseGrad, mode string) (entAgg, relAgg *grad.SparseGrad, cost float64, err error) {
@@ -179,6 +279,8 @@ func (x *exchanger) exchange(entG, relG *grad.SparseGrad, mode string) (entAgg, 
 		entAgg, cost, err = x.allReduce(entG, x.entAgg, x.numEnt, &x.entBuf, tagEntity)
 	case "allgather":
 		entAgg, cost, err = x.allGather(entG, x.entAgg, x.entRes, tagEntity)
+	case "dyncomp":
+		entAgg, cost, err = x.compressed(entG, x.entAgg, x.entRes, &x.entMg, x.numEnt, tagEntity)
 	default:
 		panic("core: unknown exchange mode " + mode)
 	}
@@ -195,6 +297,8 @@ func (x *exchanger) exchange(entG, relG *grad.SparseGrad, mode string) (entAgg, 
 		relAgg, relCost, err = x.allReduce(relG, x.relAgg, x.numRel, &x.relBuf, tagRelation)
 	case "allgather":
 		relAgg, relCost, err = x.allGather(relG, x.relAgg, x.relRes, tagRelation)
+	case "dyncomp":
+		relAgg, relCost, err = x.compressed(relG, x.relAgg, x.relRes, &x.relMg, x.numRel, tagRelation)
 	}
 	if err != nil {
 		return nil, nil, 0, err

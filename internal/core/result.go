@@ -36,11 +36,30 @@ type EpochStats struct {
 	// plan's predicted remote-row fraction). Rank-local but deterministic,
 	// so the golden harness pins it.
 	RemoteRowFraction float64
-	// Mode is the exchange used this epoch ("allreduce", "allgather", or
-	// "rowexchange" in partitioned mode).
+	// Mode is the exchange used this epoch ("allreduce", "allgather",
+	// "dyncomp" under the adaptive controller, or "rowexchange" in
+	// partitioned mode).
 	Mode string
+	// Level is the compression-ladder rung this epoch's exchanges ran at
+	// ("fp32", "2bit", "1bit", "1bit+rs"; empty outside the adaptive
+	// controller — DESIGN.md §13). Globally agreed, so the golden harness
+	// pins it at zero tolerance.
+	Level string `json:",omitempty"`
+	// GradEntropy is the epoch's globally summed normalized bucket entropy
+	// of the entity gradient — the controller's decision signal (DESIGN.md
+	// §13; zero outside the adaptive controller).
+	GradEntropy float64 `json:",omitempty"`
 	// LR is the learning rate in effect.
 	LR float64
+}
+
+// CompressionStep records one ladder ascent of the adaptive compression
+// controller (DESIGN.md §13).
+type CompressionStep struct {
+	// Epoch is the first epoch trained at the new rung.
+	Epoch int
+	// Level is the rung stepped to ("2bit", "1bit", "1bit+rs").
+	Level string
 }
 
 // RecoveryStats summarizes the fault-tolerance activity of a run: injected
@@ -125,6 +144,11 @@ type Result struct {
 	// SwitchedAtEpoch is the epoch the dynamic strategy switched to
 	// all-gather, or 0 if it never switched / was not dynamic.
 	SwitchedAtEpoch int
+	// CompressionSteps is the adaptive controller's ladder trajectory: one
+	// entry per rung engaged, in ascent order (empty outside dyncomp, or
+	// when the ladder never left fp32). After a shrink-recovery the record
+	// restarts with the ladder (DESIGN.md §13).
+	CompressionSteps []CompressionStep `json:",omitempty"`
 	// Recovery reports the fault-tolerance activity of the run; a fault-free
 	// run without checkpointing leaves every counter zero except FinalNodes.
 	Recovery RecoveryStats

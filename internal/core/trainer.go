@@ -255,6 +255,10 @@ func trainInternal(cfg Config, d *kg.Dataset, nodes int) (*Result, []*model.Para
 			res.PerEpoch = res.PerEpoch[:len(res.PerEpoch)-1]
 		}
 		res.Epochs = snap.epoch
+		// The adaptive controller and its residuals are rank-local state lost
+		// with the dead world; the new attempt re-ascends the ladder from
+		// fp32 (DESIGN.md §13), so its step record starts over too.
+		res.CompressionSteps = nil
 
 		degrade := attempt > cfg.MaxRecoveries || world.Size()-len(rf.Ranks) == 1
 		shrunk, serr := world.Shrink(rf.Ranks)
@@ -413,6 +417,9 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 	if cfg.Comm == CommAllGather {
 		mode = "allgather"
 	}
+	if cfg.Comm == CommDynamicCompress {
+		mode = "dyncomp" // adaptive ladder pipeline at every rung (DESIGN.md §13)
+	}
 	switched := 0
 	best := -1.0
 	sinceBest := 0
@@ -483,6 +490,10 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 					flops += float64(st.Before*t.width) * 2
 				}
 			}
+			// Adaptive compression statistics (DESIGN.md §13): the raw
+			// post-drop entity gradient feeds the controller before the
+			// pipeline's residual/selection touch it.
+			flops += x.observe(entG)
 			t.cluster.AddCompute(rank, flops)
 
 			if cfg.SyncEvery > 1 {
@@ -534,6 +545,29 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 			t.cluster.AddCompute(rank, applyFlops)
 		}
 
+		// Adaptive-compression epoch boundary: sum the controller statistics
+		// across ranks and evaluate the ladder's decision rule everywhere
+		// (identical inputs, identical verdict — DESIGN.md §13). The rung
+		// recorded below is the one this epoch's exchanges ran at; a step
+		// takes effect from the next epoch.
+		ladderLevel := ""
+		var gradEntropy float64
+		if cfg.Comm == CommDynamicCompress {
+			probe, sb, sd, err := x.advanceCompression()
+			if err != nil {
+				return err
+			}
+			ladderLevel = probe.Level.String()
+			gradEntropy = probe.Entropy
+			selBefore += sb
+			selDropped += sd
+			if probe.Stepped && rank == t.statsRank {
+				t.res.CompressionSteps = append(t.res.CompressionSteps, CompressionStep{
+					Epoch: epoch + 1, Level: probe.Next.String(),
+				})
+			}
+		}
+
 		// Validation: pairwise ranking accuracy over the rank's validation
 		// shard, reduced globally so all ranks share the decision.
 		valRng := xrand.New(cfg.Seed).Split(uint64(5000 + epoch)).Split(uint64(rank))
@@ -565,6 +599,8 @@ func (t *trainRun) worker(c *mpi.Comm) error {
 				CommBytes:   st.BytesMoved - prevStats.BytesMoved,
 				ValAccuracy: valAcc,
 				Mode:        mode,
+				Level:       ladderLevel,
+				GradEntropy: gradEntropy,
 				LR:          plateau.LR(),
 			}
 			if t.batchesPerEpoch > 0 {

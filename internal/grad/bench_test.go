@@ -106,3 +106,51 @@ func BenchmarkSelect(b *testing.B) {
 		Select(g, SelectBernoulli, rng)
 	}
 }
+
+// The controller's per-batch statistics pass (DESIGN.md §13): row norms plus
+// the strided bucket histogram over one batch-shaped gradient.
+func BenchmarkControllerObserve(b *testing.B) {
+	g := benchGrad(xrand.New(1))
+	c := NewController(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(g)
+	}
+	b.ReportMetric(float64(benchRows*benchWidth)*float64(b.N)/b.Elapsed().Seconds(), "values/sec")
+}
+
+// One compressed-domain hop merge with ~1/3 row overlap — the ring's
+// steady-state work per reduce-scatter step.
+func BenchmarkMergeInto(b *testing.B) {
+	for _, s := range []Scheme{NoQuant, OneBitMax} {
+		b.Run(s.String(), func(b *testing.B) {
+			rng := xrand.New(1)
+			ga := NewSparseGrad(benchWidth)
+			gb := NewSparseGrad(benchWidth)
+			for r := 0; r < benchRows; r++ {
+				if r%3 != 1 { // rows ≡ 0 mod 3 overlap, others are unique
+					row := ga.Row(int32(r))
+					for j := range row {
+						row[j] = float32(rng.NormFloat64())
+					}
+				}
+				if r%3 != 2 {
+					row := gb.Row(int32(r))
+					for j := range row {
+						row[j] = float32(rng.NormFloat64())
+					}
+				}
+			}
+			ea := Quantize(ga, s, rng)
+			eb := Quantize(gb, s, rng)
+			var m Merger
+			m.MergeInto(ea, eb, rng)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.MergeInto(ea, eb, rng)
+			}
+		})
+	}
+}

@@ -212,47 +212,58 @@ func QuantizeInto(e *Encoded, g *SparseGrad, s Scheme, rng *xrand.RNG) {
 	for r, id := range e.Indices {
 		row, _ := g.Get(id)
 		buf := e.Bits[r*per : (r+1)*per]
-		switch s {
-		case NoQuant:
-			e.Scales = append(e.Scales, 0)
+		e.Scales = append(e.Scales, encodeRow(s, row, buf, rng))
+	}
+}
+
+// encodeRow packs one row under scheme s into buf (which must be exactly
+// payloadBytesPerRow long) and returns the per-row scale. The rng is consumed
+// only by TwoBitTernary, in value order — QuantizeInto and the compressed-hop
+// merge (Merger) share this helper so a re-encoded row is bit-compatible with
+// a first-encoded one.
+//
+//kgelint:hotpath
+func encodeRow(s Scheme, row []float32, buf []byte, rng *xrand.RNG) float32 {
+	switch s {
+	case NoQuant:
+		for i, v := range row {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		return 0
+	case TwoBitTernary:
+		for i := range buf {
+			buf[i] = 0
+		}
+		mean := scale(OneBitAvg, row)
+		if mean > 0 {
 			for i, v := range row {
-				binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
-			}
-		case TwoBitTernary:
-			for i := range buf {
-				buf[i] = 0
-			}
-			mean := scale(OneBitAvg, row)
-			e.Scales = append(e.Scales, mean)
-			if mean > 0 {
-				for i, v := range row {
-					var code byte // 0 = zero, 1 = +scale, 2 = -scale
-					a := v
-					if a < 0 {
-						a = -a
-					}
-					if rng.Bernoulli(float64(a) / float64(mean)) {
-						if v > 0 {
-							code = 1
-						} else if v < 0 {
-							code = 2
-						}
-					}
-					buf[i/4] |= code << uint((i%4)*2)
+				var code byte // 0 = zero, 1 = +scale, 2 = -scale
+				a := v
+				if a < 0 {
+					a = -a
 				}
-			}
-		default: // 1-bit family
-			for i := range buf {
-				buf[i] = 0
-			}
-			sc := scale(s, row)
-			e.Scales = append(e.Scales, sc)
-			for i, v := range row {
-				if v >= 0 {
-					buf[i/8] |= 1 << uint(i%8)
+				if rng.Bernoulli(float64(a) / float64(mean)) {
+					if v > 0 {
+						code = 1
+					} else if v < 0 {
+						code = 2
+					}
 				}
+				buf[i/4] |= code << uint((i%4)*2)
 			}
 		}
+		return mean
+	default: // 1-bit family
+		for i := range buf {
+			buf[i] = 0
+		}
+		sc := scale(s, row)
+		for i, v := range row {
+			if v >= 0 {
+				buf[i/8] |= 1 << uint(i%8)
+			}
+		}
+		return sc
 	}
 }
 
@@ -266,34 +277,41 @@ func Dequantize(e *Encoded, dst *SparseGrad) {
 	if dst.Width() != e.Width {
 		panic("grad: Dequantize width mismatch")
 	}
+	for r := range e.Indices {
+		decodeRowAccum(e, r, dst.Row(e.Indices[r]))
+	}
+}
+
+// decodeRowAccum adds the r-th encoded row of e into row (length e.Width).
+// Shared by Dequantize and the compressed-hop merge's overlap path.
+//
+//kgelint:hotpath
+func decodeRowAccum(e *Encoded, r int, row []float32) {
 	per := payloadBytesPerRow(e.Scheme, e.Width)
-	for r, id := range e.Indices {
-		row := dst.Row(id)
-		buf := e.Bits[r*per : (r+1)*per]
-		switch e.Scheme {
-		case NoQuant:
-			for i := 0; i < e.Width; i++ {
-				row[i] += math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	buf := e.Bits[r*per : (r+1)*per]
+	switch e.Scheme {
+	case NoQuant:
+		for i := 0; i < e.Width; i++ {
+			row[i] += math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	case TwoBitTernary:
+		sc := e.Scales[r]
+		for i := 0; i < e.Width; i++ {
+			code := (buf[i/4] >> uint((i%4)*2)) & 3
+			switch code {
+			case 1:
+				row[i] += sc
+			case 2:
+				row[i] -= sc
 			}
-		case TwoBitTernary:
-			sc := e.Scales[r]
-			for i := 0; i < e.Width; i++ {
-				code := (buf[i/4] >> uint((i%4)*2)) & 3
-				switch code {
-				case 1:
-					row[i] += sc
-				case 2:
-					row[i] -= sc
-				}
-			}
-		default:
-			sc := e.Scales[r]
-			for i := 0; i < e.Width; i++ {
-				if buf[i/8]&(1<<uint(i%8)) != 0 {
-					row[i] += sc
-				} else {
-					row[i] -= sc
-				}
+		}
+	default:
+		sc := e.Scales[r]
+		for i := 0; i < e.Width; i++ {
+			if buf[i/8]&(1<<uint(i%8)) != 0 {
+				row[i] += sc
+			} else {
+				row[i] -= sc
 			}
 		}
 	}
@@ -373,4 +391,64 @@ func UnmarshalInto(e *Encoded, buf []byte) error {
 	}
 	e.Bits = append(e.Bits[:0], buf[off:]...)
 	return nil
+}
+
+// RowRange returns the half-open position range [i0, i1) of the encoded rows
+// whose ids fall in [lo, hi). Because Indices are ascending, any id interval
+// is a contiguous run of encoded rows — the property that lets the
+// compressed-hop collectives slice an Encoded into per-rank chunks without
+// re-sorting (DESIGN.md §13). Binary search; allocation-free.
+//
+//kgelint:hotpath
+func (e *Encoded) RowRange(lo, hi int32) (i0, i1 int) {
+	i0 = searchIdx(e.Indices, lo)
+	i1 = searchIdx(e.Indices, hi)
+	return i0, i1
+}
+
+// searchIdx returns the first position whose id is >= target.
+func searchIdx(ids []int32, target int32) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Range sets view to the encoded rows [i0, i1) of e, aliasing e's storage:
+// no bytes are copied, so a chunk view is free. The view is read-only and
+// valid only until the next *Into call on e.
+func (e *Encoded) Range(i0, i1 int, view *Encoded) {
+	per := payloadBytesPerRow(e.Scheme, e.Width)
+	view.Scheme = e.Scheme
+	view.Width = e.Width
+	view.Indices = e.Indices[i0:i1]
+	view.Scales = e.Scales[i0:i1]
+	view.Bits = e.Bits[i0*per : i1*per]
+}
+
+// AppendRangeTo appends a standalone Marshal-layout frame holding only the
+// encoded rows [i0, i1) to dst and returns the extended slice — the
+// per-chunk wire frame of the compressed reduce-scatter hops (DESIGN.md
+// §13). A frame produced here round-trips through UnmarshalInto like any
+// full Marshal frame. Like AppendTo, growth is amortized: the collective
+// stages through a reused scratch slice, so steady-state calls stay within
+// capacity.
+func (e *Encoded) AppendRangeTo(dst []byte, i0, i1 int) []byte {
+	per := payloadBytesPerRow(e.Scheme, e.Width)
+	dst = append(dst, byte(e.Scheme))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Width))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(i1-i0))
+	for _, id := range e.Indices[i0:i1] {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+	}
+	for _, s := range e.Scales[i0:i1] {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(s))
+	}
+	return append(dst, e.Bits[i0*per:i1*per]...)
 }

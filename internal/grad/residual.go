@@ -84,6 +84,31 @@ func (r *Residual) Update(g *SparseGrad, e *Encoded) {
 	})
 }
 
+// SetRow stores a copy of row as the residual for id, replacing any prior
+// content. This is the whole-row bank of the RS rung of the compression
+// ladder (DESIGN.md §13): SelectEF calls it for every row selection drops,
+// so the row's full signal re-enters a later step instead of vanishing. In
+// the error-feedback cycle the prior residual for a dropped row was already
+// consumed by AddInto (dropped rows are a subset of the step's gradient
+// rows), so replacement never discards unconsumed error.
+func (r *Residual) SetRow(id int32, row []float32) {
+	if len(row) != r.width {
+		panic("grad: residual width mismatch")
+	}
+	res, ok := r.rows[id]
+	if !ok {
+		if n := len(r.free); n > 0 {
+			res = r.free[n-1]
+			r.free[n-1] = nil
+			r.free = r.free[:n-1]
+		} else {
+			res = make([]float32, r.width)
+		}
+		r.rows[id] = res
+	}
+	copy(res, row)
+}
+
 // NormSum returns the sum of 2-norms of the stored residual rows — a
 // diagnostic of accumulated compression error.
 func (r *Residual) NormSum() float64 {

@@ -72,6 +72,19 @@ func (s SelectStats) Sparsity() float64 {
 // exactly as in the paper (no residual is kept unless the caller layers a
 // Residual on top).
 func Select(g *SparseGrad, mode SelectMode, rng *xrand.RNG) SelectStats {
+	return selectRows(g, mode, rng, nil)
+}
+
+// SelectEF filters like Select but banks every dropped row whole into res
+// before removing it — the error-feedback variant the compression ladder's
+// RS rung uses (DESIGN.md §13), so sparsified-away signal re-enters a later
+// step via Residual.AddInto instead of being lost. The rng is consumed
+// exactly as by Select: for a fixed seed the two keep the same rows.
+func SelectEF(g *SparseGrad, mode SelectMode, rng *xrand.RNG, res *Residual) SelectStats {
+	return selectRows(g, mode, rng, res)
+}
+
+func selectRows(g *SparseGrad, mode SelectMode, rng *xrand.RNG, res *Residual) SelectStats {
 	st := SelectStats{Before: g.Len()}
 	if mode == SelectAll || g.Len() == 0 {
 		st.Kept = st.Before
@@ -122,6 +135,10 @@ func Select(g *SparseGrad, mode SelectMode, rng *xrand.RNG) SelectStats {
 				}
 			}
 		} else {
+			if res != nil {
+				row, _ := g.Get(id)
+				res.SetRow(id, row)
+			}
 			g.Drop(id)
 			st.Dropped++
 		}

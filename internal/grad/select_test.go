@@ -210,3 +210,83 @@ func TestNewModeStrings(t *testing.T) {
 		t.Fatal("new mode strings wrong")
 	}
 }
+
+// SelectEF must drop exactly the rows Select drops for the same seed (the
+// rng consumption is identical) and bank each dropped row whole into the
+// residual, so a later AddInto reinjects it (DESIGN.md §13).
+func TestSelectEFBanksDroppedRows(t *testing.T) {
+	t.Parallel()
+	build := func() *SparseGrad {
+		g := NewSparseGrad(4)
+		for i := int32(0); i < 40; i++ {
+			row := g.Row(i)
+			row[0] = float32(i%7) * 0.3 // mixed norms: some rows drop
+		}
+		return g
+	}
+	plain := build()
+	Select(plain, SelectBernoulli, xrand.New(55))
+
+	g := build()
+	want := map[int32][]float32{}
+	build().ForEach(func(id int32, row []float32) {
+		want[id] = append([]float32(nil), row...)
+	})
+	res := NewResidual(4)
+	st := SelectEF(g, SelectBernoulli, xrand.New(55), res)
+	if st.Dropped == 0 {
+		t.Fatal("test needs at least one dropped row")
+	}
+	// Same survivors as plain Select under the same seed.
+	if g.Len() != plain.Len() {
+		t.Fatalf("SelectEF kept %d rows, Select kept %d", g.Len(), plain.Len())
+	}
+	g.ForEach(func(id int32, _ []float32) {
+		if _, ok := plain.Get(id); !ok {
+			t.Fatalf("SelectEF kept row %d that Select dropped", id)
+		}
+	})
+	if res.Len() != st.Dropped {
+		t.Fatalf("residual holds %d rows, want %d dropped", res.Len(), st.Dropped)
+	}
+	// Reinjection: an empty gradient plus the residual equals the dropped rows.
+	back := NewSparseGrad(4)
+	plain.ForEach(func(id int32, _ []float32) { delete(want, id) })
+	for id := range want {
+		back.Row(id) // materialize zero rows so AddInto finds them
+	}
+	res.AddInto(back)
+	for id, row := range want {
+		got, ok := back.Get(id)
+		if !ok {
+			t.Fatalf("dropped row %d not reinjected", id)
+		}
+		for i := range row {
+			if got[i] != row[i] {
+				t.Fatalf("row %d col %d: reinjected %v, want %v", id, i, got[i], row[i])
+			}
+		}
+	}
+}
+
+// SetRow replaces any prior residual for the id and copies the row.
+func TestResidualSetRow(t *testing.T) {
+	t.Parallel()
+	r := NewResidual(3)
+	src := []float32{1, 2, 3}
+	r.SetRow(7, src)
+	src[0] = 99 // the residual must hold a copy, not an alias
+	r.SetRow(7, []float32{4, 5, 6})
+	if r.Len() != 1 {
+		t.Fatalf("residual holds %d rows, want 1 (replace semantics)", r.Len())
+	}
+	g := NewSparseGrad(3)
+	g.Row(7)
+	r.AddInto(g)
+	got, _ := g.Get(7)
+	for i, want := range []float32{4, 5, 6} {
+		if got[i] != want {
+			t.Fatalf("col %d: %v, want %v", i, got[i], want)
+		}
+	}
+}

@@ -2,6 +2,11 @@
 // gradient accumulation, random selection of gradient vectors (§4.2), 1-bit
 // and 2-bit gradient quantization with wire encoding (§4.3), and the
 // error-feedback residual extension discussed in the related work (§2).
+// On top of the static schemes sits the adaptive compression controller
+// (Controller, Level, Merger): per-epoch gradient statistics drive a
+// monotone compression ladder, and encoded frames reduce in the compressed
+// domain inside the collectives — the model, decision rule and wire format
+// are specified in DESIGN.md §13.
 //
 // # Buffer ownership
 //

@@ -3,6 +3,7 @@ package mpi
 import (
 	"testing"
 
+	"kgedist/internal/grad"
 	"kgedist/internal/simnet"
 )
 
@@ -85,6 +86,27 @@ func BenchmarkAllGatherBytes(b *testing.B) {
 		w.Run(func(c *Comm) {
 			payload := make([]byte, n)
 			if _, _, err := c.AllGatherBytes(payload, "bench"); err != nil {
+				b.Error(err)
+			}
+		})
+	}
+}
+
+// The compressed ring reduce-scatter (DESIGN.md §13) at the golden scenario's
+// world size, batch-shaped encoded frames with partial row overlap.
+func BenchmarkReduceScatterEncoded(b *testing.B) {
+	const p, rows, width = 3, 256, 32
+	encs := make([]*grad.Encoded, p)
+	for r := 0; r < p; r++ {
+		encs[r], _ = encGrad(r, rows, width, grad.OneBitMax, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := newWorld(p)
+		w.Run(func(c *Comm) {
+			var mg grad.Merger
+			if _, _, err := c.ReduceScatterEncoded(encs[c.Rank()], rows, &mg, nil, "rse"); err != nil {
 				b.Error(err)
 			}
 		})

@@ -1,0 +1,177 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"kgedist/internal/grad"
+	"kgedist/internal/xrand"
+)
+
+// encGrad builds one rank's sparse gradient over [0, rows) with roughly half
+// the rows populated (rank-dependent pattern, so ranks overlap on some rows
+// and are unique on others), then encodes it with the scheme.
+func encGrad(rank, rows, width int, s grad.Scheme, seed uint64) (*grad.Encoded, *grad.SparseGrad) {
+	rng := xrand.New(seed + uint64(rank))
+	g := grad.NewSparseGrad(width)
+	for id := 0; id < rows; id++ {
+		// Every rank touches ids divisible by 3 (guaranteed overlap); the
+		// rest are scattered per rank.
+		if id%3 == 0 || (id+rank)%2 == 0 {
+			row := g.Row(int32(id))
+			for j := range row {
+				row[j] = float32(rng.NormFloat64())
+			}
+		}
+	}
+	return grad.Quantize(g, s, rng), g
+}
+
+// The compressed ring must hand every rank a fully reduced chunk tiling
+// [0, rows): under NoQuant exactly the float sum of all ranks' rows, and the
+// chunk boundaries must match the dense ring's arithmetic chunking.
+func TestReduceScatterEncodedNoQuantExact(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7} {
+		const rows, width = 29, 6
+		w := newWorld(p)
+		want := grad.NewSparseGrad(width)
+		encs := make([]*grad.Encoded, p)
+		for r := 0; r < p; r++ {
+			var g *grad.SparseGrad
+			encs[r], g = encGrad(r, rows, width, grad.NoQuant, 100)
+			g.ForEach(func(id int32, row []float32) {
+				dst := want.Row(id)
+				for i, v := range row {
+					dst[i] += v
+				}
+			})
+		}
+		got := make([]*grad.SparseGrad, p)
+		w.Run(func(c *Comm) {
+			var mg grad.Merger
+			chunk, cost, err := c.ReduceScatterEncoded(encs[c.Rank()], rows, &mg, nil, "rse")
+			if err != nil {
+				t.Errorf("rank %d: %v", c.Rank(), err)
+				return
+			}
+			if p > 1 && cost <= 0 {
+				t.Errorf("rank %d: non-positive cost %v", c.Rank(), cost)
+			}
+			dec := grad.NewSparseGrad(width)
+			grad.Dequantize(chunk, dec)
+			got[c.Rank()] = dec
+			// The chunk must stay inside this rank's owned id window.
+			own := (c.Rank() + 1) % p
+			lo, hi := int32(own*rows/p), int32((own+1)*rows/p)
+			for _, id := range chunk.Indices {
+				if id < lo || id >= hi {
+					t.Errorf("rank %d: row %d outside owned window [%d,%d)", c.Rank(), id, lo, hi)
+				}
+			}
+		})
+		// Together the chunks must cover every reduced row exactly once.
+		covered := map[int32]bool{}
+		for r := 0; r < p; r++ {
+			got[r].ForEach(func(id int32, row []float32) {
+				if covered[id] {
+					t.Fatalf("p=%d: row %d owned twice", p, id)
+				}
+				covered[id] = true
+				ref, ok := want.Get(id)
+				if !ok {
+					t.Fatalf("p=%d: row %d unexpected", p, id)
+				}
+				for i := range row {
+					if math.Abs(float64(row[i]-ref[i])) > 1e-5 {
+						t.Fatalf("p=%d row %d col %d: got %v want %v", p, id, i, row[i], ref[i])
+					}
+				}
+			})
+		}
+		want.ForEach(func(id int32, _ []float32) {
+			if !covered[id] {
+				t.Fatalf("p=%d: reduced row %d missing from every chunk", p, id)
+			}
+		})
+	}
+}
+
+// Lossy schemes ride the same ring; the result must be structurally valid
+// (scheme preserved, rows inside the owned window, payload decodable) and
+// identical across repeated runs for a fixed seed — the determinism the
+// chan-vs-TCP trajectory gate relies on.
+func TestReduceScatterEncodedLossyDeterministic(t *testing.T) {
+	for _, s := range []grad.Scheme{grad.OneBitMax, grad.TwoBitTernary} {
+		const p, rows, width = 3, 20, 8
+		run := func() []string {
+			w := newWorld(p)
+			encs := make([]*grad.Encoded, p)
+			for r := 0; r < p; r++ {
+				encs[r], _ = encGrad(r, rows, width, s, 200)
+			}
+			frames := make([]string, p)
+			w.Run(func(c *Comm) {
+				var mg grad.Merger
+				rng := xrand.New(uint64(1000 + c.Rank()))
+				chunk, _, err := c.ReduceScatterEncoded(encs[c.Rank()], rows, &mg, rng, "rse")
+				if err != nil {
+					t.Errorf("rank %d: %v", c.Rank(), err)
+					return
+				}
+				if chunk.Scheme != s {
+					t.Errorf("rank %d: scheme changed to %v", c.Rank(), chunk.Scheme)
+				}
+				frames[c.Rank()] = string(chunk.Marshal())
+			})
+			return frames
+		}
+		a, b := run(), run()
+		for r := range a {
+			if a[r] != b[r] {
+				t.Fatalf("%v: rank %d chunk differs between identical runs", s, r)
+			}
+		}
+	}
+}
+
+// p=1 short-circuits: the input frame comes back untouched at zero cost.
+func TestReduceScatterEncodedSingleRank(t *testing.T) {
+	w := newWorld(1)
+	e, _ := encGrad(0, 10, 4, grad.OneBitMax, 7)
+	w.Run(func(c *Comm) {
+		var mg grad.Merger
+		chunk, cost, err := c.ReduceScatterEncoded(e, 10, &mg, nil, "rse")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk != e || cost != 0 {
+			t.Fatalf("single-rank: chunk=%p (want %p), cost=%v", chunk, e, cost)
+		}
+	})
+}
+
+// Every rank must be charged the identical cost and byte volume even though
+// per-hop frame sizes differ per rank — the composed scalar sum agreement.
+func TestReduceScatterEncodedCostAgreement(t *testing.T) {
+	const p, rows, width = 4, 33, 5
+	w := newWorld(p)
+	encs := make([]*grad.Encoded, p)
+	for r := 0; r < p; r++ {
+		encs[r], _ = encGrad(r, rows, width, grad.OneBitMax, 300)
+	}
+	costs := make([]float64, p)
+	w.Run(func(c *Comm) {
+		var mg grad.Merger
+		_, cost, err := c.ReduceScatterEncoded(encs[c.Rank()], rows, &mg, nil, "rse")
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		costs[c.Rank()] = cost
+	})
+	for r := 1; r < p; r++ {
+		if costs[r] != costs[0] {
+			t.Fatalf("rank %d charged %v, rank 0 charged %v", r, costs[r], costs[0])
+		}
+	}
+}

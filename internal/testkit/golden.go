@@ -27,6 +27,12 @@ type GoldenEpoch struct {
 	// localizes a regression to the dynamic-strategy decision rather than
 	// the numerics.
 	Mode string `json:"mode"`
+	// Level is the compression-ladder rung under the adaptive controller
+	// ("fp32", "2bit", ...; empty outside dyncomp, which keeps the
+	// pre-controller golden records byte-identical). Pinned at zero
+	// tolerance: the ladder trajectory is part of the wire contract
+	// (DESIGN.md §13).
+	Level string `json:"level,omitempty"`
 }
 
 // GoldenRun records one scenario's reference trajectory and outcome.
@@ -103,6 +109,7 @@ func GoldenFromResult(name string, seed uint64, nodes int, res *core.Result) Gol
 			TrainLoss:   e.TrainLoss,
 			ValAccuracy: e.ValAccuracy,
 			Mode:        e.Mode,
+			Level:       e.Level,
 		})
 	}
 	if n := len(g.Curve); n > 0 {
@@ -173,7 +180,7 @@ func CompareRun(got, want GoldenRun, tol Tolerance) []Drift {
 	if len(got.Curve) < n {
 		n = len(got.Curve)
 	}
-	var lossDrift, accDrift, modeDrift bool
+	var lossDrift, accDrift, modeDrift, levelDrift bool
 	for i := 0; i < n; i++ {
 		g, w := got.Curve[i], want.Curve[i]
 		if !modeDrift && g.Mode != w.Mode {
@@ -181,6 +188,13 @@ func CompareRun(got, want GoldenRun, tol Tolerance) []Drift {
 			drifts = append(drifts, Drift{
 				Run: want.Name, Field: "mode", Epoch: w.Epoch,
 				Detail: fmt.Sprintf("collective differed: ran %q, golden used %q", g.Mode, w.Mode),
+			})
+		}
+		if !levelDrift && g.Level != w.Level {
+			levelDrift = true
+			drifts = append(drifts, Drift{
+				Run: want.Name, Field: "level", Epoch: w.Epoch,
+				Detail: fmt.Sprintf("compression rung differed: ran %q, golden used %q — the ladder decision moved", g.Level, w.Level),
 			})
 		}
 		if !lossDrift && math.Abs(g.TrainLoss-w.TrainLoss) > tol.TrainLoss {

@@ -48,6 +48,14 @@ func TCPScenarios() []Scenario {
 			c.Partitioned = true
 			c.CheckpointEvery = 2
 		}},
+		// The adaptive compression controller's hop frames are
+		// data-dependent in size and ride pooled buffers on both fabrics;
+		// the zero-tolerance diff (including the per-epoch rung column)
+		// proves the compressed ring and the controller's global decision
+		// replay identically over real sockets (DESIGN.md §13).
+		{Name: "tcp-dyncomp", Nodes: 3, Mutate: func(c *core.Config) {
+			c.Comm = core.CommDynamicCompress
+		}},
 	}
 }
 

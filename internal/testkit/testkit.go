@@ -126,6 +126,14 @@ func Scenarios() []Scenario {
 			c.NegSamples = 4
 			c.NegSelect = true
 		}},
+		// Adaptive compression controller (DESIGN.md §13): default
+		// hysteresis walks the ladder fp32 -> 2bit -> 1bit inside the
+		// 8-epoch horizon, and the golden pins the per-epoch rung column at
+		// zero tolerance, so a threshold or estimator change cannot move
+		// the trajectory silently.
+		{Name: "dyncomp", Nodes: 3, Mutate: func(c *core.Config) {
+			c.Comm = core.CommDynamicCompress
+		}},
 	}
 }
 
