@@ -14,10 +14,10 @@ RACE_PKGS = ./internal/hogwild/ ./internal/mpi/ ./internal/simnet/ ./internal/ps
 
 # Packages with kernel micro-benchmarks (ns/op, allocs/op, triples/sec);
 # the top-level package adds the end-to-end paper-table benchmarks.
-BENCH_PKGS = ./internal/grad/ ./internal/mpi/ ./internal/model/ ./internal/pool/ ./internal/tensor/ ./internal/serve/ ./internal/partition/ ./internal/core/
+BENCH_PKGS = ./internal/grad/ ./internal/mpi/ ./internal/model/ ./internal/pool/ ./internal/tensor/ ./internal/serve/ ./internal/partition/ ./internal/core/ ./internal/binpack/
 
 .PHONY: all build vet lint test race bench bench-smoke faults partition serve \
-	transport verify-stats soak coverage coverage-update ci help
+	loadbench transport verify-stats soak coverage coverage-update ci help
 
 all: build
 
@@ -83,11 +83,23 @@ transport:
 
 # Serving suite under the race detector: the kgeserve subsystem mixes
 # concurrent HTTP handlers, the predict micro-batcher, the sharded LRU
-# cache and atomic hot checkpoint reload — including a test that hammers
-# every endpoint while the live store is swapped.
-## serve: serving suite under the race detector
+# cache, the packed binarized index and atomic hot checkpoint reload —
+# including tests that hammer exact and approx predicts while the live
+# store (and its packed index, as one generation) is swapped.
+## serve: serving + binarized-index suites under the race detector
 serve:
-	$(GO) test -race -count=1 ./internal/serve/
+	$(GO) test -race -count=1 ./internal/serve/ ./internal/binpack/
+
+# Serving load smoke: kgeload self-hosts a clustered-checkpoint server,
+# measures recall@10 of mode=approx against the exact ranking, then drives
+# paced concurrent traffic through both modes. The floors assert the
+# two-stage pipeline's end-to-end contract (high fidelity, real speedup) at
+# CI scale; the committed BENCH_<date>.json numbers come from the
+# full-scale run (50k entities — see README "Serving").
+## loadbench: kgeload smoke with recall and speedup floors
+loadbench:
+	$(GO) run ./cmd/kgeload -entities 8000 -dim 32 -clusters 256 \
+		-qps 200 -duration 2s -fidelity 60 -min-recall 0.95 -min-speedup 1.3
 
 # Reproducible perf capture: run the kernel micro-benchmarks, parse the
 # output with cmd/benchjson, and write a schema-versioned JSON capture
@@ -145,8 +157,8 @@ coverage:
 coverage-update: coverage
 	cp coverage.txt COVERAGE_BASELINE.txt
 
-## ci: everything CI runs (build vet lint test race faults partition serve transport verify-stats coverage bench-smoke)
-ci: build vet lint test race faults partition serve transport verify-stats coverage bench-smoke
+## ci: everything CI runs (build vet lint test race faults partition serve loadbench transport verify-stats coverage bench-smoke)
+ci: build vet lint test race faults partition serve loadbench transport verify-stats coverage bench-smoke
 
 ## help: list targets
 help:

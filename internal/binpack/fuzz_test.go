@@ -1,0 +1,87 @@
+package binpack
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzBinpackRoundTrip drives pack -> score -> unpack over arbitrary
+// widths (including width % 64 != 0 tails) and arbitrary float payloads
+// (the byte stream is reinterpreted as float32 bits, so NaN/Inf/denormals
+// all occur): nothing may panic, the unrolled kernel must match the
+// bit-by-bit Hamming reference, tail bits must stay clear, and
+// unpack -> repack must reproduce the code exactly.
+func FuzzBinpackRoundTrip(f *testing.F) {
+	f.Add(uint16(1), []byte{0x00})
+	f.Add(uint16(64), []byte{0x3f, 0x80, 0x00, 0x00, 0xbf, 0x80, 0x00, 0x00})
+	f.Add(uint16(65), []byte{0x7f, 0xc0, 0x00, 0x00, 0x01, 0x02, 0x03, 0x04, 0xff})
+	f.Add(uint16(130), []byte{0x7f, 0x80, 0x00, 0x00, 0xff, 0x80, 0x00, 0x00, 0x80, 0x00, 0x00, 0x01})
+	f.Add(uint16(517), []byte("binarized knowledge graph embeddings"))
+	f.Fuzz(func(t *testing.T, w uint16, data []byte) {
+		width := int(w)%517 + 1
+		at := func(i int) float32 {
+			if len(data) == 0 {
+				return 0
+			}
+			var b [4]byte
+			for j := 0; j < 4; j++ {
+				b[j] = data[(4*i+j)%len(data)]
+			}
+			return math.Float32frombits(binary.LittleEndian.Uint32(b[:]))
+		}
+		rowA := make([]float32, width)
+		rowB := make([]float32, width)
+		thr := make([]float32, width)
+		for d := 0; d < width; d++ {
+			rowA[d] = at(d)
+			rowB[d] = at(d + width)
+			thr[d] = at(d + 2*width)
+		}
+		words := (width + WordBits - 1) / WordBits
+		codeA := make([]uint64, words)
+		codeB := make([]uint64, words)
+		packInto(rowA, thr, codeA)
+		packInto(rowB, thr, codeB)
+
+		// Tail-word masking: bits beyond width are never set.
+		for b := width; b < words*WordBits; b++ {
+			if codeA[b/WordBits]&(1<<(uint(b)%WordBits)) != 0 || codeB[b/WordBits]&(1<<(uint(b)%WordBits)) != 0 {
+				t.Fatalf("width %d: tail bit %d set", width, b)
+			}
+		}
+
+		// Kernel vs bit-by-bit reference, both directions.
+		var out [1]int32
+		Kernel().HammingBlock(codeA, codeB, words, out[:])
+		if want := hammingRef(codeA, codeB, words); out[0] != want {
+			t.Fatalf("width %d: kernel %d, reference %d", width, out[0], want)
+		}
+		if out[0] > int32(width) {
+			t.Fatalf("width %d: distance %d exceeds width", width, out[0])
+		}
+
+		// Unpack -> repack must be the identity on codes.
+		ix := &Index{width: width, words: words}
+		bits := ix.Unpack(codeA, make([]bool, width))
+		recode := make([]uint64, words)
+		for d, set := range bits {
+			if set {
+				recode[d/WordBits] |= 1 << (uint(d) % WordBits)
+			}
+		}
+		for wd := 0; wd < words; wd++ {
+			if recode[wd] != codeA[wd] {
+				t.Fatalf("width %d: unpack/repack word %d = %#x, want %#x", width, wd, recode[wd], codeA[wd])
+			}
+		}
+		// packInto must agree with the scalar comparison even for NaN
+		// thresholds (NaN compares false, so the bit is clear).
+		for d := 0; d < width; d++ {
+			got := codeA[d/WordBits]&(1<<(uint(d)%WordBits)) != 0
+			if got != (rowA[d] > thr[d]) {
+				t.Fatalf("width %d: bit %d = %v for value %g threshold %g", width, d, got, rowA[d], thr[d])
+			}
+		}
+	})
+}

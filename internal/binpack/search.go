@@ -1,0 +1,168 @@
+package binpack
+
+import (
+	"fmt"
+
+	"kgedist/internal/eval"
+	"kgedist/internal/model"
+)
+
+// prefilterBlock is how many candidate codes one kernel call scores: big
+// enough to amortize the call, small enough that the distance scratch
+// stays in L1.
+const prefilterBlock = 512
+
+// Scratch holds the per-query working set of a two-stage search, reused
+// across queries so the steady-state approx path allocates only its
+// response. Not safe for concurrent use; each searching goroutine owns one.
+type Scratch struct {
+	q     []float32
+	code  []uint64
+	dists []int32
+	accC  *eval.TopKAccumulator
+	accK  *eval.TopKAccumulator
+	cand  []eval.ScoredEntity
+}
+
+// NewScratch returns an empty scratch; Search grows it on demand.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func (sc *Scratch) ensure(width, words, c, k int) {
+	if cap(sc.q) < width {
+		sc.q = make([]float32, width)
+	}
+	sc.q = sc.q[:width]
+	if cap(sc.code) < words {
+		sc.code = make([]uint64, words)
+	}
+	sc.code = sc.code[:words]
+	if cap(sc.dists) < prefilterBlock {
+		sc.dists = make([]int32, prefilterBlock)
+	}
+	sc.dists = sc.dists[:prefilterBlock]
+	if sc.accC == nil {
+		sc.accC = eval.NewTopK(c)
+	} else {
+		sc.accC.Reset(c)
+	}
+	if sc.accK == nil {
+		sc.accK = eval.NewTopK(k)
+	} else {
+		sc.accK.Reset(k)
+	}
+}
+
+// Search runs the two-stage approximate completion query: a packed
+// XOR/popcount prefilter over every entity selects the c
+// smallest-Hamming candidates (stage 1), whose exact model scores are
+// then recomputed to rank the final top k (stage 2).
+//
+// side is "head" or "tail" — the slot being completed. fixRow is the
+// fixed entity's embedding row, relRow the relation's. entityRow(e) must
+// return entity e's row. skip, when non-nil, drops candidates during
+// rescoring (filtered ranking); skipped candidates still consume stage-1
+// budget, so callers wanting k results through a dense filter should
+// raise c. c is clamped to [k, Rows()].
+//
+// Invariants: the result is ranked by exact ScoreRows values with
+// eval.TopKAccumulator tie-breaking (ties toward the lower entity id), so
+// an approx ranking can only ever differ from the exact sweep in *which*
+// candidates were considered — never in how considered candidates are
+// ordered. Stage 1 breaks Hamming ties toward the lower entity id too,
+// making the candidate set, and therefore the whole response,
+// deterministic for a given index. candidates and rescored report the
+// stage-1 slice size and how many of them were exactly scored.
+func (ix *Index) Search(m model.Model, side string, fixRow, relRow []float32, entityRow func(e int) []float32,
+	k, c int, skip func(e int32) bool, sc *Scratch) (res []eval.ScoredEntity, candidates, rescored int, err error) {
+	if m.Name() != ix.name {
+		return nil, 0, 0, fmt.Errorf("binpack: index built for model %s, searched with %s", ix.name, m.Name())
+	}
+	if side != "head" && side != "tail" {
+		return nil, 0, 0, fmt.Errorf("binpack: side must be head or tail, got %q", side)
+	}
+	if k <= 0 {
+		return nil, 0, 0, fmt.Errorf("binpack: non-positive k %d", k)
+	}
+	if ix.rows == 0 {
+		return nil, 0, 0, nil
+	}
+	if c < k {
+		c = k
+	}
+	if c > ix.rows {
+		c = ix.rows
+	}
+	if k > ix.rows {
+		k = ix.rows
+	}
+	sc.ensure(ix.width, ix.words, c, k)
+
+	// Stage 1: compose and binarize the query, sweep the packed codes.
+	if side == "tail" {
+		ix.comp.tail(m, fixRow, relRow, sc.q)
+	} else {
+		ix.comp.head(m, fixRow, relRow, sc.q)
+	}
+	ix.packQueryInto(sc.q, sc.code)
+	ix.prefilterInto(sc.code, sc.accC, sc.dists)
+	candidates = sc.accC.Len()
+	sc.cand = sc.accC.AppendTo(sc.cand[:0])
+
+	// Stage 2: exact rescore of the candidate slice.
+	for _, cd := range sc.cand {
+		if skip != nil && skip(cd.Entity) {
+			continue
+		}
+		row := entityRow(int(cd.Entity))
+		var score float32
+		if side == "tail" {
+			score = m.ScoreRows(fixRow, relRow, row)
+		} else {
+			score = m.ScoreRows(row, relRow, fixRow)
+		}
+		sc.accK.Offer(cd.Entity, score)
+		rescored++
+	}
+	return sc.accK.Results(), candidates, rescored, nil
+}
+
+// packQueryInto binarizes a composed query row. Dot-family queries are
+// thresholded at zero (sign agreement with the mean-centered candidate
+// bits is what tracks the dot product); distance-family queries use the
+// same per-dimension thresholds as the candidates. Tail bits beyond the
+// width stay zero, matching every candidate code.
+func (ix *Index) packQueryInto(q []float32, dst []uint64) {
+	if ix.comp.kind == kindDist {
+		packInto(q, ix.thr, dst)
+		return
+	}
+	for w := range dst {
+		dst[w] = 0
+	}
+	for d, v := range q {
+		if v > 0 {
+			dst[d/WordBits] |= 1 << (uint(d) % WordBits)
+		}
+	}
+}
+
+// prefilterInto is the stage-1 hot loop: Hamming-score every entity code
+// against the query in blocks and keep the c best (smallest distance,
+// ties toward the lower id — offered as -distance so the accumulator's
+// deterministic ordering applies unchanged).
+//
+//kgelint:hotpath
+func (ix *Index) prefilterInto(qcode []uint64, acc *eval.TopKAccumulator, dists []int32) {
+	kern := Kernel()
+	words := ix.words
+	for lo := 0; lo < ix.rows; lo += prefilterBlock {
+		n := ix.rows - lo
+		if n > prefilterBlock {
+			n = prefilterBlock
+		}
+		kern.HammingBlock(qcode, ix.codes[lo*words:(lo+n)*words], words, dists[:n])
+		for i := 0; i < n; i++ {
+			acc.Offer(int32(lo+i), -float32(dists[i]))
+		}
+	}
+}

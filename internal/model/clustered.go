@@ -1,0 +1,45 @@
+package model
+
+import (
+	"math"
+
+	"kgedist/internal/xrand"
+)
+
+// ClusteredInit fills parameters with a community-structured random
+// initialization: entities are drawn around one of clusters shared
+// prototype rows with per-coordinate gaussian spread, relations are plain
+// gaussian. The geometry imitates a trained embedding table — entities
+// related through the same neighborhoods end up near each other, so
+// ranking a completion query has a well-separated true top instead of the
+// flat spectrum of iid rows. The serving benchmarks and the binarized
+// recall gate use this to get trained-like candidate separation from a
+// seeded checkpoint without paying for a training run.
+//
+// spread is the ratio of within-cluster noise to prototype scale; 0.25
+// gives cluster diameters well under the inter-prototype distance at
+// serving dimensions. Relations are drawn at the same noise scale, not the
+// prototype scale: in a converged translational model the relation offset
+// moves a head *within* the true tail's neighborhood rather than across
+// clusters, and that is the geometry that makes completion queries have a
+// well-separated answer set. Deterministic for a fixed rng state.
+func (p *Params) ClusteredInit(m Model, clusters int, spread float64, rng *xrand.RNG) {
+	if clusters <= 0 {
+		clusters = 1
+	}
+	width := m.Width()
+	sigma := 1.0 / math.Sqrt(float64(m.Dim()))
+	protos := make([]float32, clusters*width)
+	for i := range protos {
+		protos[i] = float32(rng.NormFloat64() * sigma)
+	}
+	noise := float32(spread * sigma)
+	for e := 0; e < p.Entity.Rows; e++ {
+		proto := protos[(e%clusters)*width : (e%clusters+1)*width]
+		row := p.Entity.Row(e)
+		for d := range row {
+			row[d] = proto[d] + noise*float32(rng.NormFloat64())
+		}
+	}
+	p.Relation.RandomizeNormal(noise, rng.NormFloat64)
+}

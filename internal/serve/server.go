@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kgedist/internal/binpack"
 	"kgedist/internal/eval"
 	"kgedist/internal/kg"
 	"kgedist/internal/metrics"
@@ -59,6 +60,15 @@ type Server struct {
 	batchSizes *metrics.Histogram
 	started    time.Time
 
+	// mode=approx accounting: per-query candidate/rescore totals make the
+	// prefilter budget vs. work ratio observable, and a dedicated latency
+	// histogram separates the sub-linear path from batched exact predicts.
+	approxRequests   metrics.Counter
+	approxCandidates metrics.Counter
+	approxRescored   metrics.Counter
+	approxLatency    *metrics.Histogram
+	approxScratch    sync.Pool // of *binpack.Scratch
+
 	reloadMu      sync.Mutex // serializes Reload itself
 	statusMu      sync.Mutex // guards the reload status fields below
 	reloads       int64
@@ -73,12 +83,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:        cfg,
-		mux:        http.NewServeMux(),
-		batchSizes: metrics.NewHistogram(metrics.SizeBuckets(1024)...),
-		started:    time.Now(),
-		endpoints:  map[string]*endpointMetrics{},
+		cfg:           cfg,
+		mux:           http.NewServeMux(),
+		batchSizes:    metrics.NewHistogram(metrics.SizeBuckets(1024)...),
+		started:       time.Now(),
+		endpoints:     map[string]*endpointMetrics{},
+		approxLatency: metrics.NewHistogram(metrics.LatencyBuckets()...),
 	}
+	s.approxScratch.New = func() any { return binpack.NewScratch() }
 	s.state.Store(&state{store: st, cache: NewCache(cfg.CacheSize)})
 	s.batcher = NewBatcher(cfg.MaxBatch, cfg.BatchWindow, s.batchSizes, s.runPredictBatch)
 	for _, name := range []string{"score", "predict", "neighbors", "reload"} {
@@ -268,12 +280,24 @@ func (s *Store) checkTriple(t TripleRef) error {
 
 // ---- /v1/predict -----------------------------------------------------------
 
+// DefaultCandidates is the stage-1 budget of a mode=approx predict when the
+// request does not set one: large enough for recall@10 >= 0.95 on trained
+// geometry at FB15k scale, small enough to keep the rescore stage ~50x
+// cheaper than a full sweep (see README "Serving").
+const DefaultCandidates = 1024
+
 type predictRequest struct {
 	Head     *int `json:"head"`
 	Relation *int `json:"relation"`
 	Tail     *int `json:"tail"`
 	K        int  `json:"k"`
 	Filtered bool `json:"filtered"`
+	// Mode selects the ranking pipeline: "exact" (default) sweeps every
+	// entity through the micro-batcher; "approx" runs the two-stage
+	// binarized prefilter + exact rescore. ?mode= in the URL wins.
+	Mode string `json:"mode,omitempty"`
+	// Candidates is the approx stage-1 budget (<= 0 = DefaultCandidates).
+	Candidates int `json:"candidates,omitempty"`
 }
 
 // Completion is one ranked completion in a predict response.
@@ -285,6 +309,12 @@ type Completion struct {
 type predictResponse struct {
 	Side        string       `json:"side"`
 	Completions []Completion `json:"completions"`
+	// Approx accounting, absent on exact responses: Candidates is the
+	// stage-1 slice size, Rescored how many survived filtering into the
+	// exact stage-2 scoring.
+	Mode       string `json:"mode,omitempty"`
+	Candidates int    `json:"candidates,omitempty"`
+	Rescored   int    `json:"rescored,omitempty"`
 }
 
 func (s *Server) handlePredict(r *http.Request) (any, error) {
@@ -312,6 +342,17 @@ func (s *Server) handlePredict(r *http.Request) (any, error) {
 		q.Side = "head"
 		q.T = *req.Tail
 	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = req.Mode
+	}
+	switch mode {
+	case "", "exact":
+	case "approx":
+		return s.predictApprox(q, req.Candidates)
+	default:
+		return nil, badRequest("predict: unknown mode %q (want exact or approx)", mode)
+	}
 
 	gen := s.state.Load()
 	key := fmt.Sprintf("predict|%s|%d|%d|%d|%d|%t", q.Side, q.H, q.R, q.T, q.K, q.Filtered)
@@ -324,6 +365,72 @@ func (s *Server) handlePredict(r *http.Request) (any, error) {
 	}
 	resp := predictResponse{Side: q.Side, Completions: make([]Completion, len(res.Completions))}
 	for i, c := range res.Completions {
+		resp.Completions[i] = Completion{Entity: c.Entity, Score: c.Score}
+	}
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	gen.cache.Put(key, buf)
+	return json.RawMessage(buf), nil
+}
+
+// predictApprox answers one mode=approx predict: a packed XOR/popcount
+// prefilter over every entity selects the candidates smallest-Hamming ids,
+// then exact ScoreRows rescoring ranks the final top k. The whole query
+// runs against a single state snapshot — the packed index lives inside the
+// Store, so a concurrent reload can never pair old codes with new rows.
+// Approx queries bypass the micro-batcher on purpose: batching amortizes
+// O(N) sweeps, while this path's point is per-query sub-linearity.
+func (s *Server) predictApprox(q PredictQuery, candidates int) (any, error) {
+	gen := s.state.Load()
+	st := gen.store
+	ix := st.Packed()
+	if ix == nil {
+		return nil, badRequest("predict: mode=approx is not available for model %q", st.info.Model)
+	}
+	fixed := q.H
+	if q.Side == "head" {
+		fixed = q.T
+	}
+	if fixed < 0 || fixed >= st.numEntities {
+		return nil, badRequest("predict: entity id %d out of range [0,%d)", fixed, st.numEntities)
+	}
+	if q.R < 0 || q.R >= st.numRelations {
+		return nil, badRequest("predict: relation id %d out of range [0,%d)", q.R, st.numRelations)
+	}
+	if candidates <= 0 {
+		candidates = DefaultCandidates
+	}
+	key := fmt.Sprintf("predict|approx|%s|%d|%d|%d|%d|%d|%t", q.Side, q.H, q.R, q.T, q.K, candidates, q.Filtered)
+	if cached, ok := gen.cache.Get(key); ok {
+		return json.RawMessage(cached), nil
+	}
+	var skip func(e int32) bool
+	if q.Filtered {
+		filter := s.cfg.Filter
+		if q.Side == "tail" {
+			h, rel := int32(q.H), int32(q.R)
+			skip = func(e int32) bool { return filter.Contains(kg.Triple{H: h, R: rel, T: e}) }
+		} else {
+			t, rel := int32(q.T), int32(q.R)
+			skip = func(e int32) bool { return filter.Contains(kg.Triple{H: e, R: rel, T: t}) }
+		}
+	}
+	start := time.Now()
+	sc := s.approxScratch.Get().(*binpack.Scratch)
+	res, cand, rescored, err := ix.Search(st.m, q.Side, st.EntityRow(fixed), st.RelationRow(q.R), st.EntityRow, q.K, candidates, skip, sc)
+	s.approxScratch.Put(sc)
+	if err != nil {
+		return nil, badRequest("predict: %v", err)
+	}
+	s.approxLatency.Observe(time.Since(start).Seconds())
+	s.approxRequests.Inc()
+	s.approxCandidates.Add(int64(cand))
+	s.approxRescored.Add(int64(rescored))
+	resp := predictResponse{Side: q.Side, Mode: "approx", Candidates: cand, Rescored: rescored,
+		Completions: make([]Completion, len(res))}
+	for i, c := range res {
 		resp.Completions[i] = Completion{Entity: c.Entity, Score: c.Score}
 	}
 	buf, err := json.Marshal(resp)
@@ -530,6 +637,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		em.latency.Snapshot().WriteTo(w, "kgeserve_"+name+"_latency_seconds")
 	}
 	s.batchSizes.Snapshot().WriteTo(w, "kgeserve_batch_size")
+	fmt.Fprintf(w, "kgeserve_approx_requests_total %d\n", s.approxRequests.Value())
+	fmt.Fprintf(w, "kgeserve_approx_candidates_total %d\n", s.approxCandidates.Value())
+	fmt.Fprintf(w, "kgeserve_approx_rescored_total %d\n", s.approxRescored.Value())
+	s.approxLatency.Snapshot().WriteTo(w, "kgeserve_approx_latency_seconds")
 	gen := s.state.Load()
 	cs := gen.cache.Stats()
 	fmt.Fprintf(w, "kgeserve_cache_hits_total %d\n", cs.Hits)
@@ -541,5 +652,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "kgeserve_store_entities %d\n", gen.store.NumEntities())
 	fmt.Fprintf(w, "kgeserve_store_relations %d\n", gen.store.NumRelations())
 	fmt.Fprintf(w, "kgeserve_store_shards %d\n", gen.store.NumShards())
+	if ix := gen.store.Packed(); ix != nil {
+		fmt.Fprintf(w, "kgeserve_store_packed_bytes %d\n", ix.Bytes())
+	}
 	fmt.Fprintf(w, "kgeserve_uptime_seconds %.3f\n", uptime)
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"kgedist/internal/binpack"
 	"kgedist/internal/eval"
 	"kgedist/internal/model"
 )
@@ -33,6 +34,13 @@ type Store struct {
 	shardRows int         // entity rows per shard (last shard may be short)
 	shards    [][]float32 // shard s holds rows [s*shardRows, min((s+1)*shardRows, numEntities))
 	relations []float32   // relation matrix, single slab (relation counts are small)
+
+	// packed is the 1-bit candidate-generation index over the same entity
+	// rows (mode=approx predicts). Built at open time from the frozen
+	// slabs, it lives and dies with the store, so a hot reload swaps the
+	// full-precision rows and their binarized codes as one generation —
+	// an approx query can never pair old codes with new rows.
+	packed *binpack.Index
 
 	info StoreInfo
 }
@@ -103,8 +111,18 @@ func OpenStore(path string, shardRows int) (*Store, error) {
 			s.shards[i] = slab
 		}
 	}
+	// Binarize the entity table for mode=approx candidate generation.
+	// Models without a binarization rule simply serve without an approx
+	// path; that is a per-request error, not a load failure.
+	if packed, err := binpack.Build(m, s.numEntities, s.EntityRow); err == nil {
+		s.packed = packed
+	}
 	return s, nil
 }
+
+// Packed returns the 1-bit candidate-generation index built over this
+// store's entity rows, or nil when the model has no binarization rule.
+func (s *Store) Packed() *binpack.Index { return s.packed }
 
 func (s *Store) shardBounds(i int) (lo, hi int) {
 	lo = i * s.shardRows

@@ -1,0 +1,261 @@
+package testkit
+
+import (
+	"fmt"
+	"math"
+
+	"kgedist/internal/binpack"
+	"kgedist/internal/eval"
+	"kgedist/internal/model"
+	"kgedist/internal/xrand"
+)
+
+// The binarized-serving verification tier has two halves with different
+// jobs. The serve-approx golden pins the two-stage ranking bit for bit: a
+// fixed clustered checkpoint, a fixed query grid, and the exact candidate
+// ids the prefilter+rescore pipeline returns, at zero tolerance — any
+// change to the binarization rule, the Hamming kernel, the tie-breaking, or
+// the rescore ordering moves an id and fails the diff. CheckBinarizedRecall
+// is the statistical half: it asserts the pipeline's *fidelity* (recall@k
+// against the exact sweep) stays above calibrated floors across candidate
+// budgets, under the same CLT bound discipline as the other property
+// checks, and that recall is monotone in the budget (stage-1 candidate
+// sets are nested by construction, so shrinking recall with a growing
+// budget can only mean the prefilter or rescore broke).
+
+// Serve-approx golden scenario shape. Small enough to record in
+// milliseconds, large enough that the prefilter genuinely discards >90% of
+// the table at the widest budget.
+const (
+	saModel     = "transe"
+	saDim       = 32
+	saEntities  = 2000
+	saRelations = 8
+	saClusters  = 64
+	saSpread    = 0.25
+	saSeed      = 101
+	saK         = 10
+)
+
+// saBudgets are the stage-1 candidate budgets the golden pins per query.
+var saBudgets = []int{64, 256, 1024}
+
+// GoldenApproxQuery is one pinned two-stage ranking: the query slot, the
+// stage-1 budget, and the exact entity ids returned, in rank order.
+type GoldenApproxQuery struct {
+	Side string  `json:"side"`
+	Fix  int     `json:"fix"`
+	Rel  int     `json:"rel"`
+	K    int     `json:"k"`
+	C    int     `json:"c"`
+	IDs  []int32 `json:"ids"`
+}
+
+// GoldenServeApprox is the committed reference for the binarized serving
+// path: the generated checkpoint's parameters plus every pinned ranking.
+type GoldenServeApprox struct {
+	Model     string              `json:"model"`
+	Dim       int                 `json:"dim"`
+	Entities  int                 `json:"entities"`
+	Relations int                 `json:"relations"`
+	Clusters  int                 `json:"clusters"`
+	Spread    float64             `json:"spread"`
+	Seed      uint64              `json:"seed"`
+	K         int                 `json:"k"`
+	Queries   []GoldenApproxQuery `json:"queries"`
+}
+
+// saCheckpoint regenerates the scenario's deterministic clustered
+// checkpoint and its packed index.
+func saCheckpoint() (model.Model, *model.Params, *binpack.Index, error) {
+	m := model.New(saModel, saDim)
+	p := model.NewParams(m, saEntities, saRelations)
+	p.ClusteredInit(m, saClusters, saSpread, xrand.New(saSeed))
+	ix, err := binpack.BuildFromParams(m, p)
+	return m, p, ix, err
+}
+
+// saQuerySlots is the pinned query grid: both sides, fixed entities spread
+// across clusters.
+func saQuerySlots() []GoldenApproxQuery {
+	var qs []GoldenApproxQuery
+	for _, side := range []string{"tail", "head"} {
+		for _, fix := range []int{1, 17, 420, 999, 1777} {
+			for _, c := range saBudgets {
+				qs = append(qs, GoldenApproxQuery{Side: side, Fix: fix, Rel: fix % saRelations, K: saK, C: c})
+			}
+		}
+	}
+	return qs
+}
+
+// RecordServeApprox runs the pinned query grid and captures the returned
+// entity ids, in rank order, per (side, fix, rel, k, c) slot.
+func RecordServeApprox() (*GoldenServeApprox, error) {
+	m, p, ix, err := saCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	sa := &GoldenServeApprox{
+		Model: saModel, Dim: saDim, Entities: saEntities, Relations: saRelations,
+		Clusters: saClusters, Spread: saSpread, Seed: saSeed, K: saK,
+	}
+	sc := binpack.NewScratch()
+	for _, q := range saQuerySlots() {
+		res, _, _, err := ix.Search(m, q.Side, p.Entity.Row(q.Fix), p.Relation.Row(q.Rel), p.Entity.Row, q.K, q.C, nil, sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range res {
+			q.IDs = append(q.IDs, r.Entity)
+		}
+		sa.Queries = append(sa.Queries, q)
+	}
+	return sa, nil
+}
+
+// VerifyServeApprox re-runs the pinned grid and diffs the returned ids at
+// zero tolerance. A nil reference (pre-section golden file) is a drift:
+// the scenario matrix must not silently shrink.
+func VerifyServeApprox(want *GoldenServeApprox) []Drift {
+	if want == nil {
+		return []Drift{{Run: "serve-approx", Field: "missing",
+			Detail: "golden file has no serve_approx section; run kgeverify -update"}}
+	}
+	if want.Model != saModel || want.Dim != saDim || want.Entities != saEntities ||
+		want.Relations != saRelations || want.Clusters != saClusters ||
+		want.Spread != saSpread || want.Seed != saSeed || want.K != saK {
+		return []Drift{{Run: "serve-approx", Field: "scenario",
+			Detail: "recorded checkpoint parameters differ from the harness; run kgeverify -update"}}
+	}
+	got, err := RecordServeApprox()
+	if err != nil {
+		return []Drift{{Run: "serve-approx", Field: "error", Detail: err.Error()}}
+	}
+	if len(got.Queries) != len(want.Queries) {
+		return []Drift{{Run: "serve-approx", Field: "queries",
+			Got: float64(len(got.Queries)), Want: float64(len(want.Queries)),
+			Detail: "pinned query grid changed size; run kgeverify -update"}}
+	}
+	var drifts []Drift
+	for i := range want.Queries {
+		w, g := want.Queries[i], got.Queries[i]
+		if w.Side != g.Side || w.Fix != g.Fix || w.Rel != g.Rel || w.K != g.K || w.C != g.C {
+			drifts = append(drifts, Drift{Run: "serve-approx", Field: "slot",
+				Detail: fmt.Sprintf("query %d is %s/fix=%d/c=%d, golden pinned %s/fix=%d/c=%d",
+					i, g.Side, g.Fix, g.C, w.Side, w.Fix, w.C)})
+			continue
+		}
+		if len(w.IDs) != len(g.IDs) {
+			drifts = append(drifts, Drift{Run: "serve-approx", Field: "ids",
+				Got: float64(len(g.IDs)), Want: float64(len(w.IDs)),
+				Detail: fmt.Sprintf("%s fix=%d c=%d returned %d ids, golden has %d",
+					w.Side, w.Fix, w.C, len(g.IDs), len(w.IDs))})
+			continue
+		}
+		for rank := range w.IDs {
+			if g.IDs[rank] != w.IDs[rank] {
+				drifts = append(drifts, Drift{Run: "serve-approx", Field: "ids",
+					Got: float64(g.IDs[rank]), Want: float64(w.IDs[rank]),
+					Detail: fmt.Sprintf("%s fix=%d c=%d rank %d: entity %d, golden %d — binarization, kernel, or tie-break changed",
+						w.Side, w.Fix, w.C, rank, g.IDs[rank], w.IDs[rank])})
+				break // first diverging rank per query is the debugging anchor
+			}
+		}
+	}
+	return drifts
+}
+
+// CheckBinarizedRecall shape: a clustered checkpoint at trained-like
+// geometry (see model.ClusteredInit) with enough queries that the CLT
+// margin on mean recall is a few percent.
+const (
+	brEntities  = 4000
+	brRelations = 16
+	brDim       = 32
+	brClusters  = 128
+	brSpread    = 0.25
+	brK         = 10
+	brQueries   = 120
+)
+
+// brFloors are the calibrated recall@10 floors per stage-1 budget. On this
+// generator the pipeline measures ≈1.0 at every budget across seeds; the
+// floors sit below that by a real margin so they gate fidelity collapses
+// (a broken kernel or a wrong composition scores near chance, c/entities ≈
+// 0.02–0.26) rather than chase the last percent.
+var brFloors = map[int]float64{64: 0.90, 256: 0.95, 1024: 0.95}
+
+// CheckBinarizedRecall verifies the two-stage pipeline's ranking fidelity:
+// mean recall@10 of the approx result against the exact sweep must stay
+// above the calibrated floor for every budget C ∈ {64, 256, 1024}, allowing
+// the CLT margin of CheckZ standard errors below the floor. Because stage-1
+// candidate sets are nested in C (deterministic tie-breaking makes top-64 a
+// prefix of top-256's selection order), mean recall must also be monotone
+// non-decreasing in C — exactly, not statistically.
+func CheckBinarizedRecall(seed uint64) PropResult {
+	const name = "binpack-recall-floor"
+	m := model.New(saModel, brDim)
+	p := model.NewParams(m, brEntities, brRelations)
+	p.ClusteredInit(m, brClusters, brSpread, xrand.New(seed))
+	ix, err := binpack.BuildFromParams(m, p)
+	if err != nil {
+		return PropResult{Name: name, Detail: "building index: " + err.Error()}
+	}
+	budgets := []int{64, 256, 1024}
+	sc := binpack.NewScratch()
+	prevMean := 0.0
+	detail := ""
+	for _, c := range budgets {
+		// Re-seed the query stream per budget: identical queries make the
+		// monotonicity comparison exact, not just in distribution.
+		qrng := xrand.New(seed).Split(21)
+		var rec RunningMean
+		for t := 0; t < brQueries; t++ {
+			fix := qrng.Intn(brEntities)
+			rel := qrng.Intn(brRelations)
+			side := "tail"
+			if t%2 == 1 {
+				side = "head"
+			}
+			fixRow, relRow := p.Entity.Row(fix), p.Relation.Row(rel)
+			approx, _, _, err := ix.Search(m, side, fixRow, relRow, p.Entity.Row, brK, c, nil, sc)
+			if err != nil {
+				return PropResult{Name: name, Detail: fmt.Sprintf("search c=%d: %v", c, err)}
+			}
+			exact := eval.TopK(brEntities, brK, func(e int32) float32 {
+				if side == "tail" {
+					return m.ScoreRows(fixRow, relRow, p.Entity.Row(int(e)))
+				}
+				return m.ScoreRows(p.Entity.Row(int(e)), relRow, fixRow)
+			}, nil)
+			want := make(map[int32]bool, len(exact))
+			for _, r := range exact {
+				want[r.Entity] = true
+			}
+			hit := 0
+			for _, r := range approx {
+				if want[r.Entity] {
+					hit++
+				}
+			}
+			rec.Add(float64(hit) / float64(len(exact)))
+		}
+		margin := CheckZ * rec.SD() / math.Sqrt(float64(rec.N()))
+		if rec.Mean()+margin < brFloors[c] {
+			return PropResult{Name: name, Detail: fmt.Sprintf(
+				"recall@%d with c=%d is %.4f over %d queries, below floor %.2f − %.4f CLT margin — prefilter fidelity collapsed",
+				brK, c, rec.Mean(), rec.N(), brFloors[c], margin)}
+		}
+		if rec.Mean() < prevMean {
+			return PropResult{Name: name, Detail: fmt.Sprintf(
+				"recall@%d fell from %.4f to %.4f when the budget grew to c=%d — candidate sets are no longer nested",
+				brK, prevMean, rec.Mean(), c)}
+		}
+		prevMean = rec.Mean()
+		detail += fmt.Sprintf(" c=%d:%.3f", c, rec.Mean())
+	}
+	return PropResult{Name: name, OK: true, Detail: fmt.Sprintf(
+		"recall@%d over %d queries above floors (%.2f/%.2f/%.2f), monotone in budget:%s",
+		brK, brQueries, brFloors[64], brFloors[256], brFloors[1024], detail)}
+}

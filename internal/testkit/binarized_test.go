@@ -1,0 +1,58 @@
+package testkit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServeApproxRoundTrip(t *testing.T) {
+	sa, err := RecordServeApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa.Queries) != len(saQuerySlots()) {
+		t.Fatalf("recorded %d queries, grid has %d", len(sa.Queries), len(saQuerySlots()))
+	}
+	for _, q := range sa.Queries {
+		if len(q.IDs) != q.K {
+			t.Fatalf("query %+v returned %d ids, want k=%d", q, len(q.IDs), q.K)
+		}
+	}
+	// A fresh recording verifies clean against itself (determinism).
+	if drifts := VerifyServeApprox(sa); len(drifts) != 0 {
+		t.Fatalf("self-verify drifted: %v", drifts)
+	}
+}
+
+func TestVerifyServeApproxDetectsDrift(t *testing.T) {
+	if drifts := VerifyServeApprox(nil); len(drifts) != 1 || drifts[0].Field != "missing" {
+		t.Fatalf("nil section: %v", drifts)
+	}
+	sa, err := RecordServeApprox()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.Queries[3].IDs[0]++ // a single flipped id must be caught
+	drifts := VerifyServeApprox(sa)
+	if len(drifts) != 1 || drifts[0].Field != "ids" {
+		t.Fatalf("flipped id: %v", drifts)
+	}
+	if !strings.Contains(drifts[0].Detail, "rank 0") {
+		t.Fatalf("drift does not name the diverging rank: %s", drifts[0].Detail)
+	}
+	sa.Queries[3].IDs[0]--
+	sa.Seed++ // parameter changes are a scenario drift, not an id diff
+	if drifts := VerifyServeApprox(sa); len(drifts) != 1 || drifts[0].Field != "scenario" {
+		t.Fatalf("changed seed: %v", drifts)
+	}
+}
+
+func TestCheckBinarizedRecallPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recall sweep in -short mode")
+	}
+	r := CheckBinarizedRecall(1)
+	if !r.OK {
+		t.Fatalf("recall check failed: %s", r.Detail)
+	}
+}

@@ -51,11 +51,14 @@ type GoldenRun struct {
 }
 
 // GoldenFile is the committed reference: every scenario's golden run plus
-// provenance.
+// provenance. ServeApprox is a trailing optional section so records written
+// before it existed (and the 12 training runs themselves) stay
+// byte-identical under re-marshal.
 type GoldenFile struct {
-	Schema  string      `json:"schema"`
-	Dataset string      `json:"dataset"`
-	Runs    []GoldenRun `json:"runs"`
+	Schema      string             `json:"schema"`
+	Dataset     string             `json:"dataset"`
+	Runs        []GoldenRun        `json:"runs"`
+	ServeApprox *GoldenServeApprox `json:"serve_approx,omitempty"`
 }
 
 // Tolerance is the band applied when comparing a fresh run against a golden.
@@ -283,6 +286,15 @@ func RecordGoldens(report func(format string, args ...any)) (*GoldenFile, error)
 				sc.Name, res.Strategy, res.Epochs, res.MRR, gf.Runs[len(gf.Runs)-1].FinalLoss)
 		}
 	}
+	sa, err := RecordServeApprox()
+	if err != nil {
+		return nil, fmt.Errorf("testkit: scenario serve-approx: %w", err)
+	}
+	gf.ServeApprox = sa
+	if report != nil {
+		report("recorded %-10s %d approx rankings over %s dim=%d entities=%d",
+			"serve-approx", len(sa.Queries), sa.Model, sa.Dim, sa.Entities)
+	}
 	return gf, nil
 }
 
@@ -324,6 +336,15 @@ func VerifyGoldens(gf *GoldenFile, tol Tolerance, report func(format string, arg
 			drifts = append(drifts, Drift{Run: run.Name, Field: "orphan",
 				Detail: "golden record has no matching scenario; run kgeverify -update"})
 		}
+	}
+	sa := VerifyServeApprox(gf.ServeApprox)
+	drifts = append(drifts, sa...)
+	if report != nil {
+		status := "ok"
+		if len(sa) > 0 {
+			status = fmt.Sprintf("DRIFT x%d", len(sa))
+		}
+		report("golden %-10s approx rankings at zero tolerance %s", "serve-approx", status)
 	}
 	return drifts
 }

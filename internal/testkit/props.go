@@ -684,5 +684,6 @@ func AllPropertyChecks(seed uint64) []PropResult {
 		CheckSSHardestOrdering(seed),
 		CheckEntropyEstimator(seed),
 		CheckDynCompConvergence(),
+		CheckBinarizedRecall(seed),
 	}
 }
